@@ -1,0 +1,174 @@
+// Ablation: inference-attack resistance across getSalts strategies.
+//
+// Quantifies the security claims of Section V by running the snapshot
+// adversary (rank matching + mass matching + Lacharite-Paterson subset-sum)
+// against every scheme at several parameters — including the proportional
+// aliasing pathology of Section V-B, where an unlucky N_T *reduces*
+// security.
+//
+//   $ ./bench_ablation_salt_schemes [--records N]
+#include <iomanip>
+#include <iostream>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "src/attack/frequency_attack.h"
+#include "src/core/salts.h"
+#include "src/core/wre_scheme.h"
+#include "src/datagen/vocabulary.h"
+
+using namespace wre;
+
+namespace {
+
+struct ColumnSim {
+  attack::TagHistogram tags;
+  std::vector<std::pair<crypto::Tag, std::string>> truth;
+};
+
+ColumnSim simulate(const core::PlaintextDistribution& dist,
+                   std::unique_ptr<core::SaltAllocator> alloc, int records,
+                   uint64_t seed) {
+  auto keygen = crypto::SecureRandom::for_testing(seed);
+  core::WreScheme scheme(crypto::KeyBundle::generate(keygen),
+                         std::move(alloc));
+  auto rng = crypto::SecureRandom::for_testing(seed + 1);
+  std::vector<std::string> messages = dist.messages();
+  std::vector<double> cdf;
+  double c = 0;
+  for (const auto& m : messages) {
+    c += dist.probability(m);
+    cdf.push_back(c);
+  }
+  ColumnSim sim;
+  for (int i = 0; i < records; ++i) {
+    double x = rng.next_double();
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+    if (idx >= messages.size()) idx = messages.size() - 1;
+    auto cell = scheme.encrypt(messages[idx], rng);
+    ++sim.tags[cell.tag];
+    sim.truth.emplace_back(cell.tag, messages[idx]);
+  }
+  return sim;
+}
+
+void report(const std::string& label, const ColumnSim& sim,
+            const core::PlaintextDistribution& dist, int records) {
+  attack::AuxDistribution aux;
+  for (const auto& m : dist.messages()) aux[m] = dist.probability(m);
+
+  double rank = attack::score_assignment(
+                    attack::rank_matching_attack(sim.tags, aux), sim.truth)
+                    .recovery_rate;
+  double mass =
+      attack::score_assignment(
+          attack::mass_matching_attack(sim.tags, aux,
+                                       static_cast<uint64_t>(records)),
+          sim.truth)
+          .recovery_rate;
+
+  // Subset-sum against the most frequent plaintext: can the adversary carve
+  // out a tag set matching its expected count? Report attribution precision
+  // of the found subset.
+  const std::string& target = dist.messages().front();
+  double best_p = 0;
+  std::string best_m;
+  for (const auto& m : dist.messages()) {
+    if (dist.probability(m) > best_p) {
+      best_p = dist.probability(m);
+      best_m = m;
+    }
+  }
+  (void)target;
+  auto subset = attack::subset_sum_attack(sim.tags, best_p,
+                                          static_cast<uint64_t>(records),
+                                          0.02, 500000);
+  double precision = 0;
+  if (!subset.empty()) {
+    std::set<crypto::Tag> chosen(subset.begin(), subset.end());
+    uint64_t covered = 0, correct = 0;
+    for (const auto& [tag, m] : sim.truth) {
+      if (chosen.contains(tag)) {
+        ++covered;
+        if (m == best_m) ++correct;
+      }
+    }
+    precision = covered == 0 ? 0
+                             : static_cast<double>(correct) /
+                                   static_cast<double>(covered);
+  }
+
+  std::cout << std::left << std::setw(26) << label << std::right
+            << std::setw(10) << sim.tags.size() << std::setw(12) << std::fixed
+            << std::setprecision(3) << rank << std::setw(12) << mass
+            << std::setw(12) << (subset.empty() ? -1.0 : precision) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  int records = static_cast<int>(args.get_int("records", 50000));
+
+  // Census-style first-name column.
+  auto vocab = datagen::census_first_names(100);
+  std::map<std::string, double> probs;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    probs[vocab.values()[i]] = vocab.probability(i);
+  }
+  auto dist = core::PlaintextDistribution::from_probabilities(probs);
+  auto keygen = crypto::SecureRandom::for_testing(1);
+  auto keys = crypto::KeyBundle::generate(keygen);
+
+  std::cout << "# Ablation: attack resistance by getSalts strategy; records="
+            << records << ", support=" << dist.support_size() << "\n";
+  std::cout << "# subset-sum column: attribution precision of the found tag "
+               "set (-1 = no subset found within budget)\n\n";
+  std::cout << std::left << std::setw(26) << "scheme" << std::right
+            << std::setw(10) << "tags" << std::setw(12) << "rank-rec"
+            << std::setw(12) << "mass-rec" << std::setw(12) << "subsetsum"
+            << "\n"
+            << std::string(72, '-') << "\n";
+
+  report("deterministic",
+         simulate(dist, std::make_unique<core::DeterministicAllocator>(),
+                  records, 10),
+         dist, records);
+  for (uint32_t n : {10u, 100u, 1000u}) {
+    report("fixed-" + std::to_string(n),
+           simulate(dist, std::make_unique<core::FixedSaltAllocator>(n),
+                    records, 20 + n),
+           dist, records);
+  }
+  // Proportional: a well-chosen and a deliberately aliasing-prone N_T.
+  for (uint32_t n : {100u, 1000u, 1013u}) {
+    report("proportional-" + std::to_string(n),
+           simulate(dist,
+                    std::make_unique<core::ProportionalSaltAllocator>(dist, n),
+                    records, 40 + n),
+           dist, records);
+  }
+  for (double lambda : {100.0, 1000.0, 10000.0}) {
+    report("poisson-" + std::to_string(static_cast<int>(lambda)),
+           simulate(dist,
+                    std::make_unique<core::PoissonSaltAllocator>(
+                        dist, lambda, keys.shuffle_key),
+                    records, 60),
+           dist, records);
+  }
+  for (double lambda : {1000.0, 10000.0}) {
+    report("bucketized-" + std::to_string(static_cast<int>(lambda)),
+           simulate(dist,
+                    std::make_unique<core::BucketizedPoissonAllocator>(
+                        dist, lambda, keys.shuffle_key, to_bytes("abl")),
+                    records, 70),
+           dist, records);
+  }
+
+  std::cout << "\n# expected shape: deterministic worst; fixed improves "
+               "slowly; proportional good except aliasing-prone N_T; "
+               "poisson/bucketized best. subset-sum precision high for "
+               "poisson (attack works) but polluted for bucketized.\n";
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Shared infrastructure for the experiment harnesses in bench/.
+//
+// Each bench binary reproduces one table or figure from the paper's
+// evaluation (Section VI). They are self-contained executables with sane
+// fast defaults; pass --records / --queries / ... to scale up toward the
+// paper's 100k / 1M / 10M configurations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/encrypted_client.h"
+#include "src/datagen/query_generator.h"
+#include "src/datagen/record_generator.h"
+#include "src/sql/database.h"
+#include "src/util/timer.h"
+
+namespace wre::bench {
+
+/// Minimal --key value / --flag argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";
+      }
+    }
+  }
+
+  int64_t get_int(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A scheme configuration under test.
+struct SchemeConfig {
+  std::string label;                 // e.g. "poisson-1000"
+  bool encrypted = true;
+  core::SaltMethod method = core::SaltMethod::kPoisson;
+  double parameter = 1000;
+};
+
+inline SchemeConfig plaintext_config() {
+  return SchemeConfig{"plaintext", false, core::SaltMethod::kDeterministic, 0};
+}
+
+/// The six configurations of Figures 4-7.
+inline std::vector<SchemeConfig> paper_query_configs() {
+  return {
+      plaintext_config(),
+      {"fixed-100", true, core::SaltMethod::kFixed, 100},
+      {"fixed-1000", true, core::SaltMethod::kFixed, 1000},
+      {"poisson-100", true, core::SaltMethod::kPoisson, 100},
+      {"poisson-1000", true, core::SaltMethod::kPoisson, 1000},
+      {"poisson-10000", true, core::SaltMethod::kPoisson, 10000},
+  };
+}
+
+/// RAII scratch directory for a bench database.
+struct ScratchDir {
+  std::filesystem::path path;
+  explicit ScratchDir(const std::string& name) {
+    path = std::filesystem::temp_directory_path() /
+           ("wre_bench_" + name + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+/// One loaded database (plaintext or encrypted) plus the client state needed
+/// to query it.
+struct LoadedDb {
+  SchemeConfig config;
+  std::unique_ptr<ScratchDir> dir;
+  std::unique_ptr<sql::Database> db;
+  std::unique_ptr<core::EncryptedConnection> conn;  // encrypted configs only
+  double load_seconds = 0;
+
+  /// SELECT id equality query; returns number of ids the server returned.
+  size_t select_ids(const std::string& column, const std::string& value) {
+    if (config.encrypted) {
+      return conn->select_ids("main", column, value).ids.size();
+    }
+    auto rs = db->execute("SELECT id FROM main WHERE " + column + " = " +
+                          sql::Value::text(value).to_sql_literal());
+    return rs.rows.size();
+  }
+
+  /// SELECT * equality query; returns number of (client-filtered) rows.
+  size_t select_star(const std::string& column, const std::string& value) {
+    if (config.encrypted) {
+      return conn->select_star("main", column, value).rows.size();
+    }
+    auto rs = db->execute("SELECT * FROM main WHERE " + column + " = " +
+                          sql::Value::text(value).to_sql_literal());
+    return rs.rows.size();
+  }
+};
+
+/// Generates `records` census-like rows once, returning the histogram of the
+/// five searchable columns (needed for distributions and query generation).
+inline datagen::ColumnHistogram collect_histogram(
+    const datagen::RecordGenerator& gen, int64_t records) {
+  datagen::ColumnHistogram hist;
+  auto schema = datagen::RecordGenerator::schema();
+  std::vector<size_t> col_idx;
+  for (const auto& col : datagen::RecordGenerator::encrypted_columns()) {
+    col_idx.push_back(*schema.index_of(col));
+  }
+  for (int64_t id = 0; id < records; ++id) {
+    auto row = gen.record(id);
+    const auto& cols = datagen::RecordGenerator::encrypted_columns();
+    for (size_t c = 0; c < cols.size(); ++c) {
+      hist.add(cols[c], row[col_idx[c]].as_text());
+    }
+  }
+  return hist;
+}
+
+/// Builds and bulk-loads one database under `config`.
+///
+/// `index_plaintext_columns` controls whether the plaintext baseline gets
+/// secondary indexes on the five searchable columns. The query benches
+/// (Figures 4-7) index them for a fair latency comparison; the Table I
+/// expansion bench turns them off to mirror the paper's accounting, which
+/// counts the tag indexes as "additional indexes on the search columns".
+inline LoadedDb load_database(const SchemeConfig& config,
+                              const datagen::RecordGenerator& gen,
+                              const datagen::ColumnHistogram& hist,
+                              int64_t records,
+                              sql::DatabaseOptions db_options = {},
+                              bool index_plaintext_columns = true) {
+  LoadedDb out;
+  out.config = config;
+  out.dir = std::make_unique<ScratchDir>(config.label);
+  out.db = std::make_unique<sql::Database>(out.dir->str(), db_options);
+  auto schema = datagen::RecordGenerator::schema();
+  const auto& enc_cols = datagen::RecordGenerator::encrypted_columns();
+
+  Timer load;
+  if (!config.encrypted) {
+    out.db->create_table("main", schema);
+    if (index_plaintext_columns) {
+      for (const auto& col : enc_cols) out.db->create_index("main", col);
+    }
+    for (int64_t id = 0; id < records; ++id) {
+      out.db->table("main").insert(gen.record(id));
+    }
+  } else {
+    crypto::SecureRandom entropy;
+    out.conn = std::make_unique<core::EncryptedConnection>(*out.db,
+                                                           entropy.bytes(32));
+    std::map<std::string, core::PlaintextDistribution> dists;
+    std::vector<core::EncryptedColumnSpec> specs;
+    for (const auto& col : enc_cols) {
+      dists.emplace(
+          col, core::PlaintextDistribution::from_counts(hist.counts(col)));
+      specs.push_back(
+          core::EncryptedColumnSpec{col, config.method, config.parameter});
+    }
+    out.conn->create_table("main", schema, specs, dists);
+    for (int64_t id = 0; id < records; ++id) {
+      out.conn->insert("main", gen.record(id));
+    }
+  }
+  out.db->checkpoint();
+  out.load_seconds = load.elapsed_seconds();
+  return out;
+}
+
+/// Statistics helpers.
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double median(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+/// Buckets a result size into the paper's decade bands (1, 10, ..., 10000).
+inline uint64_t result_band(uint64_t n) {
+  uint64_t band = 1;
+  while (band < n && band < 10000) band *= 10;
+  return band;
+}
+
+}  // namespace wre::bench

@@ -1,0 +1,93 @@
+// Microbenchmarks of the crypto substrate (google-benchmark): the per-cell
+// cost drivers behind the creation-time and query-latency experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/core/salts.h"
+#include "src/core/wre_scheme.h"
+#include "src/crypto/aes_ctr.h"
+#include "src/crypto/hmac_sha256.h"
+#include "src/crypto/prf.h"
+#include "src/crypto/sha256.h"
+
+using namespace wre;
+
+namespace {
+
+crypto::SecureRandom& rng() {
+  static crypto::SecureRandom r = crypto::SecureRandom::for_testing(1);
+  return r;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data = rng().bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key = rng().bytes(32);
+  Bytes data = rng().bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256::mac(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(16)->Arg(256);
+
+void BM_AesCtrEncrypt(benchmark::State& state) {
+  crypto::AesCtr ctr(rng().bytes(32));
+  Bytes data = rng().bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.encrypt(data, rng()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtrEncrypt)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TagPrf(benchmark::State& state) {
+  crypto::TagPrf prf(rng().bytes(32));
+  Bytes msg = rng().bytes(12);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prf.tag(salt++, msg));
+  }
+}
+BENCHMARK(BM_TagPrf);
+
+void BM_WreEncryptCell(benchmark::State& state) {
+  // Full WRE cell encryption under Poisson salts: getSalts + sample + PRF +
+  // AES-CTR, the unit of work per encrypted column per row.
+  auto dist = core::PlaintextDistribution::from_probabilities(
+      {{"alice", 0.5}, {"bob", 0.3}, {"carol", 0.2}});
+  auto keygen = crypto::SecureRandom::for_testing(2);
+  auto keys = crypto::KeyBundle::generate(keygen);
+  core::WreScheme scheme(
+      keys, std::make_unique<core::PoissonSaltAllocator>(
+                dist, static_cast<double>(state.range(0)), keys.shuffle_key));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.encrypt("bob", rng()));
+  }
+}
+BENCHMARK(BM_WreEncryptCell)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SearchTagExpansion(benchmark::State& state) {
+  // Query-side cost: expanding one plaintext into its tag list.
+  auto dist = core::PlaintextDistribution::from_probabilities(
+      {{"alice", 0.5}, {"bob", 0.3}, {"carol", 0.2}});
+  auto keygen = crypto::SecureRandom::for_testing(2);
+  auto keys = crypto::KeyBundle::generate(keygen);
+  core::WreScheme scheme(
+      keys, std::make_unique<core::PoissonSaltAllocator>(
+                dist, static_cast<double>(state.range(0)), keys.shuffle_key));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.search_tags("alice"));
+  }
+}
+BENCHMARK(BM_SearchTagExpansion)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Figures 4-7: equality-query latency vs result size, for
+//   plaintext, fixed-100, fixed-1000, poisson-100, poisson-1000,
+//   poisson-10000,
+// in four regimes: {cold, warm} x {SELECT id, SELECT *}.
+//
+//   Fig. 4 = cold  / SELECT id      Fig. 5 = cold  / SELECT *
+//   Fig. 6 = warm  / SELECT id      Fig. 7 = warm  / SELECT *
+//
+// Cold reproduces the paper's `drop_caches` + server-restart procedure by
+// clearing the buffer pool before every query; a synthetic per-page read
+// latency models the testbed's spinning disks (tunable via --io-us).
+//
+// Paper shape to reproduce: poisson-100 <= poisson-1000 < fixed-1000;
+// Poisson within ~27% of plaintext; latency grows with result size; SELECT *
+// slower than SELECT id; cold slower than warm.
+//
+//   $ ./bench_fig4_7_query_latency [--records N] [--queries Q] [--io-us U]
+//       [--cold-only] [--warm-only] [--id-only] [--star-only]
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace wre;
+
+namespace {
+
+struct Cell {
+  std::vector<double> latencies_ms;
+};
+
+void run_regime(std::vector<bench::LoadedDb>& dbs,
+                const std::vector<datagen::EqualityQuery>& queries, bool cold,
+                bool star, uint32_t io_us) {
+  std::cout << "\n# " << (cold ? "cold cache" : "warm cache") << ", SELECT "
+            << (star ? "*" : "id") << "  (Fig. "
+            << (cold ? (star ? 5 : 4) : (star ? 7 : 6)) << ")\n";
+
+  // band -> per-config mean latency.
+  std::map<uint64_t, std::map<std::string, Cell>> table;
+
+  for (auto& db : dbs) {
+    db.db->disk().set_read_latency_micros(io_us);
+    // Warm regime: prime the cache with one pass over the query set.
+    if (!cold) {
+      for (const auto& q : queries) {
+        star ? db.select_star(q.column, q.value)
+             : db.select_ids(q.column, q.value);
+      }
+    }
+    for (const auto& q : queries) {
+      if (cold) db.db->clear_cache();
+      Timer t;
+      size_t n = star ? db.select_star(q.column, q.value)
+                      : db.select_ids(q.column, q.value);
+      double ms = t.elapsed_millis();
+      (void)n;
+      table[bench::result_band(q.expected_count)][db.config.label]
+          .latencies_ms.push_back(ms);
+    }
+    db.db->disk().set_read_latency_micros(0);
+  }
+
+  std::cout << std::left << std::setw(14) << "result_size";
+  for (const auto& db : dbs) {
+    std::cout << std::right << std::setw(15) << db.config.label;
+  }
+  std::cout << "   (mean ms per query)\n";
+  for (const auto& [band, row] : table) {
+    std::cout << std::left << std::setw(14) << band;
+    for (const auto& db : dbs) {
+      auto it = row.find(db.config.label);
+      std::cout << std::right << std::setw(15) << std::fixed
+                << std::setprecision(2)
+                << (it == row.end() ? 0.0 : bench::mean(it->second.latencies_ms));
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  int64_t records = args.get_int("records", 20000);
+  int64_t n_queries = args.get_int("queries", 60);
+  auto io_us = static_cast<uint32_t>(args.get_int("io-us", 100));
+
+  std::cout << "# Figures 4-7: query latency vs result size; records="
+            << records << " queries=" << n_queries << " io-us=" << io_us
+            << "\n";
+
+  datagen::RecordGenerator gen;
+  auto hist = bench::collect_histogram(gen, records);
+  datagen::QueryGenerator qgen(hist,
+                               datagen::RecordGenerator::encrypted_columns());
+  auto queries = qgen.generate(static_cast<size_t>(n_queries));
+
+  std::vector<bench::LoadedDb> dbs;
+  for (const auto& config : bench::paper_query_configs()) {
+    std::cout << "loading " << config.label << "..." << std::flush;
+    dbs.push_back(bench::load_database(config, gen, hist, records));
+    std::cout << " " << std::fixed << std::setprecision(1)
+              << dbs.back().load_seconds << "s\n";
+  }
+
+  bool do_cold = !args.has("warm-only");
+  bool do_warm = !args.has("cold-only");
+  bool do_id = !args.has("star-only");
+  bool do_star = !args.has("id-only");
+
+  if (do_cold && do_id) run_regime(dbs, queries, /*cold=*/true, false, io_us);
+  if (do_cold && do_star) run_regime(dbs, queries, true, true, io_us);
+  if (do_warm && do_id) run_regime(dbs, queries, false, false, io_us);
+  if (do_warm && do_star) run_regime(dbs, queries, false, true, io_us);
+
+  std::cout << "\n# paper shape: fixed-1000 slowest; poisson-1000 slightly "
+               "slower than poisson-100; Poisson close to plaintext; cold > "
+               "warm; SELECT * > SELECT id\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Microbenchmarks of the storage substrate (google-benchmark): B+-tree
+// probes, heap appends, and buffer-pool hit/miss costs — the server-side
+// cost drivers behind Figures 4-7.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "src/storage/bptree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/heap_file.h"
+#include "src/util/rng.h"
+
+using namespace wre;
+
+namespace {
+
+struct Scratch {
+  std::filesystem::path dir;
+  Scratch() {
+    dir = std::filesystem::temp_directory_path() /
+          ("wre_bench_storage_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+  }
+  ~Scratch() { std::filesystem::remove_all(dir); }
+  std::string file(const std::string& name) const {
+    return (dir / name).string();
+  }
+};
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Scratch scratch;
+  storage::DiskManager disk;
+  storage::BufferPool pool(disk, 4096);
+  storage::BPlusTree tree(
+      pool, disk.open_file(scratch.file("insert.idx")));
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    tree.insert(rng(), rng());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeFind(benchmark::State& state) {
+  Scratch scratch;
+  storage::DiskManager disk;
+  storage::BufferPool pool(disk, 4096);
+  storage::BPlusTree tree(pool, disk.open_file(scratch.file("find.idx")));
+  Xoshiro256 rng(2);
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) tree.insert(rng.next_below(10000), i);
+  Xoshiro256 probe(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(probe.next_below(10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeFind)->Arg(10000)->Arg(100000);
+
+void BM_HeapAppend(benchmark::State& state) {
+  Scratch scratch;
+  storage::DiskManager disk;
+  storage::BufferPool pool(disk, 4096);
+  storage::HeapFile heap(pool, disk.open_file(scratch.file("heap.tbl")));
+  Bytes record(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.append(record));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeapAppend)->Arg(128)->Arg(1024);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  Scratch scratch;
+  storage::DiskManager disk;
+  storage::FileId f = disk.open_file(scratch.file("pool.db"));
+  storage::BufferPool pool(disk, 64);
+  disk.allocate_page(f);
+  for (auto _ : state) {
+    auto guard = pool.fetch(storage::PageId{f, 1});
+    benchmark::DoNotOptimize(guard.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissAndEvict(benchmark::State& state) {
+  Scratch scratch;
+  storage::DiskManager disk;
+  storage::FileId f = disk.open_file(scratch.file("evict.db"));
+  constexpr int kPages = 256;
+  for (int i = 0; i < kPages; ++i) disk.allocate_page(f);
+  storage::BufferPool pool(disk, 8);  // far smaller than the working set
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    auto page = static_cast<storage::PageNumber>(1 + rng.next_below(kPages));
+    auto guard = pool.fetch(storage::PageId{f, page});
+    benchmark::DoNotOptimize(guard.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMissAndEvict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Attack demo: why deterministic encryption fails and how weak randomization
+// fixes it. Encrypts the same skewed column under DET, fixed salts,
+// proportional salts and Poisson salts, then plays the snapshot adversary:
+// frequency analysis with perfect auxiliary knowledge.
+//
+//   $ ./inference_attack_demo [records]
+#include <iomanip>
+#include <iostream>
+
+#include "src/attack/frequency_attack.h"
+#include "src/core/salts.h"
+#include "src/core/wre_scheme.h"
+#include "src/datagen/vocabulary.h"
+
+using namespace wre;
+
+namespace {
+
+struct Outcome {
+  std::string scheme;
+  size_t distinct_tags;
+  double rank_recovery;
+  double mass_recovery;
+};
+
+Outcome attack_scheme(const std::string& label,
+                      std::unique_ptr<core::SaltAllocator> alloc,
+                      const core::PlaintextDistribution& dist, int records,
+                      uint64_t seed) {
+  auto keygen = crypto::SecureRandom::for_testing(seed);
+  core::WreScheme scheme(crypto::KeyBundle::generate(keygen),
+                         std::move(alloc));
+  auto rng = crypto::SecureRandom::for_testing(seed + 1);
+
+  // Build the encrypted column by sampling records from the distribution.
+  std::vector<std::string> messages = dist.messages();
+  std::vector<double> cdf;
+  double c = 0;
+  for (const auto& m : messages) {
+    c += dist.probability(m);
+    cdf.push_back(c);
+  }
+  attack::TagHistogram tags;
+  std::vector<std::pair<crypto::Tag, std::string>> truth;
+  for (int i = 0; i < records; ++i) {
+    double x = rng.next_double();
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+    if (idx >= messages.size()) idx = messages.size() - 1;
+    auto cell = scheme.encrypt(messages[idx], rng);
+    ++tags[cell.tag];
+    truth.emplace_back(cell.tag, messages[idx]);
+  }
+
+  // The adversary's auxiliary knowledge: the exact distribution.
+  attack::AuxDistribution aux;
+  for (const auto& m : messages) aux[m] = dist.probability(m);
+
+  Outcome out;
+  out.scheme = label;
+  out.distinct_tags = tags.size();
+  out.rank_recovery =
+      attack::score_assignment(attack::rank_matching_attack(tags, aux), truth)
+          .recovery_rate;
+  out.mass_recovery =
+      attack::score_assignment(
+          attack::mass_matching_attack(tags, aux,
+                                       static_cast<uint64_t>(records)),
+          truth)
+          .recovery_rate;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int records = argc > 1 ? std::atoi(argv[1]) : 50000;
+
+  // A census-like first-name column: exactly the kind of low-entropy data
+  // inference attacks feast on.
+  auto vocab = datagen::census_first_names(100);
+  std::map<std::string, double> probs;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    probs[vocab.values()[i]] = vocab.probability(i);
+  }
+  auto dist = core::PlaintextDistribution::from_probabilities(probs);
+
+  auto keygen = crypto::SecureRandom::for_testing(1);
+  auto keys = crypto::KeyBundle::generate(keygen);
+
+  std::vector<Outcome> outcomes;
+  outcomes.push_back(attack_scheme(
+      "deterministic", std::make_unique<core::DeterministicAllocator>(), dist,
+      records, 10));
+  outcomes.push_back(attack_scheme(
+      "fixed-10", std::make_unique<core::FixedSaltAllocator>(10), dist,
+      records, 20));
+  outcomes.push_back(attack_scheme(
+      "fixed-100", std::make_unique<core::FixedSaltAllocator>(100), dist,
+      records, 30));
+  outcomes.push_back(attack_scheme(
+      "proportional-1000",
+      std::make_unique<core::ProportionalSaltAllocator>(dist, 1000), dist,
+      records, 40));
+  outcomes.push_back(attack_scheme(
+      "poisson-1000",
+      std::make_unique<core::PoissonSaltAllocator>(dist, 1000,
+                                                   keys.shuffle_key),
+      dist, records, 50));
+  outcomes.push_back(attack_scheme(
+      "bucketized-poisson-1000",
+      std::make_unique<core::BucketizedPoissonAllocator>(
+          dist, 1000, keys.shuffle_key, to_bytes("demo")),
+      dist, records, 60));
+
+  std::cout << records
+            << " records, 100-name census column, adversary knows the exact "
+               "distribution\n\n";
+  std::cout << std::left << std::setw(26) << "scheme" << std::right
+            << std::setw(14) << "distinct tags" << std::setw(16)
+            << "rank-match rec." << std::setw(16) << "mass-match rec."
+            << "\n";
+  std::cout << std::string(72, '-') << "\n";
+  std::cout << std::fixed << std::setprecision(3);
+  for (const auto& o : outcomes) {
+    std::cout << std::left << std::setw(26) << o.scheme << std::right
+              << std::setw(14) << o.distinct_tags << std::setw(16)
+              << o.rank_recovery << std::setw(16) << o.mass_recovery << "\n";
+  }
+  std::cout << "\nrecovery = fraction of records whose plaintext the "
+               "snapshot adversary recovers.\n";
+  return 0;
+}

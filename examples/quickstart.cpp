@@ -1,0 +1,94 @@
+// Quickstart: encrypt one column of a small table with Poisson-salted WRE,
+// insert rows, and run equality queries through the client proxy.
+//
+//   $ ./quickstart [working-dir]
+//
+// The example prints the rewritten SQL so you can see exactly what the
+// untrusted server receives: integer search tags, never plaintext.
+#include <filesystem>
+#include <iostream>
+#include <map>
+
+#include "src/core/encrypted_client.h"
+#include "src/sql/database.h"
+
+using namespace wre;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "quickstart_db";
+  std::filesystem::create_directories(dir);
+
+  // 1. The untrusted server: an ordinary relational database.
+  sql::Database db(dir);
+
+  // 2. The trusted client: owns a 32-byte master secret. In production,
+  //    load this from a key manager; here we generate one.
+  crypto::SecureRandom entropy;
+  Bytes master_secret = entropy.bytes(32);
+  core::EncryptedConnection conn(db, master_secret);
+
+  // 3. The data owner knows the plaintext distribution of the column to be
+  //    encrypted (Section IV of the paper). For the demo, a small skewed
+  //    distribution of departments.
+  auto dist = core::PlaintextDistribution::from_probabilities({
+      {"engineering", 0.50},
+      {"sales", 0.25},
+      {"support", 0.15},
+      {"legal", 0.10},
+  });
+
+  // 4. Create the table. The `department` column is encrypted with Poisson
+  //    random frequencies (lambda = 100); everything else is plaintext.
+  sql::Schema schema({
+      sql::Column{"id", sql::ValueType::kInt64, /*primary_key=*/true},
+      sql::Column{"department", sql::ValueType::kText},
+      sql::Column{"years", sql::ValueType::kInt64},
+  });
+  std::map<std::string, core::PlaintextDistribution> dists;
+  dists.emplace("department", dist);
+  conn.create_table(
+      "employees", schema,
+      {core::EncryptedColumnSpec{"department", core::SaltMethod::kPoisson,
+                                 100}},
+      dists);
+
+  // 5. Insert rows through the client; the server sees only tags + AES blobs.
+  const char* departments[] = {"engineering", "engineering", "sales",
+                               "engineering", "support", "sales",
+                               "legal", "engineering", "support",
+                               "engineering"};
+  for (int i = 0; i < 10; ++i) {
+    conn.insert("employees", {sql::Value::int64(i),
+                              sql::Value::text(departments[i]),
+                              sql::Value::int64(1 + i % 7)});
+  }
+
+  // 6. Query by plaintext value. The client expands the value into its
+  //    possible search tags and rewrites the query.
+  std::cout << "Rewritten SQL sent to the server:\n  "
+            << conn.rewrite_select("employees", "department", "sales",
+                                   /*star=*/false)
+            << "\n\n";
+
+  auto result = conn.select_star("employees", "department", "engineering");
+  std::cout << "employees in engineering (" << result.rows.size()
+            << " rows):\n";
+  for (const auto& row : result.rows) {
+    std::cout << "  id=" << row[0].as_int64()
+              << " department=" << row[1].as_text()
+              << " years=" << row[2].as_int64() << "\n";
+  }
+
+  // 7. Show what a snapshot attacker sees on the server.
+  auto raw = db.execute("SELECT * FROM employees LIMIT 3");
+  std::cout << "\nserver-side view (first 3 rows):\n";
+  for (const auto& row : raw.rows) {
+    std::cout << "  id=" << row[0].as_int64()
+              << " department_tag=" << row[1].as_int64()
+              << " department_enc=X'" << to_hex(row[2].as_blob()).substr(0, 24)
+              << "...' years=" << row[3].as_int64() << "\n";
+  }
+  std::cout << "\nequal plaintexts spread across multiple tags; payloads are "
+               "freshly-randomized AES-CTR.\n";
+  return 0;
+}

@@ -1,0 +1,194 @@
+// wre_shell — an interactive (or scriptable via stdin) shell over a
+// WRE-protected database. Raw SQL goes straight to the embedded server
+// (showing exactly what an untrusted DBA could run); dot-commands exercise
+// the encrypted client.
+//
+//   $ ./wre_shell <db-dir> [master-secret-hex]
+//
+// Commands:
+//   .help                                this text
+//   .tables                              list server tables
+//   .open <table>                        attach a table via its manifest
+//   .eq <table> <column> <value>         encrypted equality query
+//   .ids <table> <column> <value>        encrypted SELECT id query
+//   .range <table> <column> <lo> <hi>    encrypted range query
+//   .drift <table> <column>              distribution-drift report
+//   .demo                                create + load a demo table
+//   .quit
+//   anything else                        raw SQL against the server
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/encrypted_client.h"
+#include "src/sql/database.h"
+
+using namespace wre;
+
+namespace {
+
+void print_result(const sql::ResultSet& rs) {
+  if (!rs.columns.empty()) {
+    for (size_t i = 0; i < rs.columns.size(); ++i) {
+      std::cout << (i ? " | " : "") << rs.columns[i];
+    }
+    std::cout << "\n";
+  }
+  for (const auto& row : rs.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i].to_sql_literal();
+      if (cell.size() > 40) cell = cell.substr(0, 37) + "...";
+      std::cout << (i ? " | " : "") << cell;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(" << rs.rows.size() << " row(s)";
+  if (rs.rows_affected > 0) std::cout << ", " << rs.rows_affected << " affected";
+  if (rs.used_index) std::cout << ", index scan";
+  std::cout << ")\n";
+}
+
+void print_encrypted(const core::EncryptedQueryResult& r, bool ids_only) {
+  std::cout << "rewritten SQL: "
+            << (r.sql.size() > 100 ? r.sql.substr(0, 97) + "..." : r.sql)
+            << "\n";
+  if (ids_only) {
+    std::cout << "ids:";
+    size_t shown = 0;
+    for (int64_t id : r.ids) {
+      if (++shown > 20) {
+        std::cout << " ...";
+        break;
+      }
+      std::cout << " " << id;
+    }
+    std::cout << "\n(" << r.ids.size() << " id(s), fan-out "
+              << r.tags_in_query << " tag(s))\n";
+    return;
+  }
+  for (const auto& row : r.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::cout << (i ? " | " : "") << row[i].to_sql_literal();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(" << r.rows.size() << " row(s), " << r.false_positives
+            << " false positive(s) filtered, fan-out " << r.tags_in_query
+            << " tag(s))\n";
+}
+
+void run_demo(core::EncryptedConnection& conn) {
+  sql::Schema schema({sql::Column{"id", sql::ValueType::kInt64, true},
+                      sql::Column{"name", sql::ValueType::kText},
+                      sql::Column{"city", sql::ValueType::kText},
+                      sql::Column{"age", sql::ValueType::kInt64}});
+  auto dist = core::PlaintextDistribution::from_probabilities(
+      {{"springfield", 0.5}, {"shelbyville", 0.3}, {"ogdenville", 0.2}});
+  std::map<std::string, core::PlaintextDistribution> dists;
+  dists.emplace("city", dist);
+  conn.create_table(
+      "demo", schema,
+      {core::EncryptedColumnSpec{"city", core::SaltMethod::kPoisson, 50}},
+      dists, {core::RangeColumnSpec{"age", 0, 120, 12}});
+  const char* cities[] = {"springfield", "springfield", "shelbyville",
+                          "springfield", "ogdenville", "shelbyville",
+                          "springfield", "ogdenville", "shelbyville",
+                          "springfield"};
+  for (int i = 0; i < 50; ++i) {
+    conn.insert("demo", {sql::Value::int64(i),
+                         sql::Value::text("person" + std::to_string(i)),
+                         sql::Value::text(cities[i % 10]),
+                         sql::Value::int64(18 + (i * 7) % 60)});
+  }
+  std::cout << "created table 'demo' (50 rows; city Poisson-encrypted, age "
+               "range-encrypted)\ntry: .eq demo city springfield\n"
+               "     .range demo age 30 40\n"
+               "     SELECT * FROM demo LIMIT 3\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: wre_shell <db-dir> [master-secret-hex]\n";
+    return 1;
+  }
+  std::string dir = argv[1];
+  std::filesystem::create_directories(dir);
+  sql::Database db(dir);
+
+  Bytes secret;
+  if (argc > 2) {
+    secret = from_hex(argv[2]);
+    if (secret.size() != 32) {
+      std::cerr << "master secret must be 32 bytes (64 hex chars)\n";
+      return 1;
+    }
+  } else {
+    secret.assign(32, 0x5a);  // demo secret; pass your own for real data
+    std::cout << "note: using the built-in demo master secret\n";
+  }
+  core::EncryptedConnection conn(db, secret);
+
+  std::cout << "wre_shell — type .help for commands\n";
+  std::string line;
+  while (std::cout << "wre> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    try {
+      if (line[0] != '.') {
+        print_result(db.execute(line));
+        continue;
+      }
+      std::istringstream in(line);
+      std::string cmd;
+      in >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::cout
+            << ".tables | .open <t> | .eq <t> <c> <v> | .ids <t> <c> <v> | "
+               ".range <t> <c> <lo> <hi> | .drift <t> <c> | .demo | .quit\n"
+               "anything else is raw SQL (try EXPLAIN SELECT ...)\n";
+      } else if (cmd == ".demo") {
+        run_demo(conn);
+      } else if (cmd == ".tables") {
+        // The catalog has no SQL surface; use the manifest + known tables.
+        std::cout << (db.has_table("_wre_manifest")
+                          ? "(manifest present; use .open <table>)\n"
+                          : "(no encrypted tables yet; try .demo)\n");
+      } else if (cmd == ".open") {
+        std::string t;
+        in >> t;
+        conn.open_table(t);
+        std::cout << "attached " << t << "\n";
+      } else if (cmd == ".eq" || cmd == ".ids") {
+        std::string t, c;
+        in >> t >> c;
+        std::string v;
+        std::getline(in, v);
+        if (!v.empty() && v[0] == ' ') v = v.substr(1);
+        if (cmd == ".eq") {
+          print_encrypted(conn.select_star(t, c, v), false);
+        } else {
+          print_encrypted(conn.select_ids(t, c, v), true);
+        }
+      } else if (cmd == ".range") {
+        std::string t, c;
+        int64_t lo, hi;
+        in >> t >> c >> lo >> hi;
+        print_encrypted(conn.select_star_range(t, c, lo, hi), false);
+      } else if (cmd == ".drift") {
+        std::string t, c;
+        in >> t >> c;
+        auto d = conn.column_drift(t, c);
+        std::cout << "observed rows: " << d.observed_rows
+                  << ", unseen rows: " << d.unseen_rows
+                  << ", TV distance: " << d.tv_distance << "\n";
+      } else {
+        std::cout << "unknown command " << cmd << " (.help)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "src/attack/capped_exponential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wre::attack {
+
+double exponential_pdf(double lambda, double x) {
+  return x < 0 ? 0.0 : lambda * std::exp(-lambda * x);
+}
+
+double exponential_cdf(double lambda, double x) {
+  return x < 0 ? 0.0 : 1.0 - std::exp(-lambda * x);
+}
+
+double exponential_ccdf(double lambda, double x) {
+  return x < 0 ? 1.0 : std::exp(-lambda * x);
+}
+
+double capped_exponential_cdf(double lambda, double tau, double x) {
+  if (x < 0) return 0.0;
+  if (x >= tau) return 1.0;  // the cap absorbs the upper tail
+  return exponential_cdf(lambda, x);
+}
+
+double capped_exponential_ccdf(double lambda, double tau, double x) {
+  return 1.0 - capped_exponential_cdf(lambda, tau, x);
+}
+
+double capped_exponential_distance(double lambda, double tau) {
+  // The distributions agree below tau; the whole difference is the
+  // Exponential's mass above tau, which the cap moves to the atom at tau:
+  // Delta = Pr[X > tau | X ~ Exp(lambda)] = e^{-lambda tau}.
+  return std::exp(-lambda * tau);
+}
+
+CcdfSeries ccdf_series(double lambda, double tau, double x_max,
+                       std::size_t points) {
+  if (points < 2) throw std::invalid_argument("ccdf_series: need >= 2 points");
+  CcdfSeries out;
+  out.x.reserve(points);
+  out.exponential.reserve(points);
+  out.capped.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double x = x_max * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.x.push_back(x);
+    out.exponential.push_back(exponential_ccdf(lambda, x));
+    out.capped.push_back(capped_exponential_ccdf(lambda, tau, x));
+  }
+  return out;
+}
+
+double empirical_tv_distance(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t bins) {
+  if (a.empty() || b.empty() || bins == 0) {
+    throw std::invalid_argument("empirical_tv_distance: empty input");
+  }
+  double lo = std::min(*std::min_element(a.begin(), a.end()),
+                       *std::min_element(b.begin(), b.end()));
+  double hi = std::max(*std::max_element(a.begin(), a.end()),
+                       *std::max_element(b.begin(), b.end()));
+  if (hi <= lo) return 0.0;
+
+  std::vector<double> ha(bins, 0), hb(bins, 0);
+  auto bin_of = [&](double x) {
+    auto b_idx = static_cast<std::size_t>((x - lo) / (hi - lo) * bins);
+    return std::min(b_idx, bins - 1);
+  };
+  for (double x : a) ha[bin_of(x)] += 1.0 / static_cast<double>(a.size());
+  for (double x : b) hb[bin_of(x)] += 1.0 / static_cast<double>(b.size());
+
+  double tv = 0;
+  for (std::size_t i = 0; i < bins; ++i) tv += std::abs(ha[i] - hb[i]);
+  return tv / 2.0;
+}
+
+double ks_statistic_exponential(std::vector<double> sample, double lambda) {
+  if (sample.empty()) {
+    throw std::invalid_argument("ks_statistic_exponential: empty sample");
+  }
+  std::sort(sample.begin(), sample.end());
+  double n = static_cast<double>(sample.size());
+  double d = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    double f = exponential_cdf(lambda, sample[i]);
+    double lo = static_cast<double>(i) / n;
+    double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+}  // namespace wre::attack

@@ -1,0 +1,52 @@
+// The capped Exponential distribution of Section V-C and its distance to
+// the standard Exponential — the quantity behind Figure 2 and the paper's
+// lambda-selection rule.
+//
+// In Poisson WRE the frequency of every salt but the last is an
+// Exponential(lambda) sample; the *last* salt's frequency for plaintext m is
+// "capped": all probability mass the Exponential puts above tau = P_M(m) is
+// lumped onto the point tau. The adversary's best distinguishing advantage
+// between the two is their statistical distance, e^{-lambda * tau}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wre::attack {
+
+/// Standard Exponential(lambda).
+double exponential_pdf(double lambda, double x);
+double exponential_cdf(double lambda, double x);
+/// Complementary CDF Pr[X > x] (the curve plotted in Figure 2).
+double exponential_ccdf(double lambda, double x);
+
+/// Capped Exponential(lambda, tau): identical to Exponential(lambda) on
+/// [0, tau), with Pr[X = tau] = e^{-lambda * tau}.
+double capped_exponential_cdf(double lambda, double tau, double x);
+double capped_exponential_ccdf(double lambda, double tau, double x);
+
+/// Exact statistical distance Delta(Exp(lambda), CappedExp(lambda, tau))
+/// = e^{-lambda * tau} (Section V-C).
+double capped_exponential_distance(double lambda, double tau);
+
+/// A sampled CCDF series for plotting: pairs (x, ccdf(x)) over [0, x_max].
+struct CcdfSeries {
+  std::vector<double> x;
+  std::vector<double> exponential;
+  std::vector<double> capped;
+};
+CcdfSeries ccdf_series(double lambda, double tau, double x_max,
+                       std::size_t points);
+
+/// Empirical distribution helpers used by the statistical tests.
+///
+/// Total variation distance between two empirical samples, computed over the
+/// union of observed values after binning into `bins` equal-width bins.
+double empirical_tv_distance(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t bins);
+
+/// One-sample Kolmogorov-Smirnov statistic of `sample` against
+/// Exponential(lambda).
+double ks_statistic_exponential(std::vector<double> sample, double lambda);
+
+}  // namespace wre::attack

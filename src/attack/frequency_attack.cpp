@@ -1,0 +1,126 @@
+#include "src/attack/frequency_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wre::attack {
+
+namespace {
+
+/// Tags sorted by descending count (ties broken by tag value for
+/// determinism).
+std::vector<std::pair<crypto::Tag, uint64_t>> sorted_tags(
+    const TagHistogram& tags) {
+  std::vector<std::pair<crypto::Tag, uint64_t>> out(tags.begin(), tags.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+/// Plaintexts sorted by descending probability (ties by name).
+std::vector<std::pair<std::string, double>> sorted_aux(
+    const AuxDistribution& aux) {
+  std::vector<std::pair<std::string, double>> out(aux.begin(), aux.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+TagAssignment rank_matching_attack(const TagHistogram& tags,
+                                   const AuxDistribution& aux) {
+  auto ts = sorted_tags(tags);
+  auto ms = sorted_aux(aux);
+  TagAssignment out;
+  for (size_t i = 0; i < ts.size() && i < ms.size(); ++i) {
+    out.emplace(ts[i].first, ms[i].first);
+  }
+  return out;
+}
+
+TagAssignment mass_matching_attack(const TagHistogram& tags,
+                                   const AuxDistribution& aux,
+                                   uint64_t db_size) {
+  auto ts = sorted_tags(tags);
+  auto ms = sorted_aux(aux);
+
+  TagAssignment out;
+  size_t next_tag = 0;
+  for (const auto& [m, p] : ms) {
+    double budget = p * static_cast<double>(db_size);
+    double claimed = 0;
+    // Claim the heaviest unclaimed tags. Allow the final claim to overshoot
+    // only if more than half of it fits the remaining budget — a simple
+    // rounding rule that keeps totals aligned.
+    while (next_tag < ts.size() && claimed < budget) {
+      double c = static_cast<double>(ts[next_tag].second);
+      if (claimed + c > budget && (budget - claimed) < c / 2) break;
+      out.emplace(ts[next_tag].first, m);
+      claimed += c;
+      ++next_tag;
+    }
+    if (next_tag >= ts.size()) break;
+  }
+  return out;
+}
+
+std::vector<crypto::Tag> subset_sum_attack(const TagHistogram& tags,
+                                           double target_probability,
+                                           uint64_t db_size, double tolerance,
+                                           uint64_t max_nodes) {
+  auto ts = sorted_tags(tags);
+  auto target = static_cast<int64_t>(
+      std::llround(target_probability * static_cast<double>(db_size)));
+  auto slack = static_cast<int64_t>(
+      std::llround(tolerance * static_cast<double>(target)));
+
+  // Suffix sums enable pruning: if even taking every remaining tag cannot
+  // reach the target, backtrack.
+  std::vector<int64_t> suffix(ts.size() + 1, 0);
+  for (size_t i = ts.size(); i > 0; --i) {
+    suffix[i - 1] = suffix[i] + static_cast<int64_t>(ts[i - 1].second);
+  }
+
+  std::vector<crypto::Tag> chosen;
+  uint64_t nodes = 0;
+
+  // Iterative DFS over (index, remaining target).
+  std::function<bool(size_t, int64_t)> dfs = [&](size_t i,
+                                                 int64_t remaining) -> bool {
+    if (std::llabs(remaining) <= slack) return true;
+    if (i >= ts.size() || remaining < -slack) return false;
+    if (suffix[i] < remaining - slack) return false;  // cannot reach target
+    if (++nodes > max_nodes) return false;
+
+    // Take tag i.
+    chosen.push_back(ts[i].first);
+    if (dfs(i + 1, remaining - static_cast<int64_t>(ts[i].second))) return true;
+    chosen.pop_back();
+    // Skip tag i.
+    return dfs(i + 1, remaining);
+  };
+
+  if (dfs(0, target)) return chosen;
+  return {};
+}
+
+AttackScore score_assignment(
+    const TagAssignment& guess,
+    const std::vector<std::pair<crypto::Tag, std::string>>& records) {
+  AttackScore score;
+  score.records_total = records.size();
+  for (const auto& [tag, truth] : records) {
+    auto it = guess.find(tag);
+    if (it != guess.end() && it->second == truth) ++score.records_recovered;
+  }
+  if (score.records_total > 0) {
+    score.recovery_rate = static_cast<double>(score.records_recovered) /
+                          static_cast<double>(score.records_total);
+  }
+  return score;
+}
+
+}  // namespace wre::attack

@@ -1,0 +1,76 @@
+// Inference attacks against efficiently searchable encryption.
+//
+// These are the adversaries the paper defends against: a snapshot attacker
+// holding (a) the encrypted database — in particular the multiset of search
+// tags — and (b) auxiliary knowledge of the plaintext distribution P_M.
+//
+// Implemented attacks:
+//  * rank-matching frequency analysis (Naveed-Kamara-Wright style): sort
+//    tags and plaintexts by frequency and match by rank — devastating
+//    against deterministic encryption;
+//  * mass-matching: a homophone-aware generalization that walks plaintexts
+//    in decreasing probability and greedily claims the heaviest unclaimed
+//    tags until the plaintext's expected mass is covered — effective against
+//    fixed and (aliased) proportional salts;
+//  * tag-combination (subset-sum) matching per Lacharité-Paterson: find a
+//    subset of tag counts summing to a target plaintext's expected count —
+//    the attack that motivates the bucketized construction (Section V-C
+//    "Limitations").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/crypto/prf.h"
+
+namespace wre::attack {
+
+/// The adversary's view of one column: tag -> number of occurrences.
+using TagHistogram = std::unordered_map<crypto::Tag, uint64_t>;
+
+/// Auxiliary knowledge: plaintext -> probability.
+using AuxDistribution = std::unordered_map<std::string, double>;
+
+/// Ground truth for scoring: tag -> the plaintext that produced it. In the
+/// bucketized scheme a tag can cover several plaintexts; scoring then uses
+/// record-level truth via `records`.
+struct AttackScore {
+  uint64_t records_total = 0;
+  uint64_t records_recovered = 0;
+  double recovery_rate = 0;  // records_recovered / records_total
+};
+
+/// A guessed assignment tag -> plaintext.
+using TagAssignment = std::unordered_map<crypto::Tag, std::string>;
+
+/// Rank-matching frequency analysis. Assumes one tag per plaintext (DET);
+/// with more tags than plaintexts the lowest-rank tags stay unassigned.
+TagAssignment rank_matching_attack(const TagHistogram& tags,
+                                   const AuxDistribution& aux);
+
+/// Homophone-aware greedy mass matching.
+TagAssignment mass_matching_attack(const TagHistogram& tags,
+                                   const AuxDistribution& aux,
+                                   uint64_t db_size);
+
+/// Lacharité-Paterson tag-combination attack against a single target
+/// plaintext: search for a subset of tag counts whose sum is within
+/// `tolerance` (relative) of round(P_M(target) * db_size). Exhaustive
+/// depth-first search with pruning, bounded by `max_nodes` explored;
+/// returns the matched tag set, or empty if none found within the budget.
+std::vector<crypto::Tag> subset_sum_attack(const TagHistogram& tags,
+                                           double target_probability,
+                                           uint64_t db_size, double tolerance,
+                                           uint64_t max_nodes = 2'000'000);
+
+/// Scores an assignment against per-record ground truth. `records` maps each
+/// record's tag to its true plaintext (one entry per record, so duplicate
+/// tags appear multiple times).
+AttackScore score_assignment(
+    const TagAssignment& guess,
+    const std::vector<std::pair<crypto::Tag, std::string>>& records);
+
+}  // namespace wre::attack

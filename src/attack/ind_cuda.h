@@ -1,0 +1,61 @@
+// Executable IND-CUDA game (Definition 7): a harness that plays the
+// indistinguishability-under-chosen-unordered-database experiment between a
+// WRE scheme and a caller-supplied adversary, estimating the adversary's
+// success probability over repeated trials.
+//
+// Per the definition, the challenger (1) generates fresh keys, (2) picks a
+// uniform bit b, (3) applies a uniformly random shuffle to M_b, (4) encrypts
+// every message and hands the encrypted list to the adversary. The scheme's
+// plaintext distribution is computed from the selected list, matching the
+// deployment model where the data owner knows the distribution of what is
+// being encrypted.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/distribution.h"
+#include "src/core/wre_scheme.h"
+
+namespace wre::attack {
+
+/// Builds a fresh scheme instance for one trial. `keygen` supplies the
+/// trial's key material so every trial uses independent keys.
+using SchemeFactory = std::function<std::unique_ptr<core::WreScheme>(
+    const core::PlaintextDistribution& dist, crypto::SecureRandom& keygen)>;
+
+/// The adversary sees its own chosen lists and the encrypted database (in
+/// shuffled order) and outputs a guess for b.
+using Adversary = std::function<int(const std::vector<std::string>& m0,
+                                    const std::vector<std::string>& m1,
+                                    const std::vector<core::EncryptedCell>& edb)>;
+
+struct IndCudaResult {
+  uint64_t trials = 0;
+  uint64_t successes = 0;
+  double success_rate = 0;  // Pr[b' == b]
+  double advantage = 0;     // |success_rate - 1/2|
+};
+
+/// Runs `trials` independent IND-CUDA games. The message lists must be
+/// non-empty and the same length (the harness enforces the definition's
+/// |M_0| == |M_1| constraint; equal message sizes are the caller's duty when
+/// the adversary is meant to be legal).
+IndCudaResult run_ind_cuda(const SchemeFactory& factory,
+                           const std::vector<std::string>& m0,
+                           const std::vector<std::string>& m1,
+                           const Adversary& adversary, uint64_t trials,
+                           uint64_t seed);
+
+/// A generic frequency-moment adversary: computes the tag histogram's
+/// collision statistic sum_t c_t^2 and guesses the list whose *expected*
+/// statistic (estimated by encrypting each candidate list itself with fresh
+/// keys `calibration_rounds` times) is nearer. This models an attacker with
+/// auxiliary knowledge of both candidate databases — exactly the IND-CUDA
+/// adversary's position.
+Adversary make_collision_adversary(const SchemeFactory& factory,
+                                   uint64_t calibration_rounds, uint64_t seed);
+
+}  // namespace wre::attack

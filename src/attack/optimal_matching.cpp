@@ -1,0 +1,119 @@
+#include "src/attack/optimal_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wre::attack {
+
+std::vector<size_t> solve_assignment(const std::vector<double>& cost,
+                                     size_t n) {
+  if (cost.size() != n * n) {
+    throw std::invalid_argument("solve_assignment: cost is not n x n");
+  }
+  // Hungarian algorithm with row/column potentials; 1-based internal
+  // indexing per the classic formulation (e-maxx). O(n^3).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0), v(n + 1, 0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<size_t> match(n);
+  for (size_t j = 1; j <= n; ++j) {
+    if (p[j] != 0) match[p[j] - 1] = j - 1;
+  }
+  return match;
+}
+
+TagAssignment optimal_matching_attack(const TagHistogram& tags,
+                                      const AuxDistribution& aux,
+                                      uint64_t db_size, size_t max_size) {
+  if (db_size == 0 || tags.empty() || aux.empty()) return {};
+
+  // Rows: the most frequent tags (up to max_size). Columns: plaintexts,
+  // then padding columns meaning "assign to nothing".
+  std::vector<std::pair<crypto::Tag, double>> tag_freqs;
+  tag_freqs.reserve(tags.size());
+  for (const auto& [tag, count] : tags) {
+    tag_freqs.emplace_back(
+        tag, static_cast<double>(count) / static_cast<double>(db_size));
+  }
+  std::sort(tag_freqs.begin(), tag_freqs.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  if (tag_freqs.size() > max_size) tag_freqs.resize(max_size);
+
+  std::vector<std::pair<std::string, double>> plaintexts(aux.begin(),
+                                                         aux.end());
+  std::sort(plaintexts.begin(), plaintexts.end());
+  if (plaintexts.size() > max_size) {
+    std::sort(plaintexts.begin(), plaintexts.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    plaintexts.resize(max_size);
+  }
+
+  size_t n = std::max(tag_freqs.size(), plaintexts.size());
+  std::vector<double> cost(n * n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    double tf = r < tag_freqs.size() ? tag_freqs[r].second : 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      double pf = c < plaintexts.size() ? plaintexts[c].second : 0.0;
+      // Padding column (pf = 0) costs the tag's whole mass; padding row
+      // (tf = 0) costs the plaintext's mass — both express "unmatched".
+      cost[r * n + c] = std::abs(tf - pf);
+    }
+  }
+
+  auto match = solve_assignment(cost, n);
+
+  TagAssignment out;
+  for (size_t r = 0; r < tag_freqs.size(); ++r) {
+    size_t c = match[r];
+    if (c < plaintexts.size()) {
+      out.emplace(tag_freqs[r].first, plaintexts[c].first);
+    }
+  }
+  return out;
+}
+
+}  // namespace wre::attack

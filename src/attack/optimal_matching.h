@@ -1,0 +1,37 @@
+// Optimal-assignment frequency matching (the l1-optimization attack of
+// Naveed, Kamara and Wright [41]).
+//
+// Rank matching is a greedy heuristic; the full attack finds the assignment
+// of tags to plaintexts minimizing the total l1 distance between observed
+// tag frequencies and auxiliary plaintext probabilities. We solve the
+// assignment exactly with the Hungarian algorithm (Kuhn-Munkres with
+// potentials, O(n^3)).
+//
+// When there are more tags than plaintexts (every randomized scheme), the
+// cost matrix is padded with "unassigned" plaintext slots of cost equal to
+// the tag's own frequency (matching a tag to nothing costs its full mass).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/frequency_attack.h"
+
+namespace wre::attack {
+
+/// Exact minimum-cost assignment between tags and plaintexts under l1
+/// frequency cost. `max_size` bounds the (padded) problem size; if the
+/// number of tags exceeds it, only the `max_size` most frequent tags are
+/// assigned (the tail carries negligible mass). db_size scales observed
+/// counts into frequencies.
+TagAssignment optimal_matching_attack(const TagHistogram& tags,
+                                      const AuxDistribution& aux,
+                                      uint64_t db_size,
+                                      size_t max_size = 512);
+
+/// Solves the square assignment problem for `cost` (row-major n x n),
+/// returning for each row the matched column. Exposed for direct testing.
+std::vector<size_t> solve_assignment(const std::vector<double>& cost,
+                                     size_t n);
+
+}  // namespace wre::attack

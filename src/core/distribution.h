@@ -1,0 +1,72 @@
+// Plaintext probability distributions P_M.
+//
+// Every WRE variant beyond fixed salts needs the plaintext distribution of
+// the column being encrypted (Section IV: "one must know the probability
+// distribution of the plaintexts ... the distribution can also be calculated
+// during database initialization"). This module represents P_M and derives
+// the security-parameter arithmetic of Section V-C.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace wre::core {
+
+/// An immutable probability distribution over plaintext strings.
+class PlaintextDistribution {
+ public:
+  /// From observed counts (e.g. collected during database initialization).
+  static PlaintextDistribution from_counts(
+      const std::unordered_map<std::string, uint64_t>& counts);
+
+  /// From explicit probabilities; they must be positive and sum to 1 within
+  /// 1e-6, else WreError.
+  static PlaintextDistribution from_probabilities(
+      std::map<std::string, double> probabilities);
+
+  /// P_M(m). Throws WreError for messages outside the support: encrypting a
+  /// value the distribution does not cover would leak it as an outlier
+  /// frequency, so the caller must decide how to handle it (the client adds
+  /// unseen values to an "other" smoothing mass explicitly).
+  double probability(const std::string& m) const;
+
+  bool contains(const std::string& m) const {
+    return probabilities_.contains(m);
+  }
+
+  /// Support in a deterministic (lexicographic) order — the order matters
+  /// because the bucketized construction shuffles it with a keyed PRS and
+  /// client and server-side query building must agree on the pre-shuffle
+  /// order.
+  const std::vector<std::string>& messages() const { return messages_; }
+
+  size_t support_size() const { return messages_.size(); }
+
+  /// Smallest / largest probability in the support.
+  double min_probability() const { return min_p_; }
+  double max_probability() const { return max_p_; }
+
+ private:
+  std::map<std::string, double> probabilities_;
+  std::vector<std::string> messages_;
+  double min_p_ = 0;
+  double max_p_ = 0;
+};
+
+/// The Poisson rate lambda required so that a snapshot adversary's advantage
+/// from the capped-Exponential deviation (Section V-C) is at most `omega`:
+///   advantage = e^{-lambda * tau}  with  tau = min_m P_M(m),
+/// so lambda >= -ln(omega) / tau. (The paper's text writes "tau = max_m
+/// P_M(m)" but calls it "the smallest plaintext frequency"; the bound is
+/// driven by the smallest frequency, which maximizes e^{-lambda tau}.)
+double lambda_for_advantage(double omega, const PlaintextDistribution& dist);
+
+/// The advantage bound e^{-lambda * tau} for a given lambda.
+double advantage_for_lambda(double lambda, const PlaintextDistribution& dist);
+
+}  // namespace wre::core

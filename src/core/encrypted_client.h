@@ -1,0 +1,250 @@
+// The client-side query proxy: the "easily deployable" layer that turns a
+// plaintext table + WRE configuration into plain SQL against an unmodified
+// relational server (Section I-A / IV).
+//
+// Server-side layout: each encrypted column `c` of the logical schema is
+// replaced by two physical columns,
+//   c_tag INTEGER  — the weakly randomized search tag (indexed), and
+//   c_enc BLOB     — the strongly randomized AES-CTR payload,
+// mirroring the evaluation's layout ("Each encrypted column is expanded into
+// two columns: one 64 bit Integer column for the WRE search tag and another
+// column to hold the ... AES-encrypted data", Section VI-A).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/range.h"
+#include "src/core/wre_scheme.h"
+#include "src/sql/database.h"
+
+namespace wre::core {
+
+/// getSalts strategy selector for one column.
+enum class SaltMethod {
+  kDeterministic,       // DET baseline (no salt)
+  kFixed,               // Section V-A; parameter = N salts
+  kProportional,        // Section V-B; parameter = N_T total tags
+  kPoisson,             // Section V-C; parameter = lambda
+  kBucketizedPoisson,   // Section V-C1; parameter = lambda
+};
+
+const char* salt_method_name(SaltMethod m);
+
+/// Per-column encryption configuration.
+struct EncryptedColumnSpec {
+  std::string column;
+  SaltMethod method = SaltMethod::kPoisson;
+  double parameter = 1000;  // N, N_T or lambda depending on method
+  /// Handling of values outside the registered distribution (see
+  /// UnseenValuePolicy in wre_scheme.h for the leakage trade-off).
+  UnseenValuePolicy unseen = UnseenValuePolicy::kReject;
+};
+
+/// Configuration for a range-searchable encrypted INTEGER column
+/// (bucketized ranges; see src/core/range.h for the leakage trade-off).
+struct RangeColumnSpec {
+  RangeColumnSpec() = default;
+  RangeColumnSpec(std::string column, int64_t lo, int64_t hi,
+                  uint32_t buckets, std::vector<int64_t> uppers = {})
+      : column(std::move(column)),
+        domain_lo(lo),
+        domain_hi(hi),
+        buckets(buckets),
+        uppers(std::move(uppers)) {}
+
+  std::string column;
+  int64_t domain_lo = 0;
+  int64_t domain_hi = 0;
+  uint32_t buckets = 256;
+  /// Non-empty = explicit (e.g. equi-depth) partition: bucket i covers
+  /// (uppers[i-1], uppers[i]], starting at domain_lo. domain_hi and
+  /// `buckets` are then derived from the cut points. Build with
+  /// RangeBucketizer::equi_depth over a sample of the column.
+  std::vector<int64_t> uppers;
+};
+
+/// Result of an encrypted query, post client-side processing.
+struct EncryptedQueryResult {
+  /// select_star: decrypted plaintext rows (false positives removed).
+  std::vector<sql::Row> rows;
+  /// select_ids: matching primary keys as returned by the server. With a
+  /// bucketized column these may include false positives — without payloads
+  /// the client cannot filter them, which is precisely the masking effect
+  /// Figures 8 and 9 measure.
+  std::vector<int64_t> ids;
+
+  uint64_t server_rows_returned = 0;  // before client-side filtering
+  uint64_t false_positives = 0;       // removed by filtering (select_star)
+  uint64_t tags_in_query = 0;         // fan-out of the rewritten predicate
+  std::string sql;                    // the rewritten query text
+};
+
+/// A connection that transparently encrypts configured columns.
+///
+/// Usage: construct over a Database with a 32-byte master secret, call
+/// create_table() with the logical schema, the per-column specs and the
+/// plaintext distribution of each encrypted column, then insert() and
+/// select_*() in terms of plaintext values.
+class EncryptedConnection {
+ public:
+  EncryptedConnection(sql::Database& db, ByteView master_secret);
+
+  /// Creates the server-side table and tag indexes. Encrypted columns must
+  /// be TEXT in the logical schema; every encrypted column needs an entry
+  /// in `distributions` unless its method is kDeterministic or kFixed
+  /// (which do not use P_M).
+  void create_table(
+      const std::string& table, const sql::Schema& logical_schema,
+      const std::vector<EncryptedColumnSpec>& specs,
+      const std::map<std::string, PlaintextDistribution>& distributions,
+      const std::vector<RangeColumnSpec>& range_specs = {});
+
+  /// Rebuilds client-side state for a table that already exists on the
+  /// server (e.g. after a client restart). The same master secret, logical
+  /// schema, specs and distributions must be supplied; keys and salt
+  /// layouts are re-derived deterministically, so previously written tags
+  /// remain searchable.
+  void attach_table(
+      const std::string& table, const sql::Schema& logical_schema,
+      const std::vector<EncryptedColumnSpec>& specs,
+      const std::map<std::string, PlaintextDistribution>& distributions,
+      const std::vector<RangeColumnSpec>& range_specs = {});
+
+  /// Reopens a table created by this connection (or any connection holding
+  /// the same master secret) using the encrypted manifest that create_table
+  /// stored in the server-side `_wre_manifest` table. The server only ever
+  /// sees the manifest as an opaque AES-CTR blob.
+  void open_table(const std::string& table);
+
+  /// Re-persists the manifest for `table` (e.g. after the data owner
+  /// updates a column's distribution estimate out of band).
+  void save_manifest(const std::string& table);
+
+  /// Encrypts and inserts one logical row.
+  void insert(const std::string& table, const sql::Row& row);
+
+  /// SELECT id FROM table WHERE column = value  (index-only on the server).
+  EncryptedQueryResult select_ids(const std::string& table,
+                                  const std::string& column,
+                                  const std::string& value);
+
+  /// SELECT * FROM table WHERE column = value. Rows are decrypted and,
+  /// because payloads are available, false positives are filtered out.
+  EncryptedQueryResult select_star(const std::string& table,
+                                   const std::string& column,
+                                   const std::string& value);
+
+  /// One equality conjunct of a multi-column query. Encrypted columns take
+  /// TEXT values (rewritten to tag disjunctions); plaintext columns accept
+  /// any value and are passed through verbatim.
+  struct Conjunct {
+    std::string column;
+    sql::Value value;
+  };
+
+  /// SELECT * FROM table WHERE c1 = v1 AND c2 = v2 AND ... across any mix
+  /// of encrypted and plaintext columns. The server probes the most
+  /// selective tag index and rechecks the rest; the client decrypts and
+  /// removes residual false positives per encrypted conjunct.
+  EncryptedQueryResult select_star_and(const std::string& table,
+                                       const std::vector<Conjunct>& conjuncts);
+
+  /// SELECT * FROM table WHERE lo <= column <= hi over a range-encrypted
+  /// INTEGER column. The server matches whole buckets; the client decrypts
+  /// and trims to the exact range.
+  EncryptedQueryResult select_star_range(const std::string& table,
+                                         const std::string& column,
+                                         int64_t lo, int64_t hi);
+
+  /// The rewritten SQL for an equality query (exposed for inspection).
+  std::string rewrite_select(const std::string& table,
+                             const std::string& column,
+                             const std::string& value, bool star);
+
+  /// Distribution-drift report for one encrypted column, computed from the
+  /// inserts made through *this connection instance*. Large drift (or any
+  /// unseen rows) means the registered P_M no longer matches the data and
+  /// the tag frequencies are no longer fully smoothed; migrate_table() with
+  /// a refreshed distribution restores the guarantee.
+  struct ColumnDrift {
+    uint64_t observed_rows = 0;
+    uint64_t unseen_rows = 0;   // values outside the registered P_M
+    double tv_distance = 0;     // TV(P_M, observed empirical distribution)
+  };
+  ColumnDrift column_drift(const std::string& table,
+                           const std::string& column) const;
+
+  /// Decrypts every row of `source`, re-encrypts under the new
+  /// configuration and loads it into (newly created) `destination`. For any
+  /// encrypted column missing from `distributions` the distribution is
+  /// estimated from the decrypted data itself — the "calculated during
+  /// database initialization" option of Section IV.
+  void migrate_table(
+      const std::string& source, const std::string& destination,
+      const std::vector<EncryptedColumnSpec>& specs,
+      std::map<std::string, PlaintextDistribution> distributions,
+      const std::vector<RangeColumnSpec>& range_specs = {});
+
+  /// The logical schema registered for `table`.
+  const sql::Schema& logical_schema(const std::string& table) const;
+
+  /// Direct access to a column's scheme (attack harnesses use this).
+  const WreScheme& scheme(const std::string& table,
+                          const std::string& column) const;
+
+ private:
+  struct ColumnState {
+    EncryptedColumnSpec spec;
+    std::unique_ptr<WreScheme> scheme;
+    size_t logical_index = 0;
+    // Drift tracking over this connection's inserts.
+    std::unordered_map<std::string, uint64_t> observed;
+    uint64_t observed_total = 0;
+    uint64_t unseen_total = 0;
+  };
+
+  struct RangeColumnState {
+    RangeColumnSpec spec;
+    std::unique_ptr<RangeBucketizer> bucketizer;
+    std::unique_ptr<crypto::TagPrf> prf;
+    std::unique_ptr<crypto::AesCtr> payload;
+    size_t logical_index = 0;
+  };
+
+  struct TableState {
+    sql::Schema logical;
+    sql::Schema physical;
+    // logical column name -> encryption state (encrypted columns only).
+    std::map<std::string, ColumnState> encrypted;
+    // logical column name -> range-column state.
+    std::map<std::string, RangeColumnState> ranges;
+    // logical index -> physical index of the first column representing it.
+    std::vector<size_t> physical_offset;
+    // Inputs retained for manifest persistence.
+    std::vector<EncryptedColumnSpec> specs;
+    std::map<std::string, PlaintextDistribution> distributions;
+    std::vector<RangeColumnSpec> range_specs;
+  };
+
+  const TableState& state(const std::string& table) const;
+  TableState& mutable_state(const std::string& table);
+  void build_table_state(
+      const std::string& table, const sql::Schema& logical_schema,
+      const std::vector<EncryptedColumnSpec>& specs,
+      const std::map<std::string, PlaintextDistribution>& distributions,
+      const std::vector<RangeColumnSpec>& range_specs);
+  std::unique_ptr<WreScheme> build_scheme(
+      const std::string& table, const EncryptedColumnSpec& spec,
+      const PlaintextDistribution* dist) const;
+  sql::Row decrypt_row(const TableState& ts, const sql::Row& physical) const;
+
+  sql::Database& db_;
+  Bytes master_secret_;
+  crypto::SecureRandom rng_;
+  std::map<std::string, TableState> tables_;
+};
+
+}  // namespace wre::core

@@ -1,0 +1,39 @@
+// Encrypted client manifests: self-describing encrypted tables.
+//
+// create_table()/attach_table() need the logical schema, the per-column
+// specs, and each column's plaintext distribution. Rather than forcing every
+// client to re-supply these after a restart, the connection can persist them
+// *in the untrusted database itself*, AES-CTR-encrypted under a key derived
+// from the master secret. The server learns only an opaque blob; a client
+// holding the master secret can reopen any table with open_table(name).
+//
+// This mirrors how deployable encrypted-database proxies (e.g. CryptDB)
+// store their own metadata in the DBMS they protect.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/distribution.h"
+#include "src/sql/schema.h"
+#include "src/util/bytes.h"
+
+namespace wre::core {
+
+struct EncryptedColumnSpec;  // encrypted_client.h
+struct RangeColumnSpec;      // encrypted_client.h
+
+/// Everything needed to rebuild a table's client-side state.
+struct TableManifest {
+  sql::Schema logical_schema;
+  std::vector<EncryptedColumnSpec> specs;
+  std::map<std::string, PlaintextDistribution> distributions;
+  std::vector<RangeColumnSpec> range_specs;
+};
+
+/// Versioned binary serialization. Throws WreError on malformed input.
+Bytes serialize_manifest(const TableManifest& manifest);
+TableManifest deserialize_manifest(ByteView data);
+
+}  // namespace wre::core

@@ -1,0 +1,95 @@
+#include "src/core/range.h"
+
+#include <algorithm>
+
+namespace wre::core {
+
+RangeBucketizer::RangeBucketizer(int64_t lo, std::vector<int64_t> uppers)
+    : lo_(lo), uppers_(std::move(uppers)) {
+  if (uppers_.empty()) {
+    throw WreError("RangeBucketizer: explicit partition needs cut points");
+  }
+  if (uppers_.front() < lo_) {
+    throw WreError("RangeBucketizer: first cut point below domain start");
+  }
+  for (size_t i = 1; i < uppers_.size(); ++i) {
+    if (uppers_[i] <= uppers_[i - 1]) {
+      throw WreError("RangeBucketizer: cut points must strictly increase");
+    }
+  }
+  hi_ = uppers_.back();
+  buckets_ = static_cast<uint32_t>(uppers_.size());
+}
+
+RangeBucketizer RangeBucketizer::equi_depth(std::vector<int64_t> sample,
+                                            uint32_t buckets) {
+  if (sample.empty()) throw WreError("equi_depth: empty sample");
+  if (buckets == 0) throw WreError("equi_depth: need >= 1 bucket");
+  std::sort(sample.begin(), sample.end());
+
+  // Cut at the b/buckets quantiles; duplicate cut points (heavy values
+  // spanning a whole quantile) are merged, so the result may have fewer
+  // than `buckets` buckets.
+  std::vector<int64_t> uppers;
+  uppers.reserve(buckets);
+  size_t n = sample.size();
+  for (uint32_t b = 1; b < buckets; ++b) {
+    size_t idx = (static_cast<size_t>(b) * n) / buckets;
+    int64_t cut = sample[idx > 0 ? idx - 1 : 0];
+    if (uppers.empty() || cut > uppers.back()) uppers.push_back(cut);
+  }
+  if (uppers.empty() || uppers.back() < sample.back()) {
+    uppers.push_back(sample.back());
+  }
+  return RangeBucketizer(sample.front(), std::move(uppers));
+}
+
+RangeBucketizer::RangeBucketizer(int64_t lo, int64_t hi, uint32_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets) {
+  if (lo > hi) throw WreError("RangeBucketizer: lo > hi");
+  if (buckets == 0) throw WreError("RangeBucketizer: need >= 1 bucket");
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  // span may wrap to 0 for the full int64 domain; treat as 2^64.
+  if (span == 0) {
+    width_ = (~uint64_t{0} / buckets) + 1;
+  } else {
+    width_ = (span + buckets - 1) / buckets;  // ceil
+  }
+  if (width_ == 0) width_ = 1;
+}
+
+uint32_t RangeBucketizer::bucket_of(int64_t v) const {
+  if (v < lo_ || v > hi_) {
+    throw WreError("RangeBucketizer: value outside domain");
+  }
+  if (!uppers_.empty()) {
+    auto it = std::lower_bound(uppers_.begin(), uppers_.end(), v);
+    return static_cast<uint32_t>(it - uppers_.begin());
+  }
+  uint64_t offset = static_cast<uint64_t>(v) - static_cast<uint64_t>(lo_);
+  auto b = static_cast<uint32_t>(offset / width_);
+  return b < buckets_ ? b : buckets_ - 1;
+}
+
+std::pair<uint32_t, uint32_t> RangeBucketizer::buckets_for_range(
+    int64_t a, int64_t b) const {
+  if (a > b || b < lo_ || a > hi_) return {1, 0};  // empty
+  int64_t ca = a < lo_ ? lo_ : a;
+  int64_t cb = b > hi_ ? hi_ : b;
+  return {bucket_of(ca), bucket_of(cb)};
+}
+
+std::pair<int64_t, int64_t> RangeBucketizer::bucket_bounds(uint32_t i) const {
+  if (i >= buckets_) throw WreError("RangeBucketizer: bucket out of range");
+  if (!uppers_.empty()) {
+    int64_t start = i == 0 ? lo_ : uppers_[i - 1] + 1;
+    return {start, uppers_[i]};
+  }
+  uint64_t start = static_cast<uint64_t>(lo_) + i * width_;
+  uint64_t end = start + width_ - 1;
+  auto hi = static_cast<int64_t>(end);
+  if (hi > hi_ || i == buckets_ - 1) hi = hi_;
+  return {static_cast<int64_t>(start), hi};
+}
+
+}  // namespace wre::core

@@ -1,0 +1,75 @@
+// Bucketized range queries over encrypted INTEGER columns.
+//
+// WRE itself supports only equality. For range predicates the paper's
+// related-work line (Hore et al., Wang-Du) bucketizes the numeric domain:
+// each value's search tag binds to its *bucket*, a range query expands to
+// the OR of the bucket tags overlapping [a, b], and the client filters the
+// decrypted payloads to the exact range. This keeps the deployability
+// story — ordinary B-tree indexes, no order-revealing encryption — at the
+// cost of (a) bucket-granularity false positives and (b) leaking bucket
+// frequencies rather than value frequencies.
+//
+// Leakage note: bucket histograms are coarser than value histograms but are
+// NOT frequency-smoothed; choose bucket boundaries so bucket populations
+// are roughly uniform (equi-depth) when the domain distribution is known.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace wre::core {
+
+/// Partition of an integer domain [lo, hi] into buckets — fixed-width by
+/// default, or explicit cut points for equi-depth partitions.
+class RangeBucketizer {
+ public:
+  /// Fixed-width partition. Throws WreError unless lo <= hi, buckets >= 1.
+  RangeBucketizer(int64_t lo, int64_t hi, uint32_t buckets);
+
+  /// Explicit partition: bucket i covers (uppers[i-1], uppers[i]], with
+  /// bucket 0 starting at `lo`. `uppers` must be strictly increasing and
+  /// end at the domain maximum. Used for equi-depth bucketization, which
+  /// equalizes bucket *populations* so the (unsmoothed) bucket-frequency
+  /// leakage is as flat as possible.
+  RangeBucketizer(int64_t lo, std::vector<int64_t> uppers);
+
+  /// Computes equi-depth cut points from a sample of the column's values:
+  /// each bucket receives ~|sample|/buckets values. Returns (lo, uppers)
+  /// ready for the explicit constructor. Throws WreError on empty samples.
+  static RangeBucketizer equi_depth(std::vector<int64_t> sample,
+                                    uint32_t buckets);
+
+  int64_t domain_lo() const { return lo_; }
+  int64_t domain_hi() const { return hi_; }
+  uint32_t bucket_count() const { return buckets_; }
+
+  /// Bucket index of a value. Throws WreError if v is outside the domain
+  /// (encrypting out-of-domain values would leak them as outlier tags).
+  uint32_t bucket_of(int64_t v) const;
+
+  /// Inclusive bucket index range covering the value range [a, b], clamped
+  /// to the domain. Returns nullopt-like empty pair (1, 0) when the query
+  /// range misses the domain entirely.
+  std::pair<uint32_t, uint32_t> buckets_for_range(int64_t a, int64_t b) const;
+
+  /// Value interval [lo, hi] covered by bucket i (for diagnostics/tuning).
+  std::pair<int64_t, int64_t> bucket_bounds(uint32_t i) const;
+
+  /// Explicit cut points (empty for fixed-width partitions). Exposed so the
+  /// client manifest can persist the partition.
+  const std::vector<int64_t>& uppers() const { return uppers_; }
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+  uint32_t buckets_;
+  // Fixed-width mode: width as unsigned 64-bit to dodge overflow on
+  // full-int64 domains. Ignored when uppers_ is non-empty.
+  uint64_t width_ = 0;
+  std::vector<int64_t> uppers_;
+};
+
+}  // namespace wre::core

@@ -1,0 +1,179 @@
+#include "src/core/salts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/crypto/hmac_sha256.h"
+#include "src/crypto/prs.h"
+
+namespace wre::core {
+
+uint64_t SaltSet::sample(crypto::SecureRandom& rng) const {
+  double x = rng.next_double();
+  double cum = 0;
+  for (size_t i = 0; i < salts.size(); ++i) {
+    cum += weights[i];
+    if (x < cum) return salts[i];
+  }
+  return salts.back();  // floating-point slack lands on the last salt
+}
+
+SaltSet DeterministicAllocator::salts_for(const std::string&) const {
+  return SaltSet{{0}, {1.0}};
+}
+
+FixedSaltAllocator::FixedSaltAllocator(uint32_t num_salts)
+    : num_salts_(num_salts) {
+  if (num_salts_ == 0) throw WreError("FixedSaltAllocator: need >= 1 salt");
+}
+
+SaltSet FixedSaltAllocator::salts_for(const std::string&) const {
+  SaltSet out;
+  out.salts.reserve(num_salts_);
+  out.weights.assign(num_salts_, 1.0 / num_salts_);
+  for (uint32_t s = 0; s < num_salts_; ++s) out.salts.push_back(s);
+  return out;
+}
+
+std::string FixedSaltAllocator::name() const {
+  return "fixed-" + std::to_string(num_salts_);
+}
+
+ProportionalSaltAllocator::ProportionalSaltAllocator(
+    const PlaintextDistribution& dist, uint32_t total_tags)
+    : dist_(dist), total_tags_(total_tags) {
+  if (total_tags_ == 0) {
+    throw WreError("ProportionalSaltAllocator: need >= 1 total tag");
+  }
+}
+
+SaltSet ProportionalSaltAllocator::salts_for(const std::string& m) const {
+  double p = dist_.probability(m);
+  // Integer rounding is the aliasing weakness analyzed in Section V-B; it is
+  // deliberately preserved.
+  auto n = static_cast<uint32_t>(
+      std::max<long long>(1, std::llround(p * total_tags_)));
+  SaltSet out;
+  out.salts.reserve(n);
+  out.weights.assign(n, 1.0 / n);
+  for (uint32_t s = 0; s < n; ++s) out.salts.push_back(s);
+  return out;
+}
+
+std::string ProportionalSaltAllocator::name() const {
+  return "proportional-" + std::to_string(total_tags_);
+}
+
+PoissonSaltAllocator::PoissonSaltAllocator(const PlaintextDistribution& dist,
+                                           double lambda, ByteView key)
+    : dist_(dist), lambda_(lambda), key_(key.begin(), key.end()) {
+  if (lambda_ <= 0) throw WreError("PoissonSaltAllocator: lambda must be > 0");
+}
+
+SaltSet PoissonSaltAllocator::salts_for(const std::string& m) const {
+  double p = dist_.probability(m);
+
+  // Algorithm 1: sample Exponential(lambda) inter-arrivals until the
+  // interval [0, P_M(m)] is covered; the last weight is capped at the
+  // interval end. Randomness is pseudorandom in (key, m).
+  Bytes seed_input = to_bytes("wre-poisson-salts-v1:");
+  append(seed_input, to_bytes(m));
+  auto seed = crypto::HmacSha256::mac(key_, seed_input);
+  crypto::SecureRandom rng{ByteView(seed.data(), seed.size())};
+
+  SaltSet out;
+  double total = 0;
+  uint64_t s = 0;
+  while (total < p) {
+    double w = rng.next_exponential(lambda_);
+    if (total + w > p) w = p - total;  // cap the final inter-arrival
+    total += w;
+    // Guard against pathological zero-width weights from fp underflow.
+    if (w <= 0 && !out.salts.empty()) break;
+    out.salts.push_back(s++);
+    out.weights.push_back(w / p);
+  }
+  return out;
+}
+
+std::string PoissonSaltAllocator::name() const {
+  return "poisson-" + std::to_string(static_cast<long long>(lambda_));
+}
+
+BucketizedPoissonAllocator::BucketizedPoissonAllocator(
+    const PlaintextDistribution& dist, double lambda, ByteView key,
+    ByteView context)
+    : lambda_(lambda) {
+  if (lambda_ <= 0) {
+    throw WreError("BucketizedPoissonAllocator: lambda must be > 0");
+  }
+
+  // Algorithm 2, lines 2-10: one Poisson process over [0, 1], independent of
+  // the plaintexts. Keyed by (key, context) only.
+  Bytes seed_input = to_bytes("wre-bucketized-global-v1:");
+  append(seed_input, context);
+  auto seed = crypto::HmacSha256::mac(key, seed_input);
+  crypto::SecureRandom rng{ByteView(seed.data(), seed.size())};
+
+  boundaries_.push_back(0.0);
+  double total = 0;
+  while (total < 1.0) {
+    double w = rng.next_exponential(lambda_);
+    total += w;
+    boundaries_.push_back(std::min(total, 1.0));
+  }
+  boundaries_.back() = 1.0;
+
+  // Algorithm 2, line 11: lay the messages end-to-end on [0, 1] in a keyed
+  // pseudo-random-shuffle order, so interval adjacency reveals nothing.
+  std::vector<std::string> order = dist.messages();
+  crypto::PseudoRandomShuffle prs(key, context);
+  prs.apply(order);
+
+  double cursor = 0;
+  for (const std::string& m : order) {
+    double p = dist.probability(m);
+    interval_start_.emplace(m, cursor);
+    interval_width_.emplace(m, p);
+    cursor += p;
+  }
+}
+
+SaltSet BucketizedPoissonAllocator::salts_for(const std::string& m) const {
+  auto it = interval_start_.find(m);
+  if (it == interval_start_.end()) {
+    throw WreError("BucketizedPoissonAllocator: message outside support: '" +
+                   m + "'");
+  }
+  double start = it->second;
+  double width = interval_width_.at(m);
+  double end = std::min(start + width, 1.0);
+
+  // Buckets overlapping [start, end] (Algorithm 2, lines 12-27, expressed as
+  // interval overlap). boundaries_ is sorted; find the bucket containing
+  // `start`: the last boundary <= start.
+  auto bit = std::upper_bound(boundaries_.begin(), boundaries_.end(), start);
+  size_t bucket = static_cast<size_t>(bit - boundaries_.begin()) - 1;
+
+  SaltSet out;
+  for (; bucket + 1 < boundaries_.size(); ++bucket) {
+    double lo = std::max(boundaries_[bucket], start);
+    double hi = std::min(boundaries_[bucket + 1], end);
+    if (hi <= lo) break;
+    out.salts.push_back(bucket);
+    out.weights.push_back((hi - lo) / width);
+  }
+  if (out.salts.empty()) {
+    // Zero-width interval squeezed between boundaries (fp corner); assign
+    // the containing bucket with full weight.
+    out.salts.push_back(bucket);
+    out.weights.push_back(1.0);
+  }
+  return out;
+}
+
+std::string BucketizedPoissonAllocator::name() const {
+  return "bucketized-poisson-" + std::to_string(static_cast<long long>(lambda_));
+}
+
+}  // namespace wre::core

@@ -1,0 +1,60 @@
+#include "src/core/wre_scheme.h"
+
+#include <algorithm>
+
+namespace wre::core {
+
+WreScheme::WreScheme(crypto::KeyBundle keys,
+                     std::unique_ptr<SaltAllocator> allocator,
+                     UnseenValuePolicy unseen_policy)
+    : keys_(std::move(keys)),
+      prf_(keys_.tag_key),
+      payload_(keys_.payload_key),
+      allocator_(std::move(allocator)),
+      unseen_policy_(unseen_policy) {
+  if (!allocator_) throw WreError("WreScheme: null allocator");
+}
+
+crypto::Tag WreScheme::tag_for(uint64_t salt, const std::string& m) const {
+  // The deterministic fallback tag is always message-bound, even for the
+  // bucketized scheme whose regular tags bind to the salt alone: a shared
+  // "unseen" tag would merge all unseen values into one equality class.
+  if (salt == kUnseenSalt) return prf_.tag(salt, to_bytes(m));
+  return allocator_->bucketized() ? prf_.bucket_tag(salt)
+                                  : prf_.tag(salt, to_bytes(m));
+}
+
+SaltSet WreScheme::salts_with_policy(const std::string& m) const {
+  if (allocator_->covers(m)) return allocator_->salts_for(m);
+  switch (unseen_policy_) {
+    case UnseenValuePolicy::kReject:
+      throw WreError("value outside the plaintext distribution: '" + m +
+                     "' (configure kDeterministicFallback to accept it)");
+    case UnseenValuePolicy::kDeterministicFallback:
+      return SaltSet{{kUnseenSalt}, {1.0}};
+  }
+  throw WreError("corrupt unseen-value policy");
+}
+
+EncryptedCell WreScheme::encrypt(const std::string& m,
+                                 crypto::SecureRandom& rng) const {
+  SaltSet salts = salts_with_policy(m);
+  uint64_t salt = salts.sample(rng);
+  return EncryptedCell{tag_for(salt, m), payload_.encrypt(to_bytes(m), rng)};
+}
+
+std::string WreScheme::decrypt(ByteView ciphertext) const {
+  return to_string(payload_.decrypt(ciphertext));
+}
+
+std::vector<crypto::Tag> WreScheme::search_tags(const std::string& m) const {
+  SaltSet salts = salts_with_policy(m);
+  std::vector<crypto::Tag> tags;
+  tags.reserve(salts.salts.size());
+  for (uint64_t s : salts.salts) tags.push_back(tag_for(s, m));
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  return tags;
+}
+
+}  // namespace wre::core

@@ -1,0 +1,89 @@
+// The WRE scheme of Figure 1 (and its bucketized variant from Section
+// V-C1): Gen / Enc / Dec / Search over one column.
+//
+//   Enc(k0, k1, m): s <-$ P_S(m);  t = F_{k1}(s || m);  c = Enc'_{k0}(m)
+//   Dec(k0, (t, c)): discard t, return Dec'_{k0}(c)
+//   Search(k1, m):  { F_{k1}(s_i || m) : s_i in S(m) }
+//
+// For a bucketized allocator the PRF input is the salt alone (t = F_{k1}(s)).
+// F is HMAC-SHA-256 truncated to 64 bits (crypto::TagPrf); Enc' is
+// AES-256-CTR with a fresh random nonce (crypto::AesCtr).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/salts.h"
+#include "src/crypto/aes_ctr.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/prf.h"
+
+namespace wre::core {
+
+/// One encrypted cell: the weakly randomized search tag plus the strongly
+/// randomized payload ciphertext.
+struct EncryptedCell {
+  crypto::Tag tag = 0;
+  Bytes ciphertext;
+};
+
+/// What to do when encrypting a value outside the column's plaintext
+/// distribution (new values arriving after initialization — the paper's
+/// "future work" on distribution change).
+enum class UnseenValuePolicy {
+  /// Refuse (throw WreError). Safe default: an out-of-distribution tag
+  /// would otherwise appear with a frequency the smoothing never shaped.
+  kReject,
+  /// Fall back to a single deterministic tag for the value. Keeps the
+  /// application running but leaks the unseen value's frequency exactly
+  /// like DET would — callers should monitor drift (see
+  /// EncryptedConnection::column_drift) and re-encrypt when it grows.
+  kDeterministicFallback,
+};
+
+/// A WRE instance for a single column. Owns the salt allocator.
+class WreScheme {
+ public:
+  /// `keys` supplies k0 (payload) and k1 (tag PRF). The allocator defines
+  /// the getSalts strategy (and whether the scheme is bucketized).
+  WreScheme(crypto::KeyBundle keys, std::unique_ptr<SaltAllocator> allocator,
+            UnseenValuePolicy unseen_policy = UnseenValuePolicy::kReject);
+
+  /// Enc: draws a salt from P_S(m) using `rng` and produces (tag, c).
+  EncryptedCell encrypt(const std::string& m, crypto::SecureRandom& rng) const;
+
+  /// Dec: recovers m from the payload ciphertext.
+  std::string decrypt(ByteView ciphertext) const;
+
+  /// Search: all tags that encryptions of m may carry, deduplicated. The
+  /// query proxy turns these into `tag IN (...)` SQL.
+  std::vector<crypto::Tag> search_tags(const std::string& m) const;
+
+  const SaltAllocator& allocator() const { return *allocator_; }
+
+  /// True if query results can contain false positives (bucketized variant)
+  /// and must be filtered by decrypting payloads client-side.
+  bool may_return_false_positives() const { return allocator_->bucketized(); }
+
+  UnseenValuePolicy unseen_policy() const { return unseen_policy_; }
+
+ private:
+  crypto::Tag tag_for(uint64_t salt, const std::string& m) const;
+  /// Salt set for m, applying the unseen-value policy when m is outside the
+  /// allocator's support.
+  SaltSet salts_with_policy(const std::string& m) const;
+
+  /// Reserved salt identifier for deterministic-fallback tags; outside any
+  /// allocator's range (Poisson/fixed salt ids are small; bucket indices
+  /// are bounded by the bucket count).
+  static constexpr uint64_t kUnseenSalt = ~uint64_t{0};
+
+  crypto::KeyBundle keys_;
+  crypto::TagPrf prf_;
+  crypto::AesCtr payload_;
+  std::unique_ptr<SaltAllocator> allocator_;
+  UnseenValuePolicy unseen_policy_;
+};
+
+}  // namespace wre::core

@@ -1,0 +1,218 @@
+#include "src/crypto/aes.h"
+
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace wre::crypto {
+
+namespace {
+
+// The S-box and its inverse are generated at startup from the GF(2^8)
+// definition (multiplicative inverse followed by the affine map) rather than
+// transcribed as literals; the known-answer tests in tests/crypto_test.cpp
+// pin the result to the FIPS 197 vectors.
+struct SboxTables {
+  uint8_t sbox[256];
+  uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Build log/antilog tables over GF(2^8) with generator 3.
+    uint8_t pow_tab[256];
+    uint8_t log_tab[256] = {0};
+    uint8_t x = 1;
+    for (int i = 0; i < 256; ++i) {
+      pow_tab[i] = x;
+      log_tab[x] = static_cast<uint8_t>(i);
+      // multiply x by 3 in GF(2^8)
+      uint8_t x2 = static_cast<uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+      x = static_cast<uint8_t>(x2 ^ x);
+    }
+    for (int i = 0; i < 256; ++i) {
+      uint8_t inv = (i == 0) ? 0 : pow_tab[255 - log_tab[i]];
+      // Affine transform: b ^= rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+      uint8_t b = inv;
+      uint8_t s = b;
+      for (int r = 1; r <= 4; ++r) {
+        b = static_cast<uint8_t>((b << 1) | (b >> 7));
+        s ^= b;
+      }
+      s ^= 0x63;
+      sbox[i] = s;
+      inv_sbox[s] = static_cast<uint8_t>(i);
+    }
+  }
+};
+
+const SboxTables& tables() {
+  static const SboxTables t;
+  return t;
+}
+
+inline uint8_t xtime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+inline uint8_t gmul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+inline uint32_t sub_word(uint32_t w) {
+  const auto& t = tables();
+  return (static_cast<uint32_t>(t.sbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<uint32_t>(t.sbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<uint32_t>(t.sbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<uint32_t>(t.sbox[w & 0xff]);
+}
+
+inline uint32_t rot_word(uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes::Aes(ByteView key) {
+  int nk;  // key length in 32-bit words
+  switch (key.size()) {
+    case 16: nk = 4; rounds_ = 10; break;
+    case 24: nk = 6; rounds_ = 12; break;
+    case 32: nk = 8; rounds_ = 14; break;
+    default:
+      throw CryptoError("Aes: key must be 16, 24 or 32 bytes");
+  }
+
+  const int total_words = 4 * (rounds_ + 1);
+  for (int i = 0; i < nk; ++i) {
+    enc_keys_[i] = load_be32(key.data() + 4 * i);
+  }
+  uint32_t rcon = 0x01000000;
+  for (int i = nk; i < total_words; ++i) {
+    uint32_t temp = enc_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ rcon;
+      rcon = static_cast<uint32_t>(xtime(static_cast<uint8_t>(rcon >> 24)))
+             << 24;
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    enc_keys_[i] = enc_keys_[i - nk] ^ temp;
+  }
+
+  // Decryption round keys: reversed schedule with InvMixColumns applied to
+  // the middle rounds (equivalent-inverse-cipher form).
+  for (int i = 0; i < total_words; ++i) {
+    dec_keys_[i] = enc_keys_[total_words - 4 - (i / 4) * 4 + (i % 4)];
+  }
+  for (int round = 1; round < rounds_; ++round) {
+    for (int j = 0; j < 4; ++j) {
+      uint32_t w = dec_keys_[4 * round + j];
+      uint8_t b0 = static_cast<uint8_t>(w >> 24);
+      uint8_t b1 = static_cast<uint8_t>(w >> 16);
+      uint8_t b2 = static_cast<uint8_t>(w >> 8);
+      uint8_t b3 = static_cast<uint8_t>(w);
+      uint8_t n0 = gmul(b0, 14) ^ gmul(b1, 11) ^ gmul(b2, 13) ^ gmul(b3, 9);
+      uint8_t n1 = gmul(b0, 9) ^ gmul(b1, 14) ^ gmul(b2, 11) ^ gmul(b3, 13);
+      uint8_t n2 = gmul(b0, 13) ^ gmul(b1, 9) ^ gmul(b2, 14) ^ gmul(b3, 11);
+      uint8_t n3 = gmul(b0, 11) ^ gmul(b1, 13) ^ gmul(b2, 9) ^ gmul(b3, 14);
+      dec_keys_[4 * round + j] = (static_cast<uint32_t>(n0) << 24) |
+                                 (static_cast<uint32_t>(n1) << 16) |
+                                 (static_cast<uint32_t>(n2) << 8) |
+                                 static_cast<uint32_t>(n3);
+    }
+  }
+}
+
+void Aes::encrypt_block(const uint8_t in[kBlockSize],
+                        uint8_t out[kBlockSize]) const {
+  const auto& t = tables();
+  uint8_t state[16];
+  std::memcpy(state, in, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      uint32_t w = enc_keys_[4 * round + c];
+      state[4 * c + 0] ^= static_cast<uint8_t>(w >> 24);
+      state[4 * c + 1] ^= static_cast<uint8_t>(w >> 16);
+      state[4 * c + 2] ^= static_cast<uint8_t>(w >> 8);
+      state[4 * c + 3] ^= static_cast<uint8_t>(w);
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round <= rounds_; ++round) {
+    // SubBytes
+    for (auto& b : state) b = t.sbox[b];
+    // ShiftRows: row r (bytes 4c+r) rotated left by r.
+    uint8_t tmp;
+    tmp = state[1]; state[1] = state[5]; state[5] = state[9];
+    state[9] = state[13]; state[13] = tmp;
+    std::swap(state[2], state[10]);
+    std::swap(state[6], state[14]);
+    tmp = state[15]; state[15] = state[11]; state[11] = state[7];
+    state[7] = state[3]; state[3] = tmp;
+    // MixColumns (skipped in the last round)
+    if (round < rounds_) {
+      for (int c = 0; c < 4; ++c) {
+        uint8_t* col = state + 4 * c;
+        uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        uint8_t all = static_cast<uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+        col[0] ^= all ^ xtime(static_cast<uint8_t>(a0 ^ a1));
+        col[1] ^= all ^ xtime(static_cast<uint8_t>(a1 ^ a2));
+        col[2] ^= all ^ xtime(static_cast<uint8_t>(a2 ^ a3));
+        col[3] ^= all ^ xtime(static_cast<uint8_t>(a3 ^ a0));
+      }
+    }
+    add_round_key(round);
+  }
+  std::memcpy(out, state, 16);
+}
+
+void Aes::decrypt_block(const uint8_t in[kBlockSize],
+                        uint8_t out[kBlockSize]) const {
+  const auto& t = tables();
+  uint8_t state[16];
+  std::memcpy(state, in, 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      uint32_t w = dec_keys_[4 * round + c];
+      state[4 * c + 0] ^= static_cast<uint8_t>(w >> 24);
+      state[4 * c + 1] ^= static_cast<uint8_t>(w >> 16);
+      state[4 * c + 2] ^= static_cast<uint8_t>(w >> 8);
+      state[4 * c + 3] ^= static_cast<uint8_t>(w);
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round <= rounds_; ++round) {
+    // InvSubBytes
+    for (auto& b : state) b = t.inv_sbox[b];
+    // InvShiftRows: row r rotated right by r.
+    uint8_t tmp;
+    tmp = state[13]; state[13] = state[9]; state[9] = state[5];
+    state[5] = state[1]; state[1] = tmp;
+    std::swap(state[2], state[10]);
+    std::swap(state[6], state[14]);
+    tmp = state[3]; state[3] = state[7]; state[7] = state[11];
+    state[11] = state[15]; state[15] = tmp;
+    // InvMixColumns (skipped in the last round; round keys already carry it)
+    if (round < rounds_) {
+      for (int c = 0; c < 4; ++c) {
+        uint8_t* col = state + 4 * c;
+        uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+      }
+    }
+    add_round_key(round);
+  }
+  std::memcpy(out, state, 16);
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,43 @@
+// AES-128/192/256 block cipher (FIPS 197), table-based software
+// implementation. Used in CTR mode as the strongly randomized payload
+// encryption Enc' of the WRE construction.
+//
+// Note on side channels: a table-based AES is not constant-time with respect
+// to cache timing. The reproduction targets the paper's snapshot-adversary
+// model (offline access to the encrypted database), where local cache timing
+// is out of scope; a deployment against co-located attackers should swap in
+// a bitsliced or hardware-accelerated implementation behind this interface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// AES block cipher with a fixed key. Supports 128-, 192- and 256-bit keys;
+/// the key length selects the variant. Throws CryptoError on other sizes.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  explicit Aes(ByteView key);
+
+  /// Encrypts one 16-byte block: out = E_k(in). in/out may alias.
+  void encrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+
+  /// Decrypts one 16-byte block: out = D_k(in). in/out may alias.
+  void decrypt_block(const uint8_t in[kBlockSize],
+                     uint8_t out[kBlockSize]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_;                              // 10 / 12 / 14
+  std::array<uint32_t, 60> enc_keys_;       // round keys, 4*(rounds+1) words
+  std::array<uint32_t, 60> dec_keys_;
+};
+
+}  // namespace wre::crypto

@@ -1,0 +1,50 @@
+#include "src/crypto/aes_ctr.h"
+
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace wre::crypto {
+
+Bytes AesCtr::transform(ByteView data, const uint8_t nonce[kNonceSize]) const {
+  uint8_t counter[kNonceSize];
+  std::memcpy(counter, nonce, kNonceSize);
+
+  Bytes out(data.size());
+  uint8_t keystream[Aes::kBlockSize];
+  size_t offset = 0;
+  while (offset < data.size()) {
+    cipher_.encrypt_block(counter, keystream);
+    size_t n = std::min(data.size() - offset, Aes::kBlockSize);
+    for (size_t i = 0; i < n; ++i) {
+      out[offset + i] = data[offset + i] ^ keystream[i];
+    }
+    offset += n;
+    // Increment the counter block as a 128-bit big-endian integer.
+    for (int i = kNonceSize - 1; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+Bytes AesCtr::encrypt(ByteView plaintext, SecureRandom& rng) const {
+  uint8_t nonce[kNonceSize];
+  rng.fill(std::span<uint8_t>(nonce, kNonceSize));
+  Bytes body = transform(plaintext, nonce);
+
+  Bytes out;
+  out.reserve(kNonceSize + body.size());
+  out.insert(out.end(), nonce, nonce + kNonceSize);
+  append(out, body);
+  return out;
+}
+
+Bytes AesCtr::decrypt(ByteView ciphertext) const {
+  if (ciphertext.size() < kNonceSize) {
+    throw CryptoError("AesCtr::decrypt: ciphertext shorter than nonce");
+  }
+  return transform(ciphertext.subspan(kNonceSize), ciphertext.data());
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,70 @@
+#include "src/crypto/chacha20.h"
+
+#include "src/util/error.h"
+
+namespace wre::crypto {
+
+namespace {
+
+inline uint32_t rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(ByteView key, ByteView nonce, uint32_t initial_counter) {
+  if (key.size() != kKeySize) throw CryptoError("ChaCha20: key must be 32 bytes");
+  if (nonce.size() != kNonceSize) {
+    throw CryptoError("ChaCha20: nonce must be 12 bytes");
+  }
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::next_block(uint8_t out[kBlockSize]) {
+  std::array<uint32_t, 16> x = state_;
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state_[i];
+    out[4 * i + 0] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  ++state_[12];
+}
+
+Bytes ChaCha20::transform(ByteView data) {
+  Bytes out(data.size());
+  uint8_t block[kBlockSize];
+  size_t offset = 0;
+  while (offset < data.size()) {
+    next_block(block);
+    size_t n = std::min(data.size() - offset, kBlockSize);
+    for (size_t i = 0; i < n; ++i) out[offset + i] = data[offset + i] ^ block[i];
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher core (RFC 8439). Used as the deterministic random
+// bit generator behind SecureRandom and the pseudo-random shuffle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// ChaCha20 block function with a 256-bit key and 96-bit nonce. Produces the
+/// keystream 64 bytes at a time.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  /// Throws CryptoError if key/nonce sizes are wrong.
+  ChaCha20(ByteView key, ByteView nonce, uint32_t initial_counter = 0);
+
+  /// Writes the keystream block for the current counter into `out` and
+  /// advances the counter.
+  void next_block(uint8_t out[kBlockSize]);
+
+  /// XORs `data` with the keystream (encrypt == decrypt).
+  Bytes transform(ByteView data);
+
+ private:
+  std::array<uint32_t, 16> state_;
+};
+
+}  // namespace wre::crypto

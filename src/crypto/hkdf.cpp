@@ -1,0 +1,40 @@
+#include "src/crypto/hkdf.h"
+
+#include "src/crypto/hmac_sha256.h"
+#include "src/util/error.h"
+
+namespace wre::crypto {
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  auto prk = HmacSha256::mac(salt, ikm);
+  return Bytes(prk.begin(), prk.end());
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, size_t length) {
+  constexpr size_t kHashLen = HmacSha256::kDigestSize;
+  if (length > 255 * kHashLen) {
+    throw CryptoError("hkdf_expand: requested length too large");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes previous;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(previous);
+    h.update(info);
+    h.update(ByteView(&counter, 1));
+    auto block = h.finish();
+    previous.assign(block.begin(), block.end());
+    size_t take = std::min(kHashLen, length - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,20 @@
+// HKDF-SHA-256 (RFC 5869). Used to derive the independent sub-keys of a WRE
+// key pair (payload-encryption key k0, tag-PRF key k1, shuffle key) from a
+// single master secret.
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes from `prk` under `info`.
+/// Throws CryptoError if length > 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, size_t length);
+
+/// One-shot extract-then-expand.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, size_t length);
+
+}  // namespace wre::crypto

@@ -1,0 +1,41 @@
+#include "src/crypto/hmac_sha256.h"
+
+#include <cstring>
+
+namespace wre::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::array<uint8_t, Sha256::kBlockSize> block{};
+  if (key.size() > Sha256::kBlockSize) {
+    auto digest = Sha256::digest(key);
+    std::memcpy(block.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<uint8_t, Sha256::kBlockSize> ipad_key;
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = block[i] ^ 0x36;
+    opad_key_[i] = block[i] ^ 0x5c;
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha256::update(ByteView data) { inner_.update(data); }
+
+std::array<uint8_t, HmacSha256::kDigestSize> HmacSha256::finish() {
+  auto inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+std::array<uint8_t, HmacSha256::kDigestSize> HmacSha256::mac(ByteView key,
+                                                             ByteView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace wre::crypto

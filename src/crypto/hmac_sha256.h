@@ -1,0 +1,32 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1). This is the PRF used to derive WRE
+// search tags (Figure 1 of the paper) and the keystream for the
+// pseudo-random shuffle.
+#pragma once
+
+#include <array>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// Incremental HMAC-SHA-256. Keys longer than the block size are hashed
+/// first, per the RFC.
+class HmacSha256 {
+ public:
+  static constexpr size_t kDigestSize = Sha256::kDigestSize;
+
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  std::array<uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience: HMAC(key, data).
+  static std::array<uint8_t, kDigestSize> mac(ByteView key, ByteView data);
+
+ private:
+  Sha256 inner_;
+  std::array<uint8_t, Sha256::kBlockSize> opad_key_;
+};
+
+}  // namespace wre::crypto

@@ -1,0 +1,19 @@
+#include "src/crypto/keys.h"
+
+namespace wre::crypto {
+
+KeyBundle KeyBundle::derive(ByteView master_secret) {
+  Bytes salt = to_bytes("wre-key-derivation-v1");
+  Bytes prk = hkdf_extract(salt, master_secret);
+  KeyBundle bundle;
+  bundle.payload_key = hkdf_expand(prk, to_bytes("payload"), 32);
+  bundle.tag_key = hkdf_expand(prk, to_bytes("tag-prf"), 32);
+  bundle.shuffle_key = hkdf_expand(prk, to_bytes("shuffle"), 32);
+  return bundle;
+}
+
+KeyBundle KeyBundle::generate(SecureRandom& rng) {
+  return derive(rng.bytes(32));
+}
+
+}  // namespace wre::crypto

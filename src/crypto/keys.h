@@ -1,0 +1,27 @@
+// Key material for a WRE deployment. Gen (Figure 1) produces two keys: k0
+// for the IND-CPA payload encryption and k1 for the tag PRF; the bucketized
+// construction additionally needs a key for the pseudo-random shuffle. All
+// three are derived from one master secret with HKDF under distinct labels,
+// so a deployment stores a single 32-byte secret.
+#pragma once
+
+#include "src/crypto/hkdf.h"
+#include "src/crypto/secure_random.h"
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// Per-deployment key bundle.
+struct KeyBundle {
+  Bytes payload_key;  // k0: AES-256 key for Enc'
+  Bytes tag_key;      // k1: HMAC key for the tag PRF F
+  Bytes shuffle_key;  // PRS key (bucketized construction)
+
+  /// Derives the bundle from a 32-byte master secret.
+  static KeyBundle derive(ByteView master_secret);
+
+  /// Generates a fresh random master secret and derives the bundle.
+  static KeyBundle generate(SecureRandom& rng);
+};
+
+}  // namespace wre::crypto

@@ -1,0 +1,35 @@
+#include "src/crypto/prf.h"
+
+#include "src/crypto/hmac_sha256.h"
+
+namespace wre::crypto {
+
+Tag TagPrf::tag(uint64_t salt, ByteView message) const {
+  Bytes input;
+  input.reserve(12 + message.size());
+  store_le64(input, salt);
+  store_le32(input, static_cast<uint32_t>(message.size()));
+  append(input, message);
+  auto mac = HmacSha256::mac(key_, input);
+  return load_le64(mac.data());
+}
+
+Tag TagPrf::range_tag(uint32_t bucket) const {
+  Bytes input;
+  input.reserve(7);
+  append(input, to_bytes("rng"));
+  store_le32(input, bucket);
+  auto mac = HmacSha256::mac(key_, input);
+  return load_le64(mac.data());
+}
+
+Tag TagPrf::bucket_tag(uint64_t salt) const {
+  Bytes input;
+  input.reserve(11);
+  append(input, to_bytes("bkt"));
+  store_le64(input, salt);
+  auto mac = HmacSha256::mac(key_, input);
+  return load_le64(mac.data());
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,41 @@
+// The search-tag PRF F of the WRE construction (Figure 1 of the paper).
+//
+// Tags are 64-bit integers (the paper stores the tag column as a 64-bit
+// integer). A tag for (salt, message) is the first 8 bytes of
+//   HMAC-SHA-256(k1, le64(salt) || le32(|m|) || m)
+// The explicit length prefix guarantees the paper's requirement that no two
+// distinct (salt, message) pairs — including pairs of different message
+// lengths — map to the same PRF input. The bucketized construction instead
+// tags the salt alone (Section V-C1): first 8 bytes of
+//   HMAC-SHA-256(k1, "bkt" || le64(salt)).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// 64-bit search tag.
+using Tag = uint64_t;
+
+/// Keyed tag PRF. Copyable; holds only the key.
+class TagPrf {
+ public:
+  explicit TagPrf(ByteView key) : key_(key.begin(), key.end()) {}
+
+  /// Tag for salt||message (plain WRE: fixed, proportional, Poisson).
+  Tag tag(uint64_t salt, ByteView message) const;
+
+  /// Tag for the salt alone (bucketized Poisson, Section V-C1).
+  Tag bucket_tag(uint64_t salt) const;
+
+  /// Tag for a range bucket (the bucketized range-query extension).
+  /// Domain-separated from both other tag kinds.
+  Tag range_tag(uint32_t bucket) const;
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace wre::crypto

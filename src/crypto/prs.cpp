@@ -1,0 +1,32 @@
+#include "src/crypto/prs.h"
+
+#include <numeric>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/hmac_sha256.h"
+#include "src/crypto/secure_random.h"
+
+namespace wre::crypto {
+
+PseudoRandomShuffle::PseudoRandomShuffle(ByteView key, ByteView context) {
+  Bytes input = to_bytes("wre-prs-v1");
+  append(input, context);
+  auto mac = HmacSha256::mac(key, input);
+  derived_key_.assign(mac.begin(), mac.end());
+}
+
+std::vector<size_t> PseudoRandomShuffle::permutation(size_t n) const {
+  // Deterministic ChaCha20-backed generator keyed by the derived key; the
+  // same (key, context, n) always yields the same permutation, which is what
+  // lets the client recompute salt buckets at query time.
+  SecureRandom rng{ByteView(derived_key_)};
+  std::vector<size_t> p(n);
+  std::iota(p.begin(), p.end(), size_t{0});
+  for (size_t i = n; i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.next_below(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,45 @@
+// Pseudo-Random Shuffle (Definition 6 of the paper): a deterministic, keyed
+// permutation of a list, computationally indistinguishable from a uniform
+// random shuffle. The bucketized Poisson construction uses it to fix a
+// secret ordering of the message space before laying plaintext intervals
+// end-to-end on [0, 1] (Algorithm 2, line 11).
+//
+// Construction: a Fisher–Yates shuffle driven by a ChaCha20 keystream whose
+// key is HMAC-SHA-256(k, domain-separation label || context). A PRF-derived
+// key plus a PRG-driven Fisher–Yates is the textbook PRS; indistinguishability
+// reduces to the PRF/PRG security of HMAC and ChaCha20.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// Keyed pseudo-random shuffle.
+class PseudoRandomShuffle {
+ public:
+  /// `key` is the PRS key; `context` binds the permutation to a particular
+  /// use (e.g. a column name) so distinct columns get independent shuffles.
+  PseudoRandomShuffle(ByteView key, ByteView context);
+
+  /// Returns the permutation of {0, ..., n-1} defined by the key, as a
+  /// vector p where p[output_position] = input_index.
+  std::vector<size_t> permutation(size_t n) const;
+
+  /// Applies the keyed permutation to `items` in place.
+  template <typename T>
+  void apply(std::vector<T>& items) const {
+    auto p = permutation(items.size());
+    std::vector<T> shuffled;
+    shuffled.reserve(items.size());
+    for (size_t idx : p) shuffled.push_back(std::move(items[idx]));
+    items = std::move(shuffled);
+  }
+
+ private:
+  Bytes derived_key_;
+};
+
+}  // namespace wre::crypto

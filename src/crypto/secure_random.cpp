@@ -1,0 +1,84 @@
+#include "src/crypto/secure_random.h"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "src/util/error.h"
+
+namespace wre::crypto {
+
+namespace {
+
+Bytes os_seed() {
+  std::random_device rd;
+  Bytes seed(ChaCha20::kKeySize);
+  for (size_t i = 0; i < seed.size(); i += 4) {
+    uint32_t v = rd();
+    std::memcpy(seed.data() + i, &v, std::min<size_t>(4, seed.size() - i));
+  }
+  return seed;
+}
+
+const uint8_t kZeroNonce[ChaCha20::kNonceSize] = {0};
+
+}  // namespace
+
+SecureRandom::SecureRandom()
+    : stream_(os_seed(), ByteView(kZeroNonce, sizeof(kZeroNonce))) {}
+
+SecureRandom::SecureRandom(ByteView seed)
+    : stream_(seed, ByteView(kZeroNonce, sizeof(kZeroNonce))) {
+  // ChaCha20 constructor validates the seed length (32 bytes).
+}
+
+SecureRandom SecureRandom::for_testing(uint64_t seed) {
+  Bytes s(ChaCha20::kKeySize, 0);
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<uint8_t>(seed >> (8 * i));
+  return SecureRandom(s);
+}
+
+void SecureRandom::fill(std::span<uint8_t> out) {
+  size_t offset = 0;
+  while (offset < out.size()) {
+    if (buffer_pos_ == ChaCha20::kBlockSize) {
+      stream_.next_block(buffer_);
+      buffer_pos_ = 0;
+    }
+    size_t n = std::min(out.size() - offset, ChaCha20::kBlockSize - buffer_pos_);
+    std::memcpy(out.data() + offset, buffer_ + buffer_pos_, n);
+    buffer_pos_ += n;
+    offset += n;
+  }
+}
+
+Bytes SecureRandom::bytes(size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+uint64_t SecureRandom::next_u64() {
+  uint8_t b[8];
+  fill(std::span<uint8_t>(b, 8));
+  return load_le64(b);
+}
+
+uint64_t SecureRandom::next_below(uint64_t bound) {
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double SecureRandom::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double SecureRandom::next_exponential(double lambda) {
+  double u = 1.0 - next_double();
+  return -std::log(u) / lambda;
+}
+
+}  // namespace wre::crypto

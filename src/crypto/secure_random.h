@@ -1,0 +1,51 @@
+// Cryptographically strong randomness: a ChaCha20-based DRBG seeded from the
+// operating system. Tests may seed it explicitly for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/chacha20.h"
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// ChaCha20-backed deterministic random bit generator. The default
+/// constructor seeds from std::random_device (OS entropy); the seeded
+/// constructor yields a reproducible stream for tests and simulations.
+class SecureRandom {
+ public:
+  /// Seeds from OS entropy.
+  SecureRandom();
+
+  /// Deterministic stream derived from a 32-byte seed. Throws CryptoError on
+  /// other sizes.
+  explicit SecureRandom(ByteView seed);
+
+  /// Convenience: derives a 32-byte seed from a 64-bit test seed.
+  static SecureRandom for_testing(uint64_t seed);
+
+  /// Fills `out` with random bytes.
+  void fill(std::span<uint8_t> out);
+
+  /// Returns `n` random bytes.
+  Bytes bytes(size_t n);
+
+  uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. Precondition: bound > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Exponential(lambda) variate. Precondition: lambda > 0.
+  double next_exponential(double lambda);
+
+ private:
+  ChaCha20 stream_;
+  uint8_t buffer_[ChaCha20::kBlockSize];
+  size_t buffer_pos_ = ChaCha20::kBlockSize;  // force refill on first use
+};
+
+}  // namespace wre::crypto

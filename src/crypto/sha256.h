@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4). Streaming interface plus a one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace wre::crypto {
+
+/// Incremental SHA-256. Usage: construct, update() any number of times,
+/// finish() once. finish() may be called on a fresh object for the empty
+/// message. After finish() the object must not be reused.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs `data` into the hash state.
+  void update(ByteView data);
+
+  /// Finalizes padding and returns the 32-byte digest.
+  std::array<uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience: SHA-256(data).
+  static std::array<uint8_t, kDigestSize> digest(ByteView data);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace wre::crypto

@@ -1,0 +1,51 @@
+#include "src/datagen/query_generator.h"
+
+#include <algorithm>
+
+namespace wre::datagen {
+
+QueryGenerator::QueryGenerator(const ColumnHistogram& histogram,
+                               std::vector<std::string> columns,
+                               QueryGeneratorOptions options)
+    : rng_(options.seed) {
+  per_band_.resize(options.bands.size());
+  for (const std::string& column : columns) {
+    for (const auto& [value, count] : histogram.counts(column)) {
+      for (size_t b = 0; b < options.bands.size(); ++b) {
+        if (count >= options.bands[b].first &&
+            count <= options.bands[b].second) {
+          per_band_[b].push_back(Candidate{column, value, count});
+          break;
+        }
+      }
+    }
+  }
+  // Deterministic candidate order regardless of hash-map iteration.
+  for (auto& band : per_band_) {
+    std::sort(band.begin(), band.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return std::tie(a.column, a.value) < std::tie(b.column, b.value);
+              });
+  }
+}
+
+std::vector<EqualityQuery> QueryGenerator::generate(size_t n) {
+  std::vector<EqualityQuery> out;
+  out.reserve(n);
+  size_t band = 0;
+  size_t attempts = 0;
+  while (out.size() < n && attempts < n + per_band_.size()) {
+    const auto& candidates = per_band_[band % per_band_.size()];
+    ++band;
+    if (candidates.empty()) {
+      ++attempts;
+      continue;
+    }
+    const Candidate& c =
+        candidates[static_cast<size_t>(rng_.next_below(candidates.size()))];
+    out.push_back(EqualityQuery{c.column, c.value, c.count});
+  }
+  return out;
+}
+
+}  // namespace wre::datagen

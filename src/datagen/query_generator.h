@@ -1,0 +1,56 @@
+// SPARTA-like query generator: equality queries with controlled result-set
+// sizes. The paper's evaluation runs "over 1,000 queries ... consisting of a
+// mix of queries that returned result sizes between 1 and 10,000 records"
+// (Section VI-A); this generator reproduces that mix from the observed
+// column histograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datagen/record_generator.h"
+#include "src/util/rng.h"
+
+namespace wre::datagen {
+
+/// One equality query: column = value, expected to match `expected_count`
+/// rows of the loaded database.
+struct EqualityQuery {
+  std::string column;
+  std::string value;
+  uint64_t expected_count = 0;
+};
+
+/// Options for the query mix.
+struct QueryGeneratorOptions {
+  uint64_t seed = 0x51554552ULL;  // "QUER"
+  /// Result-size strata: each pair is an inclusive [lo, hi] band; queries
+  /// are drawn round-robin across bands that have eligible values.
+  std::vector<std::pair<uint64_t, uint64_t>> bands = {
+      {1, 1}, {2, 10}, {11, 100}, {101, 1000}, {1001, 10000}};
+};
+
+/// Draws equality queries from a histogram of loaded data.
+class QueryGenerator {
+ public:
+  QueryGenerator(const ColumnHistogram& histogram,
+                 std::vector<std::string> columns,
+                 QueryGeneratorOptions options = {});
+
+  /// Generates `n` queries mixed across the configured result-size bands.
+  /// Bands with no eligible (column, value) pairs are skipped.
+  std::vector<EqualityQuery> generate(size_t n);
+
+ private:
+  struct Candidate {
+    std::string column;
+    std::string value;
+    uint64_t count;
+  };
+
+  std::vector<std::vector<Candidate>> per_band_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace wre::datagen

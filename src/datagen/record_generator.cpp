@@ -1,0 +1,187 @@
+#include "src/datagen/record_generator.h"
+
+#include <array>
+
+namespace wre::datagen {
+
+using sql::Column;
+using sql::Row;
+using sql::Value;
+using sql::ValueType;
+
+RecordGenerator::RecordGenerator(GeneratorOptions options)
+    : options_(options),
+      first_names_(census_first_names(options.first_name_vocab)),
+      last_names_(census_last_names(options.last_name_vocab)),
+      cities_(us_cities(options.city_vocab)),
+      states_(us_states()),
+      zips_(zip_codes(options.zip_vocab)) {}
+
+sql::Schema RecordGenerator::schema() {
+  return sql::Schema({
+      Column{"id", ValueType::kInt64, /*primary_key=*/true},
+      Column{"fname", ValueType::kText},
+      Column{"lname", ValueType::kText},
+      Column{"ssn", ValueType::kText},
+      Column{"address", ValueType::kText},
+      Column{"city", ValueType::kText},
+      Column{"state", ValueType::kText},
+      Column{"zip", ValueType::kText},
+      Column{"dob", ValueType::kText},
+      Column{"sex", ValueType::kText},
+      Column{"race", ValueType::kText},
+      Column{"marital_status", ValueType::kText},
+      Column{"language", ValueType::kText},
+      Column{"citizenship", ValueType::kText},
+      Column{"income", ValueType::kInt64},
+      Column{"military_service", ValueType::kText},
+      Column{"hours_worked", ValueType::kInt64},
+      Column{"weeks_worked", ValueType::kInt64},
+      Column{"foo", ValueType::kInt64},
+      Column{"last_updated", ValueType::kInt64},
+      Column{"notes1", ValueType::kText},
+      Column{"notes2", ValueType::kText},
+      Column{"notes3", ValueType::kText},
+  });
+}
+
+const std::vector<std::string>& RecordGenerator::encrypted_columns() {
+  static const std::vector<std::string> kColumns = {"fname", "lname", "ssn",
+                                                    "city", "zip"};
+  return kColumns;
+}
+
+namespace {
+
+const std::array<const char*, 2> kSexes = {"M", "F"};
+const std::array<const char*, 6> kRaces = {"white", "black", "asian",
+                                           "amerindian", "pacific", "other"};
+const std::array<double, 6> kRaceWeights = {60.1, 12.2, 5.9, 0.7, 0.2, 20.9};
+const std::array<const char*, 5> kMarital = {"single", "married", "divorced",
+                                             "widowed", "separated"};
+const std::array<double, 5> kMaritalWeights = {34, 48, 11, 5, 2};
+const std::array<const char*, 7> kLanguages = {
+    "english", "spanish", "chinese", "tagalog", "vietnamese", "french",
+    "german"};
+const std::array<double, 7> kLanguageWeights = {78.5, 13.2, 1.1, 0.6, 0.5,
+                                                0.4, 0.3};
+const std::array<const char*, 3> kCitizenship = {"citizen", "naturalized",
+                                                 "noncitizen"};
+const std::array<double, 3> kCitizenshipWeights = {86, 7, 7};
+const std::array<const char*, 2> kMilitary = {"none", "veteran"};
+const std::array<double, 2> kMilitaryWeights = {93, 7};
+
+template <size_t N>
+const char* weighted_pick(Xoshiro256& rng,
+                          const std::array<const char*, N>& values,
+                          const std::array<double, N>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = rng.next_double() * total;
+  for (size_t i = 0; i < N; ++i) {
+    x -= weights[i];
+    if (x <= 0) return values[i];
+  }
+  return values[N - 1];
+}
+
+std::string random_digits(Xoshiro256& rng, size_t n) {
+  std::string out(n, '0');
+  for (char& c : out) c = static_cast<char>('0' + rng.next_below(10));
+  return out;
+}
+
+/// Filler words with Gutenberg-ish lengths for the notes columns.
+std::string filler_text(Xoshiro256& rng, size_t target_bytes) {
+  static constexpr const char* kWords[] = {
+      "the",   "of",     "and",   "to",     "in",     "that",  "was",
+      "he",    "it",     "his",   "her",    "with",   "as",    "had",
+      "for",   "she",    "not",   "at",     "but",    "be",    "which",
+      "have",  "from",   "this",  "him",    "they",   "were",  "all",
+      "one",   "said",   "there", "them",   "been",   "would", "when",
+      "upon",  "their",  "what",  "more",   "who",    "if",    "out",
+      "so",    "up",     "into",  "no",     "time",   "about", "then",
+      "little","great",  "house", "before", "through","never", "against",
+      "again", "morning","whole", "between","nothing","should","himself"};
+  std::string out;
+  out.reserve(target_bytes + 12);
+  while (out.size() < target_bytes) {
+    if (!out.empty()) out.push_back(' ');
+    out += kWords[rng.next_below(std::size(kWords))];
+  }
+  if (out.size() > target_bytes) out.resize(target_bytes);
+  return out;
+}
+
+}  // namespace
+
+Row RecordGenerator::record(int64_t id) const {
+  // Each record draws from a per-record generator seeded by (seed, id) so
+  // records are independent of generation order.
+  uint64_t s = options_.seed;
+  uint64_t mix = splitmix64(s) ^ (static_cast<uint64_t>(id) *
+                                  0x9e3779b97f4a7c15ULL);
+  Xoshiro256 rng(mix);
+
+  std::string fname = first_names_.sample(rng);
+  std::string lname = last_names_.sample(rng);
+  std::string ssn = random_digits(rng, 9);
+  std::string address =
+      std::to_string(1 + rng.next_below(9999)) + " " +
+      last_names_.sample(rng) + (rng.next_below(2) != 0u ? " St" : " Ave");
+  std::string city = cities_.sample(rng);
+  std::string state = states_.sample(rng);
+  std::string zip = zips_.sample(rng);
+  std::string dob = std::to_string(1930 + rng.next_below(85)) + "-" +
+                    (rng.next_below(12) < 9 ? "0" : "") +
+                    std::to_string(1 + rng.next_below(12)) + "-" +
+                    (rng.next_below(28) < 9 ? "0" : "") +
+                    std::to_string(1 + rng.next_below(28));
+
+  size_t third = options_.notes_bytes / 3;
+
+  return Row{
+      Value::int64(id),
+      Value::text(std::move(fname)),
+      Value::text(std::move(lname)),
+      Value::text(std::move(ssn)),
+      Value::text(std::move(address)),
+      Value::text(std::move(city)),
+      Value::text(std::move(state)),
+      Value::text(std::move(zip)),
+      Value::text(std::move(dob)),
+      Value::text(kSexes[rng.next_below(2)]),
+      Value::text(weighted_pick(rng, kRaces, kRaceWeights)),
+      Value::text(weighted_pick(rng, kMarital, kMaritalWeights)),
+      Value::text(weighted_pick(rng, kLanguages, kLanguageWeights)),
+      Value::text(weighted_pick(rng, kCitizenship, kCitizenshipWeights)),
+      Value::int64(static_cast<int64_t>(12000 + rng.next_below(250000))),
+      Value::text(weighted_pick(rng, kMilitary, kMilitaryWeights)),
+      Value::int64(static_cast<int64_t>(rng.next_below(81))),
+      Value::int64(static_cast<int64_t>(rng.next_below(53))),
+      Value::int64(static_cast<int64_t>(rng.next_below(1000000))),
+      Value::int64(static_cast<int64_t>(1500000000 + rng.next_below(200000000))),
+      Value::text(filler_text(rng, third)),
+      Value::text(filler_text(rng, third)),
+      Value::text(filler_text(rng, options_.notes_bytes - 2 * third)),
+  };
+}
+
+void ColumnHistogram::add(const std::string& column, const std::string& value) {
+  ++per_column_[column][value];
+  ++totals_[column];
+}
+
+const std::unordered_map<std::string, uint64_t>& ColumnHistogram::counts(
+    const std::string& column) const {
+  static const std::unordered_map<std::string, uint64_t> kEmpty;
+  auto it = per_column_.find(column);
+  return it == per_column_.end() ? kEmpty : it->second;
+}
+
+uint64_t ColumnHistogram::total(const std::string& column) const {
+  auto it = totals_.find(column);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+}  // namespace wre::datagen

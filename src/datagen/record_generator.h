@@ -1,0 +1,86 @@
+// SPARTA-like record generator: 23-column person records with realistic
+// low-entropy column distributions, matching the table shape of the paper's
+// evaluation (Section VI-A). Deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/datagen/vocabulary.h"
+#include "src/sql/schema.h"
+#include "src/util/rng.h"
+
+namespace wre::datagen {
+
+/// Knobs for the generated population.
+struct GeneratorOptions {
+  uint64_t seed = 0x53504152544121ULL;  // "SPARTA!"
+  /// Distinct-value counts for the heavy-tailed columns. Defaults scale to
+  /// databases of ~10^5..10^6 rows.
+  size_t first_name_vocab = 1200;
+  size_t last_name_vocab = 4000;
+  size_t city_vocab = 1500;
+  size_t zip_vocab = 3000;
+  /// Total bytes of filler across the three notes columns; the paper's
+  /// plaintext rows average ~1.1 KB. Set small (e.g. 30) in unit tests.
+  size_t notes_bytes = 850;
+};
+
+/// Generates the SPARTA-like `main` table.
+class RecordGenerator {
+ public:
+  explicit RecordGenerator(GeneratorOptions options = {});
+
+  /// Schema of the generated table: 23 columns, `id` INTEGER PRIMARY KEY
+  /// first, including the five searchable columns the paper encrypts
+  /// (fname, lname, ssn, city, zip).
+  static sql::Schema schema();
+
+  /// Names of the columns the paper's evaluation encrypts with WRE.
+  static const std::vector<std::string>& encrypted_columns();
+
+  /// Generates the record with primary key `id` (ids should be issued
+  /// sequentially from 0; the stream of records is deterministic in the
+  /// seed regardless of call interleaving, because each record is derived
+  /// from (seed, id)).
+  sql::Row record(int64_t id) const;
+
+  /// Exact per-column vocabularies, exposed so callers can compute true
+  /// plaintext distributions without scanning generated data.
+  const WeightedVocabulary& first_names() const { return first_names_; }
+  const WeightedVocabulary& last_names() const { return last_names_; }
+  const WeightedVocabulary& cities() const { return cities_; }
+  const WeightedVocabulary& zips() const { return zips_; }
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  GeneratorOptions options_;
+  WeightedVocabulary first_names_;
+  WeightedVocabulary last_names_;
+  WeightedVocabulary cities_;
+  WeightedVocabulary states_;
+  WeightedVocabulary zips_;
+};
+
+/// Observed value frequencies per column, accumulated while loading a
+/// database. Used by the query generator and by WRE distribution estimation.
+class ColumnHistogram {
+ public:
+  void add(const std::string& column, const std::string& value);
+
+  /// value -> count for `column` (empty map if unseen).
+  const std::unordered_map<std::string, uint64_t>& counts(
+      const std::string& column) const;
+
+  uint64_t total(const std::string& column) const;
+
+ private:
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, uint64_t>>
+      per_column_;
+  std::unordered_map<std::string, uint64_t> totals_;
+};
+
+}  // namespace wre::datagen

@@ -1,0 +1,271 @@
+#include "src/datagen/vocabulary.h"
+
+#include <cctype>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wre::datagen {
+
+WeightedVocabulary::WeightedVocabulary(std::vector<std::string> values,
+                                       std::vector<double> weights)
+    : values_(std::move(values)) {
+  if (values_.empty() || values_.size() != weights.size()) {
+    throw std::invalid_argument("WeightedVocabulary: bad values/weights");
+  }
+  double total = 0;
+  for (double w : weights) {
+    if (w <= 0) throw std::invalid_argument("WeightedVocabulary: weight <= 0");
+    total += w;
+  }
+  probabilities_.reserve(weights.size());
+  for (double w : weights) probabilities_.push_back(w / total);
+  build_alias_table();
+}
+
+void WeightedVocabulary::build_alias_table() {
+  // Walker/Vose alias method.
+  const size_t n = probabilities_.size();
+  accept_.assign(n, 1.0);
+  alias_.assign(n, 0);
+
+  std::deque<size_t> small, large;
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = probabilities_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.front();
+    small.pop_front();
+    size_t l = large.front();
+    large.pop_front();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers resolve to acceptance probability 1.
+  for (size_t i : small) accept_[i] = 1.0;
+  for (size_t i : large) accept_[i] = 1.0;
+}
+
+const std::string& WeightedVocabulary::sample(Xoshiro256& rng) const {
+  size_t i = static_cast<size_t>(rng.next_below(values_.size()));
+  return rng.next_double() < accept_[i] ? values_[i] : values_[alias_[i]];
+}
+
+std::string synth_name(uint64_t rank, uint64_t salt) {
+  static constexpr const char* kOnsets[] = {
+      "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j",  "k",
+      "kl", "l",  "m", "n",  "p", "pr", "r", "s", "sh", "st", "t", "th",
+      "tr", "v",  "w", "z"};
+  static constexpr const char* kVowels[] = {"a",  "e",  "i",  "o",  "u",
+                                            "ai", "ea", "ie", "oo", "ou"};
+  static constexpr const char* kCodas[] = {"",  "l", "n",  "r",  "s",
+                                           "t", "m", "ck", "nd", "th"};
+
+  uint64_t state = rank * 0x9e3779b97f4a7c15ULL + salt;
+  std::string out;
+  int syllables = 2 + static_cast<int>(splitmix64(state) % 2);
+  for (int i = 0; i < syllables; ++i) {
+    out += kOnsets[splitmix64(state) % std::size(kOnsets)];
+    out += kVowels[splitmix64(state) % std::size(kVowels)];
+    out += kCodas[splitmix64(state) % std::size(kCodas)];
+  }
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  // Rank suffix guarantees uniqueness across the tail.
+  return out + std::to_string(rank);
+}
+
+namespace {
+
+/// Extends a weighted head list with a Zipf(s) tail of synthesized values up
+/// to `size` total entries. The tail's first weight continues smoothly from
+/// the head's last weight.
+WeightedVocabulary with_zipf_tail(std::vector<std::string> values,
+                                  std::vector<double> weights, size_t size,
+                                  double s, uint64_t salt) {
+  if (size > values.size()) {
+    double anchor = weights.back();
+    size_t head = values.size();
+    for (size_t r = head; r < size; ++r) {
+      values.push_back(synth_name(r, salt));
+      weights.push_back(anchor *
+                        std::pow(static_cast<double>(head) /
+                                     static_cast<double>(r + 1),
+                                 s));
+    }
+  }
+  return WeightedVocabulary(std::move(values), std::move(weights));
+}
+
+}  // namespace
+
+WeightedVocabulary census_first_names(size_t size) {
+  // Head of the US census given-name distribution (both sexes merged);
+  // weights are approximate per-mille frequencies.
+  std::vector<std::string> names = {
+      "James",    "Mary",      "John",    "Patricia", "Robert",   "Jennifer",
+      "Michael",  "Linda",     "William", "Elizabeth","David",    "Barbara",
+      "Richard",  "Susan",     "Joseph",  "Jessica",  "Thomas",   "Sarah",
+      "Charles",  "Karen",     "Christopher", "Nancy","Daniel",   "Lisa",
+      "Matthew",  "Margaret",  "Anthony", "Betty",    "Mark",     "Sandra",
+      "Donald",   "Ashley",    "Steven",  "Dorothy",  "Paul",     "Kimberly",
+      "Andrew",   "Emily",     "Joshua",  "Donna",    "Kenneth",  "Michelle",
+      "Kevin",    "Carol",     "Brian",   "Amanda",   "George",   "Melissa",
+      "Edward",   "Deborah",   "Ronald",  "Stephanie","Timothy",  "Rebecca",
+      "Jason",    "Laura",     "Jeffrey", "Sharon",   "Ryan",     "Cynthia",
+      "Jacob",    "Kathleen",  "Gary",    "Amy",      "Nicholas", "Shirley",
+      "Eric",     "Angela",    "Jonathan","Helen",    "Stephen",  "Anna",
+      "Larry",    "Brenda",    "Justin",  "Pamela",   "Scott",    "Nicole",
+      "Brandon",  "Emma",      "Benjamin","Samantha", "Samuel",   "Katherine",
+      "Gregory",  "Christine", "Frank",   "Debra",    "Alexander","Rachel",
+      "Raymond",  "Catherine", "Patrick", "Carolyn",  "Jack",     "Janet",
+      "Dennis",   "Ruth",      "Jerry",   "Maria",    "Tyler",    "Heather",
+      "Aaron",    "Diane",     "Jose",    "Virginia", "Adam",     "Julie",
+      "Henry",    "Joyce",     "Nathan",  "Victoria", "Douglas",  "Olivia",
+      "Zachary",  "Kelly",     "Peter",   "Christina","Kyle",     "Lauren",
+      "Walter",   "Joan",      "Ethan",   "Evelyn",   "Jeremy",   "Judith",
+      "Harold",   "Megan",     "Keith",   "Cheryl",   "Christian","Andrea",
+      "Roger",    "Hannah",    "Noah",    "Martha",   "Gerald",   "Jacqueline",
+      "Carl",     "Frances",   "Terry",   "Gloria",   "Sean",     "Ann",
+      "Austin",   "Teresa",    "Arthur",  "Kathryn",  "Lawrence", "Sara",
+      "Jesse",    "Janice",    "Dylan",   "Jean",     "Bryan",    "Alice",
+      "Joe",      "Madison",   "Jordan",  "Doris",    "Billy",    "Abigail",
+      "Bruce",    "Julia",     "Albert",  "Judy",     "Willie",   "Grace",
+      "Gabriel",  "Denise",    "Logan",   "Amber",    "Alan",     "Marilyn",
+      "Juan",     "Beverly",   "Wayne",   "Danielle", "Roy",      "Theresa",
+      "Ralph",    "Sophia",    "Randy",   "Marie",    "Eugene",   "Diana",
+      "Vincent",  "Brittany",  "Russell", "Natalie",  "Elijah",   "Isabella"};
+  std::vector<double> weights;
+  weights.reserve(names.size());
+  // Zipf-ish head: the census given-name head decays roughly like 1/rank^0.9.
+  for (size_t r = 0; r < names.size(); ++r) {
+    weights.push_back(std::pow(1.0 / static_cast<double>(r + 1), 0.9));
+  }
+  return with_zipf_tail(std::move(names), std::move(weights), size, 1.05,
+                        0x66697273746eULL);
+}
+
+WeightedVocabulary census_last_names(size_t size) {
+  std::vector<std::string> names = {
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+      "Miller",   "Davis",    "Rodriguez","Martinez", "Hernandez","Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+      "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+      "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+      "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+      "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+      "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",     "Rogers",
+      "Gutierrez","Ortiz",    "Morgan",   "Cooper",   "Peterson", "Bailey",
+      "Reed",     "Kelly",    "Howard",   "Ramos",    "Kim",      "Cox",
+      "Ward",     "Richardson","Watson",  "Brooks",   "Chavez",   "Wood",
+      "James",    "Bennett",  "Gray",     "Mendoza",  "Ruiz",     "Hughes",
+      "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",    "Myers",
+      "Long",     "Ross",     "Foster",   "Jimenez",  "Powell",   "Jenkins",
+      "Perry",    "Russell",  "Sullivan", "Bell",     "Coleman",  "Butler",
+      "Henderson","Barnes",   "Gonzales", "Fisher",   "Vasquez",  "Simmons",
+      "Romero",   "Jordan",   "Patterson","Alexander","Hamilton", "Graham",
+      "Reynolds", "Griffin",  "Wallace",  "Moreno",   "West",     "Cole",
+      "Hayes",    "Bryant",   "Herrera",  "Gibson",   "Ellis",    "Tran",
+      "Medina",   "Aguilar",  "Stevens",  "Murray",   "Ford",     "Castro",
+      "Marshall", "Owens",    "Harrison", "Fernandez","McDonald", "Woods",
+      "Washington","Kennedy", "Wells",    "Vargas",   "Henry",    "Chen",
+      "Freeman",  "Webb",     "Tucker",   "Guzman",   "Burns",    "Crawford",
+      "Olson",    "Simpson",  "Porter",   "Hunter",   "Gordon",   "Mendez",
+      "Silva",    "Shaw",     "Snyder",   "Mason",    "Dixon",    "Munoz",
+      "Hunt",     "Hicks",    "Holmes",   "Palmer",   "Wagner",   "Black",
+      "Robertson","Boyd",     "Rose",     "Stone",    "Salazar",  "Fox",
+      "Warren",   "Mills",    "Meyer",    "Rice",     "Schmidt",  "Garza",
+      "Daniels",  "Ferguson", "Nichols",  "Stephens", "Soto",     "Weaver",
+      "Ryan",     "Gardner",  "Payne",    "Grant",    "Dunn",     "Kelley",
+      "Spencer",  "Hawkins"};
+  std::vector<double> weights;
+  weights.reserve(names.size());
+  // Surnames are flatter than given names at the head (Smith ~= 1%).
+  for (size_t r = 0; r < names.size(); ++r) {
+    weights.push_back(std::pow(1.0 / static_cast<double>(r + 1), 0.75));
+  }
+  return with_zipf_tail(std::move(names), std::move(weights), size, 1.0,
+                        0x6c6173746e616dULL);
+}
+
+WeightedVocabulary us_cities(size_t size) {
+  std::vector<std::string> cities = {
+      "New York",     "Los Angeles", "Chicago",      "Houston",
+      "Phoenix",      "Philadelphia","San Antonio",  "San Diego",
+      "Dallas",       "San Jose",    "Austin",       "Jacksonville",
+      "Fort Worth",   "Columbus",    "Charlotte",    "Indianapolis",
+      "San Francisco","Seattle",     "Denver",       "Washington",
+      "Boston",       "El Paso",     "Nashville",    "Detroit",
+      "Oklahoma City","Portland",    "Las Vegas",    "Memphis",
+      "Louisville",   "Baltimore",   "Milwaukee",    "Albuquerque",
+      "Tucson",       "Fresno",      "Sacramento",   "Mesa",
+      "Kansas City",  "Atlanta",     "Omaha",        "Colorado Springs",
+      "Raleigh",      "Miami",       "Virginia Beach","Long Beach",
+      "Oakland",      "Minneapolis", "Tampa",        "Tulsa",
+      "Arlington",    "New Orleans", "Wichita",      "Cleveland",
+      "Bakersfield",  "Aurora",      "Anaheim",      "Honolulu",
+      "Santa Ana",    "Riverside",   "Corpus Christi","Lexington",
+      "Stockton",     "St. Louis",   "Saint Paul",   "Henderson",
+      "Pittsburgh",   "Cincinnati",  "Anchorage",    "Greensboro",
+      "Plano",        "Newark",      "Lincoln",      "Orlando",
+      "Irvine",       "Toledo",      "Jersey City",  "Chula Vista",
+      "Durham",       "Fort Wayne",  "St. Petersburg","Laredo",
+      "Buffalo",      "Madison",     "Lubbock",      "Chandler",
+      "Scottsdale",   "Reno",        "Glendale",     "Norfolk",
+      "Winston-Salem","North Las Vegas","Gilbert",   "Chesapeake",
+      "Irving",       "Hialeah",     "Garland",      "Fremont",
+      "Richmond",     "Boise",       "Baton Rouge",  "Des Moines"};
+  std::vector<double> weights;
+  weights.reserve(cities.size());
+  // City populations follow Zipf's law with s close to 1.
+  for (size_t r = 0; r < cities.size(); ++r) {
+    weights.push_back(1.0 / static_cast<double>(r + 1));
+  }
+  return with_zipf_tail(std::move(cities), std::move(weights), size, 1.0,
+                        0x63697479ULL);
+}
+
+WeightedVocabulary us_states() {
+  std::vector<std::string> states = {
+      "CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI",
+      "NJ", "VA", "WA", "AZ", "MA", "TN", "IN", "MO", "MD", "WI",
+      "CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "CT", "UT",
+      "IA", "NV", "AR", "MS", "KS", "NM", "NE", "ID", "WV", "HI",
+      "NH", "ME", "RI", "MT", "DE", "SD", "ND", "AK", "VT", "WY"};
+  std::vector<double> weights = {
+      39.2, 29.5, 21.8, 19.8, 13.0, 12.6, 11.8, 10.8, 10.6, 10.0,
+      9.3,  8.6,  7.8,  7.4,  7.0,  7.0,  6.8,  6.2,  6.2,  5.9,
+      5.8,  5.7,  5.2,  5.0,  4.6,  4.5,  4.2,  4.0,  3.6,  3.3,
+      3.2,  3.1,  3.0,  2.9,  2.9,  2.1,  2.0,  1.9,  1.8,  1.4,
+      1.4,  1.4,  1.1,  1.1,  1.0,  0.9,  0.8,  0.7,  0.6,  0.6};
+  return WeightedVocabulary(std::move(states), std::move(weights));
+}
+
+WeightedVocabulary zip_codes(size_t size) {
+  if (size == 0) size = 1000;
+  std::vector<std::string> zips;
+  std::vector<double> weights;
+  zips.reserve(size);
+  weights.reserve(size);
+  uint64_t state = 0x7a6970636f6465ULL;
+  std::unordered_set<uint32_t> seen;
+  for (size_t r = 0; r < size; ++r) {
+    // Synthesize a plausible 5-digit ZIP, unique across the vocabulary.
+    uint32_t z;
+    do {
+      z = static_cast<uint32_t>(splitmix64(state) % 89999) + 10000;
+    } while (!seen.insert(z).second);
+    zips.push_back(std::to_string(z));
+    weights.push_back(1.0 / std::pow(static_cast<double>(r + 1), 0.8));
+  }
+  return WeightedVocabulary(std::move(zips), std::move(weights));
+}
+
+}  // namespace wre::datagen

@@ -1,0 +1,62 @@
+// Weighted vocabularies with census-like frequency shapes.
+//
+// The paper evaluates on data from the MIT-LL SPARTA framework, whose
+// generator produces records with "realistic statistics based on real data
+// from the US Census and Project Gutenberg". SPARTA itself is not
+// redistributable here, so this module synthesizes the property the
+// evaluation actually depends on: *low-entropy columns with heavy-tailed
+// (Zipf-like) value frequencies*, which is what makes deterministic
+// encryption fall to frequency analysis and what WRE must smooth.
+//
+// Each vocabulary is a head list of real, hand-embedded values with
+// census-plausible relative weights, extended with synthesized name-like
+// values following a Zipf tail.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace wre::datagen {
+
+/// A finite distribution over strings with O(1) sampling (alias method).
+class WeightedVocabulary {
+ public:
+  /// `values` and `weights` must be equal-length and non-empty; weights must
+  /// be positive. Weights are normalized internally.
+  WeightedVocabulary(std::vector<std::string> values,
+                     std::vector<double> weights);
+
+  /// Draws a value according to the weights.
+  const std::string& sample(Xoshiro256& rng) const;
+
+  size_t size() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+  /// Normalized probability of value i.
+  double probability(size_t i) const { return probabilities_[i]; }
+
+ private:
+  void build_alias_table();
+
+  std::vector<std::string> values_;
+  std::vector<double> probabilities_;
+  // Walker alias tables.
+  std::vector<double> accept_;
+  std::vector<size_t> alias_;
+};
+
+/// Builders. `size` is the total vocabulary size; values beyond the embedded
+/// head are synthesized with a Zipf(s) tail. `size = 0` keeps just the head.
+WeightedVocabulary census_first_names(size_t size = 0);
+WeightedVocabulary census_last_names(size_t size = 0);
+WeightedVocabulary us_cities(size_t size = 0);
+WeightedVocabulary us_states();
+WeightedVocabulary zip_codes(size_t size);
+
+/// Synthesizes a pronounceable name-like string for tail rank `rank`
+/// (deterministic in `rank` and `salt`).
+std::string synth_name(uint64_t rank, uint64_t salt);
+
+}  // namespace wre::datagen

@@ -1,0 +1,37 @@
+#include "src/sql/ast.h"
+
+namespace wre::sql {
+
+Expr Expr::equals(std::string column, Value v) {
+  Expr e;
+  e.kind = Kind::kEquals;
+  e.column = to_lower(column);
+  e.values.push_back(std::move(v));
+  return e;
+}
+
+Expr Expr::in_list(std::string column, std::vector<Value> vs) {
+  Expr e;
+  e.kind = Kind::kIn;
+  e.column = to_lower(column);
+  e.values = std::move(vs);
+  return e;
+}
+
+Expr Expr::conjunction(std::vector<Expr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  Expr e;
+  e.kind = Kind::kAnd;
+  e.children = std::move(children);
+  return e;
+}
+
+Expr Expr::disjunction(std::vector<Expr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  Expr e;
+  e.kind = Kind::kOr;
+  e.children = std::move(children);
+  return e;
+}
+
+}  // namespace wre::sql

@@ -1,0 +1,64 @@
+// Abstract syntax for the SQL subset the engine accepts.
+//
+// The subset is exactly what an easily-deployable encryption client needs
+// from a legacy relational server (Section IV of the paper): DDL, inserts,
+// and equality SELECTs whose WHERE clause is a boolean combination of
+// `column = literal` and `column IN (...)` predicates — the shape produced
+// by the WRE Search algorithm (t = t1 OR t = t2 OR ...).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/sql/schema.h"
+#include "src/sql/value.h"
+
+namespace wre::sql {
+
+/// Boolean predicate tree over one table's columns.
+struct Expr {
+  enum class Kind { kEquals, kIn, kAnd, kOr };
+
+  Kind kind = Kind::kEquals;
+  std::string column;          // kEquals, kIn
+  std::vector<Value> values;   // kEquals: exactly one; kIn: one or more
+  std::vector<Expr> children;  // kAnd, kOr: two or more
+
+  static Expr equals(std::string column, Value v);
+  static Expr in_list(std::string column, std::vector<Value> vs);
+  static Expr conjunction(std::vector<Expr> children);
+  static Expr disjunction(std::vector<Expr> children);
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;  // optional, informational only
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<Row> rows;  // multi-row VALUES lists
+};
+
+struct SelectStmt {
+  bool star = false;
+  bool count_star = false;
+  bool explain = false;  // EXPLAIN SELECT ...: report the plan, don't run
+  std::vector<std::string> columns;  // when !star && !count_star
+  std::string table;
+  std::optional<Expr> where;
+  std::optional<uint64_t> limit;
+};
+
+using Statement =
+    std::variant<CreateTableStmt, CreateIndexStmt, InsertStmt, SelectStmt>;
+
+}  // namespace wre::sql

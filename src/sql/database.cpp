@@ -1,0 +1,382 @@
+#include "src/sql/database.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/sql/parser.h"
+#include "src/util/error.h"
+
+namespace wre::sql {
+
+namespace {
+
+constexpr const char* kCatalogFile = "catalog.wre";
+
+ValueType type_from_name(const std::string& t) {
+  if (t == "INTEGER") return ValueType::kInt64;
+  if (t == "TEXT") return ValueType::kText;
+  if (t == "BLOB") return ValueType::kBlob;
+  throw SqlError("catalog: unknown type " + t);
+}
+
+}  // namespace
+
+bool eval_expr(const Expr& expr, const Schema& schema, const Row& row) {
+  switch (expr.kind) {
+    case Expr::Kind::kEquals:
+    case Expr::Kind::kIn: {
+      auto idx = schema.index_of(expr.column);
+      if (!idx) throw SqlError("unknown column " + expr.column);
+      const Value& cell = row[*idx];
+      return std::any_of(expr.values.begin(), expr.values.end(),
+                         [&](const Value& v) { return cell.sql_equals(v); });
+    }
+    case Expr::Kind::kAnd:
+      return std::all_of(
+          expr.children.begin(), expr.children.end(),
+          [&](const Expr& c) { return eval_expr(c, schema, row); });
+    case Expr::Kind::kOr:
+      return std::any_of(
+          expr.children.begin(), expr.children.end(),
+          [&](const Expr& c) { return eval_expr(c, schema, row); });
+  }
+  throw SqlError("eval_expr: corrupt expression");
+}
+
+std::optional<std::pair<std::string, std::vector<Value>>>
+extract_single_column_disjunction(const Expr& expr) {
+  std::string column;
+  std::vector<Value> values;
+
+  // Walk the tree; only OR / Equals / In nodes over one column qualify.
+  auto walk = [&](const Expr& e, auto&& self) -> bool {
+    switch (e.kind) {
+      case Expr::Kind::kEquals:
+      case Expr::Kind::kIn:
+        if (column.empty()) {
+          column = e.column;
+        } else if (column != e.column) {
+          return false;
+        }
+        values.insert(values.end(), e.values.begin(), e.values.end());
+        return true;
+      case Expr::Kind::kOr:
+        return std::all_of(e.children.begin(), e.children.end(),
+                           [&](const Expr& c) { return self(c, self); });
+      case Expr::Kind::kAnd:
+        return false;
+    }
+    return false;
+  };
+
+  if (!walk(expr, walk) || column.empty()) return std::nullopt;
+  return std::make_pair(std::move(column), std::move(values));
+}
+
+Database::Database(std::string dir, DatabaseOptions options)
+    : dir_(std::move(dir)) {
+  disk_.set_read_latency_micros(options.read_latency_us);
+  disk_.set_write_latency_micros(options.write_latency_us);
+  pool_ = std::make_unique<storage::BufferPool>(disk_,
+                                                options.buffer_pool_pages);
+  load_catalog();
+}
+
+Table& Database::create_table(const std::string& name, Schema schema) {
+  std::string lowered = to_lower(name);
+  if (tables_.contains(lowered)) {
+    throw SqlError("table already exists: " + lowered);
+  }
+  auto table =
+      std::make_unique<Table>(*pool_, dir_, lowered, std::move(schema));
+  Table& ref = *table;
+  tables_.emplace(lowered, std::move(table));
+  save_catalog();
+  return ref;
+}
+
+void Database::create_index(const std::string& table_name,
+                            const std::string& column) {
+  table(table_name).create_index(column);
+  save_catalog();
+}
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(to_lower(name));
+  if (it == tables_.end()) throw SqlError("unknown table: " + name);
+  return *it->second;
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.contains(to_lower(name));
+}
+
+ResultSet Database::execute(std::string_view sql) {
+  Statement stmt = parse_statement(sql);
+  return std::visit(
+      [&](auto&& s) -> ResultSet {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          create_table(s.table, Schema(s.columns));
+          return ResultSet{};
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          create_index(s.table, s.column);
+          return ResultSet{};
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return execute_insert(s);
+        } else {
+          return execute_select(s);
+        }
+      },
+      stmt);
+}
+
+ResultSet Database::execute_insert(const InsertStmt& stmt) {
+  Table& t = table(stmt.table);
+  for (const Row& row : stmt.rows) {
+    t.insert(row);
+  }
+  ResultSet rs;
+  rs.rows_affected = stmt.rows.size();
+  return rs;
+}
+
+namespace {
+
+// Plan-time validation: every column referenced by the predicate must exist,
+// even if the scan never evaluates it (e.g. empty tables).
+void validate_expr_columns(const Expr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kEquals:
+    case Expr::Kind::kIn:
+      if (!schema.index_of(expr.column)) {
+        throw SqlError("unknown column in WHERE clause: " + expr.column);
+      }
+      return;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      for (const Expr& c : expr.children) validate_expr_columns(c, schema);
+      return;
+  }
+}
+
+}  // namespace
+
+ResultSet Database::execute_select(const SelectStmt& stmt) {
+  Table& t = table(stmt.table);
+  const Schema& schema = t.schema();
+  if (stmt.where) validate_expr_columns(*stmt.where, schema);
+  ResultSet rs;
+
+  // Resolve the projection.
+  std::vector<size_t> projection;
+  if (stmt.star) {
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      projection.push_back(i);
+      rs.columns.push_back(schema.column(i).name);
+    }
+  } else if (!stmt.count_star) {
+    for (const auto& name : stmt.columns) {
+      auto idx = schema.index_of(name);
+      if (!idx) throw SqlError("unknown column in SELECT list: " + name);
+      projection.push_back(*idx);
+      rs.columns.push_back(schema.column(*idx).name);
+    }
+  } else {
+    rs.columns.push_back("count(*)");
+  }
+
+  uint64_t limit = stmt.limit.value_or(UINT64_MAX);
+  uint64_t count = 0;
+
+  auto emit_row = [&](int64_t pk, const Row* row) -> bool {
+    // Returns false once the limit is reached.
+    if (count >= limit) return false;
+    ++count;
+    if (stmt.count_star) return count < limit;
+    Row out;
+    out.reserve(projection.size());
+    for (size_t idx : projection) {
+      if (row == nullptr) {
+        // Index-only path: the only projectable column is the primary key.
+        out.push_back(Value::int64(pk));
+      } else {
+        out.push_back((*row)[idx]);
+      }
+    }
+    rs.rows.push_back(std::move(out));
+    return count < limit;
+  };
+
+  // Plan selection:
+  //  1. whole WHERE is a single-column disjunction on an indexed column ->
+  //     multi-probe index scan (index-only when the projection allows);
+  //  2. WHERE is a conjunction with at least one such child -> probe the
+  //     child with the fewest values, fetch rows, recheck the full
+  //     predicate;
+  //  3. otherwise sequential scan.
+  std::optional<std::pair<std::string, std::vector<Value>>> probe;
+  bool probe_is_whole_predicate = true;
+  if (stmt.where) {
+    probe = extract_single_column_disjunction(*stmt.where);
+    if (!probe && stmt.where->kind == Expr::Kind::kAnd) {
+      for (const Expr& child : stmt.where->children) {
+        auto candidate = extract_single_column_disjunction(child);
+        if (!candidate || !t.has_index(candidate->first)) continue;
+        if (!probe || candidate->second.size() < probe->second.size()) {
+          probe = std::move(candidate);
+        }
+      }
+      probe_is_whole_predicate = false;
+    }
+  }
+
+  if (stmt.explain) {
+    rs.columns = {"plan"};
+    std::string plan;
+    if (probe && t.has_index(probe->first)) {
+      auto pk_col = schema.primary_key_index();
+      bool pk_only =
+          !stmt.star && pk_col.has_value() &&
+          std::all_of(projection.begin(), projection.end(),
+                      [&](size_t i) { return i == *pk_col; });
+      bool idx_only =
+          (pk_only || stmt.count_star) && probe_is_whole_predicate;
+      plan = "multi-probe index scan on " + stmt.table + " using index(" +
+             probe->first + "), " + std::to_string(probe->second.size()) +
+             " probe(s)";
+      if (idx_only) plan += ", index-only";
+      if (!probe_is_whole_predicate) plan += ", recheck residual predicate";
+    } else {
+      plan = "sequential scan on " + stmt.table;
+      if (stmt.where) plan += ", filter";
+    }
+    if (stmt.limit) plan += ", limit " + std::to_string(*stmt.limit);
+    rs.rows.push_back({Value::text(std::move(plan))});
+    return rs;
+  }
+
+  if (probe && t.has_index(probe->first)) {
+    rs.used_index = true;
+    auto pk_col = schema.primary_key_index();
+
+    // Deduplicate probe values so `x = 1 OR x = 1` probes once.
+    std::vector<Value> values = probe->second;
+    std::sort(values.begin(), values.end(), [](const Value& a, const Value& b) {
+      return a.to_sql_literal() < b.to_sql_literal();
+    });
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+
+    // An index probe never needs the heap when the projection touches only
+    // the primary-key column (or COUNT(*)). Text-keyed indexes are
+    // hash-reduced to 64 bits, so an index-only answer carries a ~2^-64
+    // per-pair false-positive probability — the same trade a production
+    // hash index makes; projections that materialize rows recheck exactly.
+    bool pk_only_projection =
+        !stmt.star && pk_col.has_value() &&
+        std::all_of(projection.begin(), projection.end(),
+                    [&](size_t i) { return i == *pk_col; });
+    // A conjunction's residual predicates require the row, so index-only
+    // answers are possible only when the probe covers the whole WHERE.
+    bool index_only =
+        (pk_only_projection || stmt.count_star) && probe_is_whole_predicate;
+
+    std::vector<int64_t> pks;
+    for (const Value& v : values) {
+      if (v.is_null()) continue;
+      ++rs.index_probes;
+      auto matches = t.probe_index(probe->first, v);
+      pks.insert(pks.end(), matches.begin(), matches.end());
+    }
+    std::sort(pks.begin(), pks.end());
+    pks.erase(std::unique(pks.begin(), pks.end()), pks.end());
+
+    for (int64_t pk : pks) {
+      if (index_only) {
+        if (!emit_row(pk, nullptr)) break;
+        continue;
+      }
+      auto row = t.find_by_pk(pk);
+      if (!row) continue;  // cannot happen in the append-only engine
+      ++rs.heap_fetches;
+      if (!eval_expr(*stmt.where, schema, *row)) continue;  // recheck
+      if (!emit_row(pk, &*row)) break;
+    }
+  } else {
+    // Sequential scan. Table::scan has no early-exit channel; a LIMIT that
+    // is hit simply stops emitting.
+    t.scan([&](int64_t pk, const Row& row) {
+      if (count >= limit) return;
+      if (stmt.where && !eval_expr(*stmt.where, schema, row)) return;
+      ++rs.heap_fetches;
+      emit_row(pk, &row);
+    });
+  }
+
+  if (stmt.count_star) {
+    rs.rows.push_back({Value::int64(static_cast<int64_t>(count))});
+  }
+  return rs;
+}
+
+void Database::clear_cache() { pool_->clear_cache(); }
+
+void Database::checkpoint() { pool_->flush_all(); }
+
+uint64_t Database::data_size_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, t] : tables_) total += t->data_size_bytes();
+  return total;
+}
+
+uint64_t Database::index_size_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, t] : tables_) total += t->index_size_bytes();
+  return total;
+}
+
+void Database::save_catalog() {
+  std::ofstream out(dir_ + "/" + kCatalogFile, std::ios::trunc);
+  if (!out) throw SqlError("cannot write catalog in " + dir_);
+  for (const auto& [name, t] : tables_) {
+    out << "table " << name << " " << t->schema().column_count() << "\n";
+    for (const Column& c : t->schema().columns()) {
+      out << "col " << c.name << " " << type_name(c.type) << " "
+          << (c.primary_key ? 1 : 0) << "\n";
+    }
+    for (const std::string& col : t->indexed_columns()) {
+      out << "index " << name << " " << col << "\n";
+    }
+  }
+}
+
+void Database::load_catalog() {
+  std::ifstream in(dir_ + "/" + kCatalogFile);
+  if (!in) return;  // fresh database
+  std::string word;
+  while (in >> word) {
+    if (word == "table") {
+      std::string name;
+      size_t ncols;
+      in >> name >> ncols;
+      std::vector<Column> cols;
+      for (size_t i = 0; i < ncols; ++i) {
+        std::string kw, cname, ctype;
+        int pk;
+        in >> kw >> cname >> ctype >> pk;
+        if (kw != "col") throw SqlError("catalog: corrupt column entry");
+        cols.push_back(Column{cname, type_from_name(ctype), pk != 0});
+      }
+      tables_.emplace(name, std::make_unique<Table>(*pool_, dir_, name,
+                                                    Schema(std::move(cols))));
+    } else if (word == "index") {
+      std::string tname, col;
+      in >> tname >> col;
+      table(tname).attach_index(col);
+    } else {
+      throw SqlError("catalog: unknown entry " + word);
+    }
+  }
+}
+
+}  // namespace wre::sql

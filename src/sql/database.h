@@ -1,0 +1,96 @@
+// The embedded relational database: catalog, SQL entry point, planner and
+// executor. This is the "legacy server" of the paper's deployment model —
+// the WRE client talks to it exclusively through SQL text plus the generic
+// table APIs, never through anything encryption-specific.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/sql/ast.h"
+#include "src/sql/table.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+
+namespace wre::sql {
+
+/// Result of a SELECT (other statements return an empty set with
+/// `rows_affected` filled in).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  uint64_t rows_affected = 0;
+
+  /// Executor counters for the run that produced this result.
+  uint64_t index_probes = 0;   // B+-tree equality probes issued
+  uint64_t heap_fetches = 0;   // full rows materialized from the heap
+  bool used_index = false;     // false = sequential scan
+};
+
+/// Tuning and simulation knobs for a Database.
+struct DatabaseOptions {
+  /// Buffer-pool capacity in 4 KiB pages (default 64 MiB).
+  size_t buffer_pool_pages = 16384;
+  /// Synthetic per-page read latency in microseconds (models disk seeks;
+  /// see DiskManager). Zero = off.
+  uint32_t read_latency_us = 0;
+  uint32_t write_latency_us = 0;
+};
+
+/// An embedded single-threaded relational database rooted at a directory.
+class Database {
+ public:
+  /// Opens (or creates) the database in `dir`. The directory must exist.
+  /// An existing catalog is reloaded, reattaching tables and indexes.
+  explicit Database(std::string dir, DatabaseOptions options = {});
+
+  /// Parses and executes one SQL statement.
+  ResultSet execute(std::string_view sql);
+
+  /// Programmatic fast paths (used for bulk load; equivalent to SQL).
+  Table& create_table(const std::string& name, Schema schema);
+  void create_index(const std::string& table, const std::string& column);
+  Table& table(const std::string& name);
+  bool has_table(const std::string& name) const;
+
+  /// Executes a parsed SELECT (lets clients pre-build ASTs).
+  ResultSet execute_select(const SelectStmt& stmt);
+
+  /// Drops every cached page: the next query runs cold. Reproduces the
+  /// paper's drop_caches + server-restart procedure.
+  void clear_cache();
+
+  /// Flushes all dirty pages to disk.
+  void checkpoint();
+
+  /// Heap bytes across all tables (the paper's "DB Size").
+  uint64_t data_size_bytes() const;
+  /// Index bytes across all tables ("DB + Indexes" minus data).
+  uint64_t index_size_bytes() const;
+
+  storage::BufferPool& buffer_pool() { return *pool_; }
+  storage::DiskManager& disk() { return disk_; }
+
+ private:
+  void save_catalog();
+  void load_catalog();
+
+  ResultSet execute_insert(const InsertStmt& stmt);
+
+  std::string dir_;
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// Evaluates a predicate against a row. Unknown columns raise SqlError.
+bool eval_expr(const Expr& expr, const Schema& schema, const Row& row);
+
+/// If `expr` is a disjunction of equality/IN predicates on one single
+/// column, returns (column, values); otherwise nullopt. This is the planner
+/// pattern that turns WRE search queries into multi-probe index scans.
+std::optional<std::pair<std::string, std::vector<Value>>>
+extract_single_column_disjunction(const Expr& expr);
+
+}  // namespace wre::sql

@@ -1,0 +1,399 @@
+#include "src/sql/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "src/util/error.h"
+
+namespace wre::sql {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kInteger,
+  kString,
+  kBlob,
+  kSymbol,  // one of ( ) , = * ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (lower-cased) or symbol
+  int64_t number = 0; // kInteger
+  Bytes blob;         // kBlob
+  size_t pos = 0;     // offset in the input, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw SqlError("SQL parse error at offset " +
+                   std::to_string(current_.pos) + ": " + message);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= input_.size()) {
+      current_.kind = TokenKind::kEnd;
+      return;
+    }
+
+    char c = input_[pos_];
+
+    // Blob literal X'hex' (must be checked before identifiers).
+    if ((c == 'x' || c == 'X') && pos_ + 1 < input_.size() &&
+        input_[pos_ + 1] == '\'') {
+      size_t start = pos_ + 2;
+      size_t end = input_.find('\'', start);
+      if (end == std::string_view::npos) fail_at(pos_, "unterminated blob literal");
+      current_.kind = TokenKind::kBlob;
+      try {
+        current_.blob = from_hex(input_.substr(start, end - start));
+      } catch (const std::invalid_argument& e) {
+        fail_at(start, std::string("bad blob literal: ") + e.what());
+      }
+      pos_ = end + 1;
+      return;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kIdent;
+      current_.text = to_lower(input_.substr(start, pos_ - start));
+      return;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kInteger;
+      auto text = input_.substr(start, pos_ - start);
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                       current_.number);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        fail_at(start, "integer literal out of range");
+      }
+      return;
+    }
+
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      for (;;) {
+        if (pos_ >= input_.size()) fail_at(current_.pos, "unterminated string");
+        char ch = input_[pos_++];
+        if (ch == '\'') {
+          if (pos_ < input_.size() && input_[pos_] == '\'') {
+            out.push_back('\'');  // doubled quote escape
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        out.push_back(ch);
+      }
+      current_.kind = TokenKind::kString;
+      current_.text = std::move(out);
+      return;
+    }
+
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*' || c == ';') {
+      current_.kind = TokenKind::kSymbol;
+      current_.text = std::string(1, c);
+      ++pos_;
+      return;
+    }
+
+    fail_at(pos_, std::string("unexpected character '") + c + "'");
+  }
+
+  [[noreturn]] void fail_at(size_t pos, const std::string& message) const {
+    throw SqlError("SQL parse error at offset " + std::to_string(pos) + ": " +
+                   message);
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  Statement parse_statement() {
+    const Token& t = lexer_.peek();
+    if (t.kind != TokenKind::kIdent) lexer_.fail("expected a statement");
+    Statement stmt = [&]() -> Statement {
+      if (t.text == "create") return parse_create();
+      if (t.text == "insert") return parse_insert();
+      if (t.text == "select") return parse_select();
+      if (t.text == "explain") {
+        lexer_.take();
+        SelectStmt s = parse_select();
+        s.explain = true;
+        return s;
+      }
+      lexer_.fail("unknown statement '" + t.text + "'");
+    }();
+    accept_symbol(";");
+    expect_end();
+    return stmt;
+  }
+
+  Expr parse_bare_expression() {
+    Expr e = parse_expr();
+    expect_end();
+    return e;
+  }
+
+ private:
+  Statement parse_create() {
+    expect_keyword("create");
+    const Token& t = lexer_.peek();
+    if (t.kind == TokenKind::kIdent && t.text == "table") {
+      return parse_create_table();
+    }
+    if (t.kind == TokenKind::kIdent && t.text == "index") {
+      return parse_create_index();
+    }
+    lexer_.fail("expected TABLE or INDEX after CREATE");
+  }
+
+  CreateTableStmt parse_create_table() {
+    expect_keyword("table");
+    CreateTableStmt stmt;
+    stmt.table = expect_ident("table name");
+    expect_symbol("(");
+    for (;;) {
+      Column col;
+      col.name = expect_ident("column name");
+      col.type = parse_type();
+      if (accept_keyword("primary")) {
+        expect_keyword("key");
+        col.primary_key = true;
+      }
+      stmt.columns.push_back(std::move(col));
+      if (!accept_symbol(",")) break;
+    }
+    expect_symbol(")");
+    return stmt;
+  }
+
+  ValueType parse_type() {
+    std::string t = expect_ident("column type");
+    if (t == "integer" || t == "bigint" || t == "int") return ValueType::kInt64;
+    if (t == "text" || t == "varchar") return ValueType::kText;
+    if (t == "blob") return ValueType::kBlob;
+    lexer_.fail("unknown column type '" + t + "'");
+  }
+
+  CreateIndexStmt parse_create_index() {
+    expect_keyword("index");
+    CreateIndexStmt stmt;
+    // Optional index name.
+    if (lexer_.peek().kind == TokenKind::kIdent && lexer_.peek().text != "on") {
+      stmt.index_name = expect_ident("index name");
+    }
+    expect_keyword("on");
+    stmt.table = expect_ident("table name");
+    expect_symbol("(");
+    stmt.column = expect_ident("column name");
+    expect_symbol(")");
+    return stmt;
+  }
+
+  InsertStmt parse_insert() {
+    expect_keyword("insert");
+    expect_keyword("into");
+    InsertStmt stmt;
+    stmt.table = expect_ident("table name");
+    expect_keyword("values");
+    for (;;) {
+      expect_symbol("(");
+      Row row;
+      for (;;) {
+        row.push_back(parse_literal());
+        if (!accept_symbol(",")) break;
+      }
+      expect_symbol(")");
+      stmt.rows.push_back(std::move(row));
+      if (!accept_symbol(",")) break;
+    }
+    return stmt;
+  }
+
+  SelectStmt parse_select() {
+    expect_keyword("select");
+    SelectStmt stmt;
+    if (accept_symbol("*")) {
+      stmt.star = true;
+    } else if (lexer_.peek().kind == TokenKind::kIdent &&
+               lexer_.peek().text == "count") {
+      lexer_.take();
+      expect_symbol("(");
+      expect_symbol("*");
+      expect_symbol(")");
+      stmt.count_star = true;
+    } else {
+      for (;;) {
+        stmt.columns.push_back(expect_ident("column name"));
+        if (!accept_symbol(",")) break;
+      }
+    }
+    expect_keyword("from");
+    stmt.table = expect_ident("table name");
+    if (accept_keyword("where")) {
+      stmt.where = parse_expr();
+    }
+    if (accept_keyword("limit")) {
+      const Token t = lexer_.take();
+      if (t.kind != TokenKind::kInteger || t.number < 0) {
+        lexer_.fail("expected a non-negative integer after LIMIT");
+      }
+      stmt.limit = static_cast<uint64_t>(t.number);
+    }
+    return stmt;
+  }
+
+  Expr parse_expr() {
+    std::vector<Expr> terms;
+    terms.push_back(parse_and_expr());
+    while (accept_keyword("or")) {
+      terms.push_back(parse_and_expr());
+    }
+    return Expr::disjunction(std::move(terms));
+  }
+
+  Expr parse_and_expr() {
+    std::vector<Expr> terms;
+    terms.push_back(parse_primary());
+    while (accept_keyword("and")) {
+      terms.push_back(parse_primary());
+    }
+    return Expr::conjunction(std::move(terms));
+  }
+
+  Expr parse_primary() {
+    if (accept_symbol("(")) {
+      Expr e = parse_expr();
+      expect_symbol(")");
+      return e;
+    }
+    std::string column = expect_ident("column name");
+    if (accept_symbol("=")) {
+      return Expr::equals(std::move(column), parse_literal());
+    }
+    if (accept_keyword("in")) {
+      expect_symbol("(");
+      std::vector<Value> values;
+      for (;;) {
+        values.push_back(parse_literal());
+        if (!accept_symbol(",")) break;
+      }
+      expect_symbol(")");
+      return Expr::in_list(std::move(column), std::move(values));
+    }
+    lexer_.fail("expected '=' or IN after column '" + column + "'");
+  }
+
+  Value parse_literal() {
+    Token t = lexer_.take();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        return Value::int64(t.number);
+      case TokenKind::kString:
+        return Value::text(std::move(t.text));
+      case TokenKind::kBlob:
+        return Value::blob(std::move(t.blob));
+      case TokenKind::kIdent:
+        if (t.text == "null") return Value::null();
+        [[fallthrough]];
+      default:
+        lexer_.fail("expected a literal");
+    }
+  }
+
+  // --- token helpers ---
+
+  bool accept_symbol(std::string_view s) {
+    if (lexer_.peek().kind == TokenKind::kSymbol && lexer_.peek().text == s) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(std::string_view s) {
+    if (!accept_symbol(s)) lexer_.fail("expected '" + std::string(s) + "'");
+  }
+
+  bool accept_keyword(std::string_view kw) {
+    if (lexer_.peek().kind == TokenKind::kIdent && lexer_.peek().text == kw) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (!accept_keyword(kw)) {
+      lexer_.fail("expected keyword " + std::string(kw));
+    }
+  }
+
+  std::string expect_ident(const std::string& what) {
+    Token t = lexer_.take();
+    if (t.kind != TokenKind::kIdent) lexer_.fail("expected " + what);
+    return t.text;
+  }
+
+  void expect_end() {
+    if (lexer_.peek().kind != TokenKind::kEnd) {
+      lexer_.fail("trailing input after statement");
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Statement parse_statement(std::string_view sql) {
+  return Parser(sql).parse_statement();
+}
+
+Expr parse_expression(std::string_view sql) {
+  return Parser(sql).parse_bare_expression();
+}
+
+}  // namespace wre::sql

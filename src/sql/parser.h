@@ -1,0 +1,33 @@
+// Lexer and recursive-descent parser for the engine's SQL subset.
+//
+// Grammar (case-insensitive keywords):
+//   statement   := create_table | create_index | insert | select
+//   create_table:= CREATE TABLE ident '(' coldef (',' coldef)* ')'
+//   coldef      := ident type [PRIMARY KEY]
+//   type        := INTEGER | BIGINT | INT | TEXT | VARCHAR | BLOB
+//   create_index:= CREATE INDEX [ident] ON ident '(' ident ')'
+//   insert      := INSERT INTO ident VALUES tuple (',' tuple)*
+//   tuple       := '(' literal (',' literal)* ')'
+//   select      := SELECT ('*' | COUNT '(' '*' ')' | ident (',' ident)*)
+//                  FROM ident [WHERE expr] [LIMIT int]
+//   expr        := and_expr (OR and_expr)*
+//   and_expr    := primary (AND primary)*
+//   primary     := '(' expr ')' | ident '=' literal
+//                | ident IN '(' literal (',' literal)* ')'
+//   literal     := int | 'string' | X'hex' | NULL
+#pragma once
+
+#include <string_view>
+
+#include "src/sql/ast.h"
+
+namespace wre::sql {
+
+/// Parses one SQL statement (an optional trailing ';' is accepted).
+/// Throws SqlError with a position-annotated message on syntax errors.
+Statement parse_statement(std::string_view sql);
+
+/// Parses a bare WHERE expression (used by tests and the WRE client).
+Expr parse_expression(std::string_view sql);
+
+}  // namespace wre::sql

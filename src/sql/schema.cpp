@@ -1,0 +1,143 @@
+#include "src/sql/schema.h"
+
+#include <cctype>
+
+#include "src/util/error.h"
+
+namespace wre::sql {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].name = to_lower(columns_[i].name);
+    if (columns_[i].primary_key) {
+      if (pk_index_.has_value()) {
+        throw SqlError("Schema: multiple PRIMARY KEY columns");
+      }
+      if (columns_[i].type != ValueType::kInt64) {
+        throw SqlError("Schema: PRIMARY KEY must be an INTEGER column");
+      }
+      pk_index_ = i;
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (columns_[i].name == columns_[j].name) {
+        throw SqlError("Schema: duplicate column name " + columns_[i].name);
+      }
+    }
+  }
+}
+
+std::optional<size_t> Schema::index_of(std::string_view name) const {
+  std::string lowered = to_lower(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == lowered) return i;
+  }
+  return std::nullopt;
+}
+
+void Schema::check_row(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    throw SqlError("row arity mismatch: expected " +
+                   std::to_string(columns_.size()) + " values, got " +
+                   std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (columns_[i].primary_key) {
+        throw SqlError("NULL in PRIMARY KEY column " + columns_[i].name);
+      }
+      continue;
+    }
+    if (row[i].type() != columns_[i].type) {
+      throw SqlError("type mismatch in column " + columns_[i].name +
+                     ": expected " + type_name(columns_[i].type) + ", got " +
+                     type_name(row[i].type()));
+    }
+  }
+}
+
+Bytes Schema::encode_row(const Row& row) const {
+  check_row(row);
+  Bytes out;
+  for (const Value& v : row) {
+    out.push_back(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt64:
+        store_le64(out, static_cast<uint64_t>(v.as_int64()));
+        break;
+      case ValueType::kText: {
+        const std::string& s = v.as_text();
+        store_le32(out, static_cast<uint32_t>(s.size()));
+        append(out, to_bytes(s));
+        break;
+      }
+      case ValueType::kBlob: {
+        const Bytes& b = v.as_blob();
+        store_le32(out, static_cast<uint32_t>(b.size()));
+        append(out, b);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Row Schema::decode_row(ByteView record) const {
+  Row row;
+  row.reserve(columns_.size());
+  size_t pos = 0;
+  auto need = [&](size_t n) {
+    if (pos + n > record.size()) throw SqlError("decode_row: truncated record");
+  };
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    need(1);
+    auto t = static_cast<ValueType>(record[pos++]);
+    switch (t) {
+      case ValueType::kNull:
+        row.push_back(Value::null());
+        break;
+      case ValueType::kInt64: {
+        need(8);
+        row.push_back(Value::int64(
+            static_cast<int64_t>(load_le64(record.data() + pos))));
+        pos += 8;
+        break;
+      }
+      case ValueType::kText: {
+        need(4);
+        uint32_t len = load_le32(record.data() + pos);
+        pos += 4;
+        need(len);
+        row.push_back(Value::text(std::string(
+            reinterpret_cast<const char*>(record.data() + pos), len)));
+        pos += len;
+        break;
+      }
+      case ValueType::kBlob: {
+        need(4);
+        uint32_t len = load_le32(record.data() + pos);
+        pos += 4;
+        need(len);
+        row.push_back(Value::blob(
+            Bytes(record.data() + pos, record.data() + pos + len)));
+        pos += len;
+        break;
+      }
+      default:
+        throw SqlError("decode_row: corrupt type tag");
+    }
+  }
+  if (pos != record.size()) throw SqlError("decode_row: trailing bytes");
+  return row;
+}
+
+}  // namespace wre::sql

@@ -1,0 +1,59 @@
+// Table schemas and row (de)serialization for the heap file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sql/value.h"
+#include "src/util/bytes.h"
+
+namespace wre::sql {
+
+/// Declared column type. kInt64 columns may carry PRIMARY KEY.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kText;
+  bool primary_key = false;
+};
+
+/// A materialized row.
+using Row = std::vector<Value>;
+
+/// Ordered column list. Column names are case-insensitive and stored
+/// lower-cased.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t column_count() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of `name` (case-insensitive), or nullopt.
+  std::optional<size_t> index_of(std::string_view name) const;
+
+  /// Index of the PRIMARY KEY column, or nullopt if none was declared.
+  std::optional<size_t> primary_key_index() const { return pk_index_; }
+
+  /// Validates that `row` matches the schema (arity and per-column type;
+  /// NULL allowed in non-PK columns). Throws SqlError on mismatch.
+  void check_row(const Row& row) const;
+
+  /// Serializes a row for heap storage.
+  Bytes encode_row(const Row& row) const;
+
+  /// Parses a heap record back into a row. Throws SqlError on corruption.
+  Row decode_row(ByteView record) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::optional<size_t> pk_index_;
+};
+
+/// Lower-cases an identifier (ASCII).
+std::string to_lower(std::string_view s);
+
+}  // namespace wre::sql

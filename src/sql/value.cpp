@@ -1,0 +1,66 @@
+#include "src/sql/value.h"
+
+#include "src/util/error.h"
+
+namespace wre::sql {
+
+const char* type_name(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return "INTEGER";
+    case ValueType::kText: return "TEXT";
+    case ValueType::kBlob: return "BLOB";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+int64_t Value::as_int64() const {
+  if (const auto* v = std::get_if<int64_t>(&data_)) return *v;
+  throw SqlError(std::string("Value: expected INTEGER, got ") +
+                 type_name(type()));
+}
+
+const std::string& Value::as_text() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  throw SqlError(std::string("Value: expected TEXT, got ") +
+                 type_name(type()));
+}
+
+const Bytes& Value::as_blob() const {
+  if (const auto* v = std::get_if<Bytes>(&data_)) return *v;
+  throw SqlError(std::string("Value: expected BLOB, got ") +
+                 type_name(type()));
+}
+
+bool Value::sql_equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  return data_ == other.data_;
+}
+
+std::string Value::to_sql_literal() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kText: {
+      const std::string& s = std::get<std::string>(data_);
+      std::string out = "'";
+      for (char c : s) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');  // SQL doubling escape
+      }
+      out.push_back('\'');
+      return out;
+    }
+    case ValueType::kBlob:
+      return "X'" + to_hex(std::get<Bytes>(data_)) + "'";
+  }
+  return "NULL";
+}
+
+}  // namespace wre::sql

@@ -1,0 +1,62 @@
+// Typed SQL values. The engine supports the column types the paper's
+// evaluation needs: 64-bit integers (search tags, ids, zip codes), text
+// (plaintext columns) and blobs (AES-CTR ciphertexts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/util/bytes.h"
+
+namespace wre::sql {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kText = 2,
+  kBlob = 3,
+};
+
+/// Returns a human-readable type name ("INTEGER", "TEXT", ...).
+const char* type_name(ValueType t);
+
+/// A dynamically typed SQL value with value semantics.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value null() { return Value(); }
+  static Value int64(int64_t v) { return Value(v); }
+  /// Bit-casts an unsigned 64-bit tag into the INTEGER domain.
+  static Value tag(uint64_t v) { return Value(static_cast<int64_t>(v)); }
+  static Value text(std::string v) { return Value(std::move(v)); }
+  static Value blob(Bytes v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Throw SqlError on type mismatch.
+  int64_t as_int64() const;
+  uint64_t as_tag() const { return static_cast<uint64_t>(as_int64()); }
+  const std::string& as_text() const;
+  const Bytes& as_blob() const;
+
+  /// SQL equality: NULL never equals anything (including NULL).
+  bool sql_equals(const Value& other) const;
+
+  /// Renders the value as a SQL literal (NULL, 42, 'escaped text', X'hex').
+  std::string to_sql_literal() const;
+
+  /// Exact structural comparison (used by tests and containers).
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(Bytes v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, std::string, Bytes> data_;
+};
+
+}  // namespace wre::sql

@@ -1,0 +1,348 @@
+#include "src/storage/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/bytes.h"
+#include "src/util/error.h"
+
+namespace wre::storage {
+
+// Node page layout (both kinds):
+//   [0]     u8  node type: 1 = leaf, 2 = internal
+//   [1]     pad
+//   [2..3]  u16 entry count
+//   [4..7]  u32 leaf: next-leaf page (kInvalidPage = none)
+//               internal: leftmost child (child 0)
+//   [8..]   entries
+// Leaf entry (16 bytes):     u64 key, u64 value — sorted by (key, value).
+// Internal entry (20 bytes): u64 key, u64 value, u32 right child. The
+//   (key, value) pair is the smallest composite key in the right child's
+//   subtree; child 0 holds everything smaller than entry 0.
+//
+// Metadata page (page 0):
+//   [0..3] magic 'WRBT', [4..7] u32 root, [8..15] u64 entry count,
+//   [16..19] u32 height
+namespace {
+
+constexpr uint32_t kMagic = 0x57524254;  // "WRBT"
+constexpr uint8_t kLeaf = 1;
+constexpr uint8_t kInternal = 2;
+constexpr size_t kHeader = 8;
+constexpr size_t kLeafEntry = 16;
+constexpr size_t kInternalEntry = 20;
+constexpr size_t kLeafCapacity = (kPageSize - kHeader) / kLeafEntry;       // 255
+constexpr size_t kInternalCapacity = (kPageSize - kHeader) / kInternalEntry;  // 204
+
+uint16_t node_count(const uint8_t* p) {
+  return static_cast<uint16_t>(p[2] | (p[3] << 8));
+}
+void set_node_count(uint8_t* p, uint16_t v) {
+  p[2] = static_cast<uint8_t>(v);
+  p[3] = static_cast<uint8_t>(v >> 8);
+}
+uint32_t node_link(const uint8_t* p) { return load_le32(p + 4); }
+void set_node_link(uint8_t* p, uint32_t v) {
+  Bytes tmp;
+  store_le32(tmp, v);
+  std::memcpy(p + 4, tmp.data(), 4);
+}
+
+struct LeafEntry {
+  uint64_t key;
+  uint64_t value;
+
+  friend auto operator<=>(const LeafEntry&, const LeafEntry&) = default;
+};
+
+struct InternalEntry {
+  uint64_t key;
+  uint64_t value;
+  PageNumber child;
+};
+
+LeafEntry read_leaf_entry(const uint8_t* p, size_t i) {
+  const uint8_t* e = p + kHeader + i * kLeafEntry;
+  return LeafEntry{load_le64(e), load_le64(e + 8)};
+}
+
+void write_leaf_entry(uint8_t* p, size_t i, const LeafEntry& entry) {
+  uint8_t* e = p + kHeader + i * kLeafEntry;
+  Bytes tmp;
+  store_le64(tmp, entry.key);
+  store_le64(tmp, entry.value);
+  std::memcpy(e, tmp.data(), kLeafEntry);
+}
+
+InternalEntry read_internal_entry(const uint8_t* p, size_t i) {
+  const uint8_t* e = p + kHeader + i * kInternalEntry;
+  return InternalEntry{load_le64(e), load_le64(e + 8), load_le32(e + 16)};
+}
+
+void write_internal_entry(uint8_t* p, size_t i, const InternalEntry& entry) {
+  uint8_t* e = p + kHeader + i * kInternalEntry;
+  Bytes tmp;
+  store_le64(tmp, entry.key);
+  store_le64(tmp, entry.value);
+  store_le32(tmp, entry.child);
+  std::memcpy(e, tmp.data(), kInternalEntry);
+}
+
+/// Index of the child to descend into for composite target (key, value):
+/// the child to the left of the first separator strictly greater than the
+/// target, so equal separators send us right (separator = smallest key of
+/// the right subtree).
+size_t child_index(const uint8_t* p, uint64_t key, uint64_t value) {
+  size_t lo = 0, hi = node_count(p);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    InternalEntry e = read_internal_entry(p, mid);
+    if (LeafEntry{e.key, e.value} <= LeafEntry{key, value}) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // 0 => child 0; i => entry[i-1].child
+}
+
+PageNumber child_at(const uint8_t* p, size_t idx) {
+  return idx == 0 ? node_link(p) : read_internal_entry(p, idx - 1).child;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(BufferPool& pool, FileId file) : pool_(pool), file_(file) {
+  load_or_init_meta();
+}
+
+void BPlusTree::load_or_init_meta() {
+  PageGuard meta = pool_.fetch(PageId{file_, 0});
+  const uint8_t* p = meta.data();
+  if (load_be32(p) == kMagic) {
+    root_ = load_le32(p + 4);
+    entry_count_ = load_le64(p + 8);
+    height_ = load_le32(p + 16);
+    return;
+  }
+  meta.release();
+  root_ = new_leaf();
+  entry_count_ = 0;
+  height_ = 1;
+  save_meta();
+}
+
+void BPlusTree::save_meta() {
+  PageGuard meta = pool_.fetch(PageId{file_, 0});
+  uint8_t* p = meta.mutable_data();
+  store_be32(p, kMagic);
+  Bytes tmp;
+  store_le32(tmp, root_);
+  store_le64(tmp, entry_count_);
+  store_le32(tmp, height_);
+  std::memcpy(p + 4, tmp.data(), tmp.size());
+}
+
+PageNumber BPlusTree::new_leaf() {
+  PageGuard page = pool_.allocate(file_);
+  uint8_t* p = page.mutable_data();
+  p[0] = kLeaf;
+  set_node_count(p, 0);
+  set_node_link(p, kInvalidPage);
+  return page.id().page;
+}
+
+PageNumber BPlusTree::new_internal(PageNumber leftmost_child) {
+  PageGuard page = pool_.allocate(file_);
+  uint8_t* p = page.mutable_data();
+  p[0] = kInternal;
+  set_node_count(p, 0);
+  set_node_link(p, leftmost_child);
+  return page.id().page;
+}
+
+bool BPlusTree::insert_into(PageNumber page_no, uint64_t key, uint64_t value,
+                            SplitResult* split) {
+  PageGuard page = pool_.fetch(PageId{file_, page_no});
+
+  if (page.data()[0] == kLeaf) {
+    uint16_t count = node_count(page.data());
+    LeafEntry target{key, value};
+
+    // Position via binary search on the composite key.
+    size_t lo = 0, hi = count;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (read_leaf_entry(page.data(), mid) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+
+    if (count < kLeafCapacity) {
+      uint8_t* p = page.mutable_data();
+      std::memmove(p + kHeader + (lo + 1) * kLeafEntry,
+                   p + kHeader + lo * kLeafEntry, (count - lo) * kLeafEntry);
+      write_leaf_entry(p, lo, target);
+      set_node_count(p, static_cast<uint16_t>(count + 1));
+      return false;
+    }
+
+    // Split: gather all entries plus the new one, divide in half.
+    std::vector<LeafEntry> entries;
+    entries.reserve(count + 1);
+    for (size_t i = 0; i < count; ++i) {
+      entries.push_back(read_leaf_entry(page.data(), i));
+    }
+    entries.insert(entries.begin() + static_cast<ptrdiff_t>(lo), target);
+
+    size_t mid = entries.size() / 2;
+    PageNumber right_no = new_leaf();
+    PageGuard right = pool_.fetch(PageId{file_, right_no});
+
+    uint8_t* lp = page.mutable_data();
+    uint8_t* rp = right.mutable_data();
+    set_node_link(rp, node_link(lp));
+    set_node_link(lp, right_no);
+    for (size_t i = 0; i < mid; ++i) write_leaf_entry(lp, i, entries[i]);
+    set_node_count(lp, static_cast<uint16_t>(mid));
+    for (size_t i = mid; i < entries.size(); ++i) {
+      write_leaf_entry(rp, i - mid, entries[i]);
+    }
+    set_node_count(rp, static_cast<uint16_t>(entries.size() - mid));
+
+    *split = SplitResult{entries[mid].key, entries[mid].value, right_no};
+    return true;
+  }
+
+  // Internal node.
+  size_t idx = child_index(page.data(), key, value);
+  PageNumber child = child_at(page.data(), idx);
+  page.release();  // avoid holding a pin across the recursive descent
+
+  SplitResult child_split;
+  if (!insert_into(child, key, value, &child_split)) return false;
+
+  page = pool_.fetch(PageId{file_, page_no});
+  uint16_t count = node_count(page.data());
+  InternalEntry new_entry{child_split.sep_key, child_split.sep_value,
+                          child_split.right_page};
+
+  if (count < kInternalCapacity) {
+    uint8_t* p = page.mutable_data();
+    std::memmove(p + kHeader + (idx + 1) * kInternalEntry,
+                 p + kHeader + idx * kInternalEntry,
+                 (count - idx) * kInternalEntry);
+    write_internal_entry(p, idx, new_entry);
+    set_node_count(p, static_cast<uint16_t>(count + 1));
+    return false;
+  }
+
+  // Split internal node: promote the middle separator.
+  std::vector<InternalEntry> entries;
+  entries.reserve(count + 1);
+  for (size_t i = 0; i < count; ++i) {
+    entries.push_back(read_internal_entry(page.data(), i));
+  }
+  entries.insert(entries.begin() + static_cast<ptrdiff_t>(idx), new_entry);
+
+  size_t mid = entries.size() / 2;
+  InternalEntry promoted = entries[mid];
+
+  PageNumber right_no = new_internal(promoted.child);
+  PageGuard right = pool_.fetch(PageId{file_, right_no});
+  uint8_t* lp = page.mutable_data();
+  uint8_t* rp = right.mutable_data();
+  for (size_t i = 0; i < mid; ++i) write_internal_entry(lp, i, entries[i]);
+  set_node_count(lp, static_cast<uint16_t>(mid));
+  for (size_t i = mid + 1; i < entries.size(); ++i) {
+    write_internal_entry(rp, i - mid - 1, entries[i]);
+  }
+  set_node_count(rp, static_cast<uint16_t>(entries.size() - mid - 1));
+
+  *split = SplitResult{promoted.key, promoted.value, right_no};
+  return true;
+}
+
+void BPlusTree::insert(uint64_t key, uint64_t value) {
+  SplitResult split;
+  if (insert_into(root_, key, value, &split)) {
+    PageNumber new_root = new_internal(root_);
+    PageGuard page = pool_.fetch(PageId{file_, new_root});
+    uint8_t* p = page.mutable_data();
+    write_internal_entry(p, 0,
+                         InternalEntry{split.sep_key, split.sep_value,
+                                       split.right_page});
+    set_node_count(p, 1);
+    page.release();
+    root_ = new_root;
+    ++height_;
+  }
+  ++entry_count_;
+  save_meta();
+}
+
+PageNumber BPlusTree::find_leaf(uint64_t key) {
+  PageNumber page_no = root_;
+  for (;;) {
+    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    if (page.data()[0] == kLeaf) return page_no;
+    size_t idx = child_index(page.data(), key, 0);
+    page_no = child_at(page.data(), idx);
+  }
+}
+
+std::vector<uint64_t> BPlusTree::find(uint64_t key) {
+  std::vector<uint64_t> out;
+  PageNumber page_no = find_leaf(key);
+  while (page_no != kInvalidPage) {
+    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    const uint8_t* p = page.data();
+    uint16_t count = node_count(p);
+
+    // First entry >= (key, 0) within this leaf.
+    size_t lo = 0, hi = count;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (read_leaf_entry(p, mid) < LeafEntry{key, 0}) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (size_t i = lo; i < count; ++i) {
+      LeafEntry e = read_leaf_entry(p, i);
+      if (e.key != key) return out;
+      out.push_back(e.value);
+    }
+    page_no = node_link(p);  // key run may continue in the next leaf
+  }
+  return out;
+}
+
+void BPlusTree::scan_all(const std::function<void(uint64_t, uint64_t)>& fn) {
+  // Walk down the leftmost spine, then follow leaf links.
+  PageNumber page_no = root_;
+  for (;;) {
+    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    if (page.data()[0] == kLeaf) break;
+    page_no = child_at(page.data(), 0);
+  }
+  while (page_no != kInvalidPage) {
+    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    const uint8_t* p = page.data();
+    uint16_t count = node_count(p);
+    for (size_t i = 0; i < count; ++i) {
+      LeafEntry e = read_leaf_entry(p, i);
+      fn(e.key, e.value);
+    }
+    page_no = node_link(p);
+  }
+}
+
+PageNumber BPlusTree::page_count() const {
+  return pool_.disk().page_count(file_);
+}
+
+}  // namespace wre::storage

@@ -1,0 +1,75 @@
+// Disk-paged B+-tree mapping uint64 keys to uint64 values, with duplicate
+// keys. This is the secondary-index structure behind CREATE INDEX — the
+// server-side index the WRE scheme relies on ("the server can use built-in
+// indexing techniques", Section IV).
+//
+// Entries are ordered by the composite (key, value), which makes every entry
+// unique and lets equal keys span leaf boundaries without special cases.
+// The tree is insert+lookup only, matching the append-only engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page.h"
+
+namespace wre::storage {
+
+/// B+-tree index over one page file.
+class BPlusTree {
+ public:
+  /// Binds to `file` in `pool`'s disk manager; initializes a fresh tree or
+  /// resumes an existing one from the file's metadata page.
+  BPlusTree(BufferPool& pool, FileId file);
+
+  /// Inserts (key, value). Duplicates — both duplicate keys and fully
+  /// duplicate pairs — are allowed.
+  void insert(uint64_t key, uint64_t value);
+
+  /// Returns all values stored under `key`, in insertion-independent
+  /// (value-sorted) order.
+  std::vector<uint64_t> find(uint64_t key);
+
+  /// Invokes fn(key, value) for every entry in (key, value) order.
+  void scan_all(const std::function<void(uint64_t, uint64_t)>& fn);
+
+  /// Total number of entries.
+  uint64_t size() const { return entry_count_; }
+
+  /// Height of the tree (1 = root is a leaf).
+  uint32_t height() const { return height_; }
+
+  /// Pages occupied, including the metadata page.
+  PageNumber page_count() const;
+
+  FileId file() const { return file_; }
+
+ private:
+  struct SplitResult {
+    uint64_t sep_key;
+    uint64_t sep_value;
+    PageNumber right_page;
+  };
+
+  void load_or_init_meta();
+  void save_meta();
+  PageNumber new_leaf();
+  PageNumber new_internal(PageNumber leftmost_child);
+
+  /// Recursive insert; returns a split description if `page` overflowed.
+  bool insert_into(PageNumber page, uint64_t key, uint64_t value,
+                   SplitResult* split);
+
+  /// Descends to the first leaf that may contain (key, 0).
+  PageNumber find_leaf(uint64_t key);
+
+  BufferPool& pool_;
+  FileId file_;
+  PageNumber root_ = kInvalidPage;
+  uint64_t entry_count_ = 0;
+  uint32_t height_ = 0;
+};
+
+}  // namespace wre::storage

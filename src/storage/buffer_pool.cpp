@@ -1,0 +1,146 @@
+#include "src/storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace wre::storage {
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { release(); }
+
+void PageGuard::release() {
+  if (frame_ != nullptr) {
+    pool_->unpin(frame_);
+    frame_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+PageId PageGuard::id() const { return frame_->id; }
+
+const uint8_t* PageGuard::data() const { return frame_->data.data(); }
+
+uint8_t* PageGuard::mutable_data() {
+  frame_->dirty = true;
+  return frame_->data.data();
+}
+
+BufferPool::BufferPool(DiskManager& disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; storage errors in a destructor cannot be surfaced.
+  try {
+    flush_all();
+  } catch (const Error&) {
+  }
+}
+
+void BufferPool::touch(PageGuard::Frame* frame) {
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+  }
+  lru_.push_front(frame);
+  frame->lru_pos = lru_.begin();
+  frame->in_lru = true;
+}
+
+void BufferPool::flush_frame(PageGuard::Frame& frame) {
+  if (frame.dirty) {
+    disk_.write_page(frame.id, frame.data.data());
+    frame.dirty = false;
+  }
+}
+
+void BufferPool::evict_if_needed() {
+  while (frames_.size() >= capacity_) {
+    // Scan from least-recently-used; skip pinned frames.
+    auto it = lru_.end();
+    PageGuard::Frame* victim = nullptr;
+    while (it != lru_.begin()) {
+      --it;
+      if ((*it)->pins == 0) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == nullptr) return;  // everything pinned: allow overflow
+    flush_frame(*victim);
+    lru_.erase(victim->lru_pos);
+    frames_.erase(victim->id);
+    ++stats_.evictions;
+  }
+}
+
+PageGuard BufferPool::fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    PageGuard::Frame* frame = it->second.get();
+    touch(frame);
+    ++frame->pins;
+    return PageGuard(this, frame);
+  }
+
+  ++stats_.misses;
+  evict_if_needed();
+  auto frame = std::make_unique<PageGuard::Frame>();
+  frame->id = id;
+  disk_.read_page(id, frame->data.data());
+  PageGuard::Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  touch(raw);
+  ++raw->pins;
+  return PageGuard(this, raw);
+}
+
+PageGuard BufferPool::allocate(FileId file) {
+  PageNumber page = disk_.allocate_page(file);
+  evict_if_needed();
+  auto frame = std::make_unique<PageGuard::Frame>();
+  frame->id = PageId{file, page};
+  frame->data.fill(0);
+  frame->dirty = true;
+  PageGuard::Frame* raw = frame.get();
+  frames_.emplace(raw->id, std::move(frame));
+  touch(raw);
+  ++raw->pins;
+  return PageGuard(this, raw);
+}
+
+void BufferPool::unpin(PageGuard::Frame* frame) { --frame->pins; }
+
+void BufferPool::flush_all() {
+  for (auto& [id, frame] : frames_) flush_frame(*frame);
+}
+
+void BufferPool::clear_cache() {
+  for (auto& [id, frame] : frames_) {
+    if (frame->pins > 0) {
+      throw StorageError("BufferPool::clear_cache: page still pinned");
+    }
+  }
+  flush_all();
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace wre::storage

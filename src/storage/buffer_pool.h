@@ -1,0 +1,126 @@
+// LRU buffer pool shared by all files of a database.
+//
+// This is the "cache" of the cold/warm experiments: clear_cache() flushes
+// dirty pages and drops every frame, reproducing the paper's
+// `echo 3 > /proc/sys/vm/drop_caches` + Postgres restart between queries.
+//
+// Pages are pinned through RAII PageGuards. The engine is single-threaded;
+// pins exist to keep parent/child page references valid across nested
+// fetches (e.g. during B+-tree splits), not for concurrency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "src/storage/disk_manager.h"
+#include "src/storage/page.h"
+
+namespace wre::storage {
+
+class BufferPool;
+
+/// Buffer pool hit/miss statistics.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// RAII pin on a cached page. Movable, not copyable. The underlying frame
+/// stays resident (and its data pointer valid) until the guard is destroyed.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  /// True if the guard refers to a page.
+  explicit operator bool() const { return frame_ != nullptr; }
+
+  PageId id() const;
+
+  /// Read-only page bytes.
+  const uint8_t* data() const;
+
+  /// Mutable page bytes; automatically marks the page dirty.
+  uint8_t* mutable_data();
+
+  /// Releases the pin early (the destructor is then a no-op).
+  void release();
+
+ private:
+  friend class BufferPool;
+  struct Frame;
+  PageGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+};
+
+/// Fixed-capacity page cache with LRU eviction over unpinned frames.
+class BufferPool {
+ public:
+  /// `capacity_pages` bounds resident frames; pinned frames may push the
+  /// pool temporarily above capacity (bounded by the engine's nesting
+  /// depth, which is small).
+  BufferPool(DiskManager& disk, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned guard on the page, reading it from disk on a miss.
+  PageGuard fetch(PageId id);
+
+  /// Allocates a fresh page in `file` and returns it pinned (zeroed, dirty).
+  PageGuard allocate(FileId file);
+
+  /// Writes all dirty frames back to disk (frames stay cached).
+  void flush_all();
+
+  /// Flushes then drops every frame: the next access to any page is a cold
+  /// read. Throws StorageError if any page is still pinned.
+  void clear_cache();
+
+  size_t resident_pages() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  const BufferStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BufferStats{}; }
+
+  DiskManager& disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  void unpin(PageGuard::Frame* frame);
+  void touch(PageGuard::Frame* frame);
+  void evict_if_needed();
+  void flush_frame(PageGuard::Frame& frame);
+
+  DiskManager& disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<PageGuard::Frame>> frames_;
+  // LRU order: front = most recently used. Only unpinned frames are
+  // eviction candidates, found by scanning from the back.
+  std::list<PageGuard::Frame*> lru_;
+  BufferStats stats_;
+};
+
+/// Frame definition lives in the header so PageGuard's inline accessors can
+/// see it; treat it as private to the storage layer.
+struct PageGuard::Frame {
+  PageId id;
+  std::array<uint8_t, kPageSize> data;
+  bool dirty = false;
+  int pins = 0;
+  std::list<Frame*>::iterator lru_pos;
+  bool in_lru = false;
+};
+
+}  // namespace wre::storage

@@ -1,0 +1,118 @@
+#include "src/storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/util/error.h"
+
+namespace wre::storage {
+
+namespace {
+
+void synthetic_delay(uint32_t micros) {
+  if (micros == 0) return;
+  // sleep_for has coarse granularity for sub-millisecond delays on some
+  // kernels, but the benches use it for relative comparisons only, where a
+  // constant scheduling overhead per page I/O is itself realistic.
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace
+
+DiskManager::~DiskManager() {
+  for (auto& f : files_) {
+    if (f.handle != nullptr) std::fclose(f.handle);
+  }
+}
+
+DiskManager::File& DiskManager::file_at(FileId id) {
+  if (id >= files_.size()) throw StorageError("DiskManager: bad file id");
+  return files_[id];
+}
+
+const DiskManager::File& DiskManager::file_at(FileId id) const {
+  if (id >= files_.size()) throw StorageError("DiskManager: bad file id");
+  return files_[id];
+}
+
+FileId DiskManager::open_file(const std::string& path) {
+  File f;
+  f.path = path;
+  // Open for read/update; create if missing.
+  f.handle = std::fopen(path.c_str(), "rb+");
+  if (f.handle == nullptr) {
+    f.handle = std::fopen(path.c_str(), "wb+");
+  }
+  if (f.handle == nullptr) {
+    throw StorageError("DiskManager: cannot open " + path);
+  }
+
+  if (std::fseek(f.handle, 0, SEEK_END) != 0) {
+    throw StorageError("DiskManager: seek failed on " + path);
+  }
+  long size = std::ftell(f.handle);
+  if (size < 0) throw StorageError("DiskManager: ftell failed on " + path);
+  f.pages = static_cast<PageNumber>(size / kPageSize);
+
+  files_.push_back(f);
+  FileId id = static_cast<FileId>(files_.size() - 1);
+
+  if (f.pages == 0) {
+    // Reserve page 0 as the metadata page.
+    allocate_page(id);
+  }
+  return id;
+}
+
+PageNumber DiskManager::page_count(FileId file) const {
+  return file_at(file).pages;
+}
+
+PageNumber DiskManager::allocate_page(FileId file) {
+  File& f = file_at(file);
+  PageNumber page = f.pages;
+  uint8_t zeros[kPageSize] = {0};
+  if (std::fseek(f.handle, static_cast<long>(page) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(zeros, 1, kPageSize, f.handle) != kPageSize) {
+    throw StorageError("DiskManager: allocate failed on " + f.path);
+  }
+  ++f.pages;
+  ++stats_.pages_allocated;
+  return page;
+}
+
+void DiskManager::read_page(PageId id, uint8_t* out) {
+  File& f = file_at(id.file);
+  if (id.page >= f.pages) {
+    throw StorageError("DiskManager: read past end of " + f.path);
+  }
+  if (std::fseek(f.handle, static_cast<long>(id.page) * kPageSize, SEEK_SET) !=
+          0 ||
+      std::fread(out, 1, kPageSize, f.handle) != kPageSize) {
+    throw StorageError("DiskManager: read failed on " + f.path);
+  }
+  ++stats_.page_reads;
+  synthetic_delay(read_latency_us_);
+}
+
+void DiskManager::write_page(PageId id, const uint8_t* data) {
+  File& f = file_at(id.file);
+  if (id.page >= f.pages) {
+    throw StorageError("DiskManager: write past end of " + f.path);
+  }
+  if (std::fseek(f.handle, static_cast<long>(id.page) * kPageSize, SEEK_SET) !=
+          0 ||
+      std::fwrite(data, 1, kPageSize, f.handle) != kPageSize) {
+    throw StorageError("DiskManager: write failed on " + f.path);
+  }
+  std::fflush(f.handle);
+  ++stats_.page_writes;
+  synthetic_delay(write_latency_us_);
+}
+
+uint64_t DiskManager::file_size_bytes(FileId file) const {
+  return static_cast<uint64_t>(file_at(file).pages) * kPageSize;
+}
+
+}  // namespace wre::storage

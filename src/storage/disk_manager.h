@@ -1,0 +1,79 @@
+// File-backed page I/O with configurable synthetic latency.
+//
+// The paper's testbed used an array of 10k-RPM disks; in this reproduction
+// physical reads may be served from a RAM-backed filesystem, which would
+// erase the cold/warm-cache effect the evaluation measures (Figures 4-7).
+// DiskManager therefore supports an optional synthetic per-page read/write
+// latency that models seek+transfer cost. Benches enable it; unit tests
+// leave it at zero.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/page.h"
+#include "src/util/bytes.h"
+
+namespace wre::storage {
+
+/// I/O statistics, cumulative since construction or reset_stats().
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+};
+
+/// Manages a set of page files. Single-threaded (matching the engine).
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if absent) a page file and returns its handle. A fresh
+  /// file is created with one page (page 0, zeroed) reserved for metadata.
+  FileId open_file(const std::string& path);
+
+  /// Number of pages currently in the file (including page 0).
+  PageNumber page_count(FileId file) const;
+
+  /// Appends a zeroed page to the file and returns its number.
+  PageNumber allocate_page(FileId file);
+
+  /// Reads/writes one full page. Throws StorageError on I/O failure or
+  /// out-of-range page numbers.
+  void read_page(PageId id, uint8_t* out);
+  void write_page(PageId id, const uint8_t* data);
+
+  /// File size in bytes (page_count * kPageSize).
+  uint64_t file_size_bytes(FileId file) const;
+
+  /// Synthetic latency, applied once per physical page read/write. Zero
+  /// disables it.
+  void set_read_latency_micros(uint32_t us) { read_latency_us_ = us; }
+  void set_write_latency_micros(uint32_t us) { write_latency_us_ = us; }
+
+  const DiskStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DiskStats{}; }
+
+ private:
+  struct File {
+    std::string path;
+    std::FILE* handle = nullptr;
+    PageNumber pages = 0;
+  };
+
+  File& file_at(FileId id);
+  const File& file_at(FileId id) const;
+
+  std::vector<File> files_;
+  DiskStats stats_;
+  uint32_t read_latency_us_ = 0;
+  uint32_t write_latency_us_ = 0;
+};
+
+}  // namespace wre::storage

@@ -1,0 +1,142 @@
+#include "src/storage/heap_file.h"
+
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace wre::storage {
+
+// Data page layout:
+//   [0..1]  u16 slot count
+//   [2..3]  u16 data_low — offset of the lowest record byte; records grow
+//           downward from kPageSize, slots grow upward from byte 4.
+//   [4..]   slot directory: per slot, u16 offset + u16 length
+//
+// Metadata page (page 0) layout:
+//   [0..3]  magic 'WRHP'
+//   [4..11] u64 record count
+//   [12..15] u32 tail page
+namespace {
+
+constexpr uint32_t kMagic = 0x57524850;  // "WRHP"
+constexpr size_t kPageHeader = 4;
+constexpr size_t kSlotSize = 4;
+
+uint16_t load_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+void store_u16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+size_t free_space(const uint8_t* page) {
+  uint16_t count = load_u16(page);
+  uint16_t data_low = load_u16(page + 2);
+  size_t slots_end = kPageHeader + kSlotSize * count;
+  return data_low > slots_end ? data_low - slots_end : 0;
+}
+
+}  // namespace
+
+HeapFile::HeapFile(BufferPool& pool, FileId file) : pool_(pool), file_(file) {
+  load_or_init_meta();
+}
+
+void HeapFile::load_or_init_meta() {
+  PageGuard meta = pool_.fetch(PageId{file_, 0});
+  const uint8_t* p = meta.data();
+  if (load_be32(p) == kMagic) {
+    record_count_ = load_le64(p + 4);
+    tail_page_ = load_le32(p + 12);
+    return;
+  }
+  uint8_t* mp = meta.mutable_data();
+  store_be32(mp, kMagic);
+  record_count_ = 0;
+  tail_page_ = kInvalidPage;
+  save_meta();
+}
+
+void HeapFile::save_meta() {
+  PageGuard meta = pool_.fetch(PageId{file_, 0});
+  uint8_t* p = meta.mutable_data();
+  store_be32(p, kMagic);
+  Bytes tmp;
+  store_le64(tmp, record_count_);
+  store_le32(tmp, tail_page_);
+  std::memcpy(p + 4, tmp.data(), tmp.size());
+}
+
+RecordId HeapFile::append(ByteView record) {
+  if (record.size() + kPageHeader + kSlotSize > kPageSize) {
+    throw StorageError("HeapFile: record larger than a page");
+  }
+
+  PageGuard page;
+  if (tail_page_ != kInvalidPage) {
+    page = pool_.fetch(PageId{file_, tail_page_});
+    if (free_space(page.data()) < record.size() + kSlotSize) {
+      page.release();
+    }
+  }
+  if (!page) {
+    page = pool_.allocate(file_);
+    uint8_t* p = page.mutable_data();
+    store_u16(p, 0);
+    store_u16(p + 2, static_cast<uint16_t>(kPageSize));
+    tail_page_ = page.id().page;
+  }
+
+  uint8_t* p = page.mutable_data();
+  uint16_t count = load_u16(p);
+  uint16_t data_low = load_u16(p + 2);
+
+  data_low = static_cast<uint16_t>(data_low - record.size());
+  std::memcpy(p + data_low, record.data(), record.size());
+  uint8_t* slot = p + kPageHeader + kSlotSize * count;
+  store_u16(slot, data_low);
+  store_u16(slot + 2, static_cast<uint16_t>(record.size()));
+  store_u16(p, static_cast<uint16_t>(count + 1));
+  store_u16(p + 2, data_low);
+
+  RecordId rid{page.id().page, count};
+  page.release();
+
+  ++record_count_;
+  save_meta();
+  return rid;
+}
+
+Bytes HeapFile::read(const RecordId& rid) {
+  if (rid.page == kInvalidPage) throw StorageError("HeapFile: invalid record id");
+  PageGuard page = pool_.fetch(PageId{file_, rid.page});
+  const uint8_t* p = page.data();
+  uint16_t count = load_u16(p);
+  if (rid.slot >= count) throw StorageError("HeapFile: slot out of range");
+  const uint8_t* slot = p + kPageHeader + kSlotSize * rid.slot;
+  uint16_t offset = load_u16(slot);
+  uint16_t length = load_u16(slot + 2);
+  return Bytes(p + offset, p + offset + length);
+}
+
+void HeapFile::scan(const std::function<void(RecordId, ByteView)>& fn) {
+  PageNumber pages = pool_.disk().page_count(file_);
+  for (PageNumber pn = 1; pn < pages; ++pn) {
+    PageGuard page = pool_.fetch(PageId{file_, pn});
+    const uint8_t* p = page.data();
+    uint16_t count = load_u16(p);
+    for (uint16_t s = 0; s < count; ++s) {
+      const uint8_t* slot = p + kPageHeader + kSlotSize * s;
+      uint16_t offset = load_u16(slot);
+      uint16_t length = load_u16(slot + 2);
+      fn(RecordId{pn, s}, ByteView(p + offset, length));
+    }
+  }
+}
+
+PageNumber HeapFile::page_count() const {
+  return pool_.disk().page_count(file_);
+}
+
+}  // namespace wre::storage

@@ -1,0 +1,72 @@
+// Slotted-page heap file: the row store backing each SQL table.
+//
+// The engine is append-only by design: the paper's evaluation workload is
+// bulk load followed by read-only queries, and WRE's update story
+// (Section IV, "Updates") is itself append-only — new records get a fresh
+// tag and ciphertext and are appended. Nothing in the scheme requires
+// in-place mutation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/storage/buffer_pool.h"
+#include "src/util/bytes.h"
+
+namespace wre::storage {
+
+/// Location of a record: (page number, slot within page).
+struct RecordId {
+  PageNumber page = kInvalidPage;
+  uint16_t slot = 0;
+
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+
+  /// Packs into a 64-bit value for storage in index leaves.
+  uint64_t pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static RecordId unpack(uint64_t v) {
+    return RecordId{static_cast<PageNumber>(v >> 16),
+                    static_cast<uint16_t>(v & 0xffff)};
+  }
+};
+
+/// Variable-length record heap over one page file.
+///
+/// Page 0 holds metadata (record count, tail page). Records must fit in a
+/// single page (<= kPageSize - 8 bytes); the SQL layer enforces row sizes
+/// well below that.
+class HeapFile {
+ public:
+  /// Binds to `file` inside `pool`'s disk manager. A fresh file is
+  /// initialized on first use; an existing file resumes from its metadata.
+  HeapFile(BufferPool& pool, FileId file);
+
+  /// Appends a record, returning its id.
+  RecordId append(ByteView record);
+
+  /// Reads the record at `rid`. Throws StorageError for invalid ids.
+  Bytes read(const RecordId& rid);
+
+  /// Invokes fn(rid, record_bytes) for every record in file order.
+  void scan(const std::function<void(RecordId, ByteView)>& fn);
+
+  uint64_t record_count() const { return record_count_; }
+
+  /// Pages occupied, including the metadata page.
+  PageNumber page_count() const;
+
+  FileId file() const { return file_; }
+
+ private:
+  void load_or_init_meta();
+  void save_meta();
+
+  BufferPool& pool_;
+  FileId file_;
+  uint64_t record_count_ = 0;
+  PageNumber tail_page_ = kInvalidPage;  // page currently accepting appends
+};
+
+}  // namespace wre::storage

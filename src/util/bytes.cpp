@@ -1,0 +1,103 @@
+#include "src/util/bytes.h"
+
+#include <stdexcept>
+
+namespace wre {
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_nibble(hex[i]);
+    int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView data) {
+  return std::string(data.begin(), data.end());
+}
+
+void append(Bytes& out, ByteView data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+void store_le32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void store_le64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t load_le32(const uint8_t* data) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data[i]) << (8 * i);
+  return v;
+}
+
+uint64_t load_le64(const uint8_t* data) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[i]) << (8 * i);
+  return v;
+}
+
+void store_be32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v >> 24);
+  out[1] = static_cast<uint8_t>(v >> 16);
+  out[2] = static_cast<uint8_t>(v >> 8);
+  out[3] = static_cast<uint8_t>(v);
+}
+
+void store_be64(uint8_t* out, uint64_t v) {
+  store_be32(out, static_cast<uint32_t>(v >> 32));
+  store_be32(out + 4, static_cast<uint32_t>(v));
+}
+
+uint32_t load_be32(const uint8_t* data) {
+  return (static_cast<uint32_t>(data[0]) << 24) |
+         (static_cast<uint32_t>(data[1]) << 16) |
+         (static_cast<uint32_t>(data[2]) << 8) | static_cast<uint32_t>(data[3]);
+}
+
+bool constant_time_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace wre

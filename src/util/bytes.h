@@ -1,0 +1,52 @@
+// Byte-buffer helpers shared across the library: hex (de)serialization,
+// little-endian integer packing, and constant-time comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wre {
+
+/// Owning byte buffer. All crypto and storage interfaces traffic in Bytes or
+/// std::span<const uint8_t> views over them.
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+/// Encodes `data` as lowercase hex (two characters per byte).
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Reinterprets a string's characters as bytes (no copy avoided; returns an
+/// owning buffer so the caller need not keep the string alive).
+Bytes to_bytes(std::string_view s);
+
+/// Reinterprets a byte buffer as a std::string.
+std::string to_string(ByteView data);
+
+/// Appends `data` to `out`.
+void append(Bytes& out, ByteView data);
+
+/// Little-endian packing of fixed-width integers. store_* appends to `out`.
+void store_le32(Bytes& out, uint32_t v);
+void store_le64(Bytes& out, uint64_t v);
+
+/// Little-endian unpacking. Preconditions: `data` holds at least the width.
+uint32_t load_le32(const uint8_t* data);
+uint64_t load_le64(const uint8_t* data);
+
+/// Big-endian helpers (used by SHA-256 and AES-CTR counters).
+void store_be32(uint8_t* out, uint32_t v);
+void store_be64(uint8_t* out, uint64_t v);
+uint32_t load_be32(const uint8_t* data);
+
+/// Constant-time equality: runtime depends only on the lengths, never on the
+/// contents. Returns false immediately if the lengths differ.
+bool constant_time_equal(ByteView a, ByteView b);
+
+}  // namespace wre

@@ -1,0 +1,42 @@
+// Library-wide exception hierarchy. Exceptions signal programmer or
+// environment errors (bad schema, I/O failure, corrupt page); expected
+// conditions (missing row, cache miss) are expressed as optionals / status
+// codes at the call site instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wre {
+
+/// Root of all exceptions thrown by the wre library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Storage layer failure: file I/O errors, corrupt pages, page-id bounds.
+class StorageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// SQL layer failure: parse errors, unknown tables/columns, type mismatches.
+class SqlError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Crypto layer failure: bad key sizes, malformed ciphertexts.
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// WRE client failure: unknown plaintext distributions, bad parameters.
+class WreError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace wre

@@ -1,0 +1,53 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace wre {
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+uint64_t Xoshiro256::operator()() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Xoshiro256::next_below(uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256::next_exponential(double lambda) {
+  // Inverse CDF; 1 - U in (0, 1] avoids log(0).
+  double u = 1.0 - next_double();
+  return -std::log(u) / lambda;
+}
+
+}  // namespace wre

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for simulation and testing.
+//
+// Security-relevant randomness (keys, nonces, salt draws during encryption)
+// must come from crypto::SecureRandom (src/crypto/secure_random.h); the
+// xoshiro generator here is for workload generation, sampling in benches and
+// reproducible tests only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wre {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Sebastiano Vigna, public domain.
+uint64_t splitmix64(uint64_t& state);
+
+/// xoshiro256** 1.0 — fast, high-quality non-cryptographic PRNG.
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions and std::shuffle.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Xoshiro256(uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias. Precondition:
+  /// bound > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Exponential(lambda) variate via inverse CDF. Precondition: lambda > 0.
+  double next_exponential(double lambda);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Fisher–Yates shuffle driven by an injected generator; kept here (rather
+/// than std::shuffle) so the permutation is stable across standard-library
+/// implementations, which matters for golden tests.
+template <typename T, typename Rng>
+void fisher_yates_shuffle(std::vector<T>& items, Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace wre

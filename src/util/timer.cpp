@@ -1,0 +1,4 @@
+#include "src/util/timer.h"
+
+// Timer is header-only; this translation unit exists so the util library has
+// a stable archive member even if future timing utilities move out of line.

@@ -1,0 +1,628 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "src/core/distribution.h"
+#include "src/core/encrypted_client.h"
+#include "src/core/salts.h"
+#include "src/core/wre_scheme.h"
+#include "tests/test_util.h"
+
+namespace wre::core {
+namespace {
+
+using wre::testing::TempDir;
+
+PlaintextDistribution small_dist() {
+  return PlaintextDistribution::from_probabilities(
+      {{"alice", 0.5}, {"bob", 0.3}, {"carol", 0.2}});
+}
+
+crypto::KeyBundle test_keys(uint64_t seed = 1) {
+  auto rng = crypto::SecureRandom::for_testing(seed);
+  return crypto::KeyBundle::generate(rng);
+}
+
+double weight_sum(const SaltSet& s) {
+  return std::accumulate(s.weights.begin(), s.weights.end(), 0.0);
+}
+
+// --------------------------------------------------- PlaintextDistribution
+
+TEST(Distribution, FromCountsNormalizes) {
+  auto d = PlaintextDistribution::from_counts({{"a", 30}, {"b", 70}});
+  EXPECT_NEAR(d.probability("a"), 0.3, 1e-12);
+  EXPECT_NEAR(d.probability("b"), 0.7, 1e-12);
+  EXPECT_EQ(d.support_size(), 2u);
+}
+
+TEST(Distribution, FromCountsSkipsZeros) {
+  auto d = PlaintextDistribution::from_counts({{"a", 10}, {"zero", 0}});
+  EXPECT_FALSE(d.contains("zero"));
+}
+
+TEST(Distribution, RejectsEmptyAndBadSums) {
+  EXPECT_THROW(PlaintextDistribution::from_counts({}), WreError);
+  EXPECT_THROW(
+      PlaintextDistribution::from_probabilities({{"a", 0.5}, {"b", 0.4}}),
+      WreError);
+  EXPECT_THROW(PlaintextDistribution::from_probabilities({{"a", -0.1},
+                                                          {"b", 1.1}}),
+               WreError);
+}
+
+TEST(Distribution, OutsideSupportThrows) {
+  EXPECT_THROW(small_dist().probability("mallory"), WreError);
+}
+
+TEST(Distribution, MinMaxProbability) {
+  auto d = small_dist();
+  EXPECT_NEAR(d.min_probability(), 0.2, 1e-12);
+  EXPECT_NEAR(d.max_probability(), 0.5, 1e-12);
+}
+
+TEST(Distribution, MessagesSortedDeterministically) {
+  auto d = small_dist();
+  EXPECT_EQ(d.messages(),
+            (std::vector<std::string>{"alice", "bob", "carol"}));
+}
+
+TEST(Distribution, LambdaAdvantageRelation) {
+  auto d = small_dist();  // tau = 0.2
+  double lambda = lambda_for_advantage(1e-9, d);
+  EXPECT_NEAR(advantage_for_lambda(lambda, d), 1e-9, 1e-12);
+  EXPECT_NEAR(lambda, -std::log(1e-9) / 0.2, 1e-6);
+  EXPECT_THROW(lambda_for_advantage(0, d), WreError);
+  EXPECT_THROW(lambda_for_advantage(1, d), WreError);
+  EXPECT_THROW(advantage_for_lambda(0, d), WreError);
+}
+
+// ---------------------------------------------------------- SaltAllocators
+
+TEST(DeterministicAllocator, SingleSalt) {
+  DeterministicAllocator a;
+  auto s = a.salts_for("anything");
+  EXPECT_EQ(s.salts, std::vector<uint64_t>{0});
+  EXPECT_NEAR(weight_sum(s), 1.0, 1e-12);
+  EXPECT_FALSE(a.bucketized());
+}
+
+TEST(FixedSaltAllocator, ExactlyNSaltsUniform) {
+  FixedSaltAllocator a(100);
+  auto s = a.salts_for("alice");
+  EXPECT_EQ(s.salts.size(), 100u);
+  EXPECT_NEAR(weight_sum(s), 1.0, 1e-9);
+  for (double w : s.weights) EXPECT_NEAR(w, 0.01, 1e-12);
+  // Same salts for every message (the method ignores frequencies).
+  EXPECT_EQ(a.salts_for("bob").salts, s.salts);
+}
+
+TEST(FixedSaltAllocator, RejectsZero) {
+  EXPECT_THROW(FixedSaltAllocator(0), WreError);
+}
+
+TEST(ProportionalSaltAllocator, CountsTrackFrequency) {
+  auto d = small_dist();
+  ProportionalSaltAllocator a(d, 100);
+  EXPECT_EQ(a.salts_for("alice").salts.size(), 50u);
+  EXPECT_EQ(a.salts_for("bob").salts.size(), 30u);
+  EXPECT_EQ(a.salts_for("carol").salts.size(), 20u);
+  EXPECT_NEAR(weight_sum(a.salts_for("alice")), 1.0, 1e-9);
+}
+
+TEST(ProportionalSaltAllocator, RareValuesGetAtLeastOneSalt) {
+  auto d = PlaintextDistribution::from_probabilities(
+      {{"common", 0.999}, {"rare", 0.001}});
+  ProportionalSaltAllocator a(d, 10);
+  EXPECT_EQ(a.salts_for("rare").salts.size(), 1u);
+}
+
+TEST(ProportionalSaltAllocator, AliasingExampleFromPaper) {
+  // Section V-B: P(m1)=0.7, P(m2)=0.3. N_T=10 divides evenly; N_T=12
+  // rounds to 8 and 4 salts whose per-tag frequencies differ (0.0875 vs
+  // 0.075) — the aliasing problem.
+  auto d = PlaintextDistribution::from_probabilities(
+      {{"m1", 0.7}, {"m2", 0.3}});
+  ProportionalSaltAllocator even(d, 10);
+  EXPECT_EQ(even.salts_for("m1").salts.size(), 7u);
+  EXPECT_EQ(even.salts_for("m2").salts.size(), 3u);
+  // per-tag frequency identical: 0.7/7 == 0.3/3 == 0.1
+
+  ProportionalSaltAllocator aliased(d, 12);
+  auto s1 = aliased.salts_for("m1");
+  auto s2 = aliased.salts_for("m2");
+  EXPECT_EQ(s1.salts.size(), 8u);
+  EXPECT_EQ(s2.salts.size(), 4u);
+  double f1 = 0.7 / 8, f2 = 0.3 / 4;
+  EXPECT_GT(std::abs(f1 - f2), 0.01);  // distinguishable per-tag frequency
+}
+
+TEST(PoissonSaltAllocator, DeterministicPerKeyAndMessage) {
+  auto d = small_dist();
+  auto keys = test_keys();
+  PoissonSaltAllocator a(d, 50, keys.shuffle_key);
+  auto s1 = a.salts_for("alice");
+  auto s2 = a.salts_for("alice");
+  EXPECT_EQ(s1.salts, s2.salts);
+  EXPECT_EQ(s1.weights, s2.weights);
+}
+
+TEST(PoissonSaltAllocator, DifferentKeysDiffer) {
+  auto d = small_dist();
+  PoissonSaltAllocator a(d, 500, test_keys(1).shuffle_key);
+  PoissonSaltAllocator b(d, 500, test_keys(2).shuffle_key);
+  EXPECT_NE(a.salts_for("alice").weights, b.salts_for("alice").weights);
+}
+
+TEST(PoissonSaltAllocator, SaltCountNearLambdaTimesProbability) {
+  auto d = small_dist();
+  PoissonSaltAllocator a(d, 1000, test_keys().shuffle_key);
+  // E[#salts for m] = lambda * P(m) + 1.
+  auto n_alice = a.salts_for("alice").salts.size();
+  EXPECT_NEAR(static_cast<double>(n_alice), 1000 * 0.5 + 1, 5 * 22.4);
+  EXPECT_NEAR(weight_sum(a.salts_for("alice")), 1.0, 1e-9);
+  EXPECT_NEAR(weight_sum(a.salts_for("carol")), 1.0, 1e-9);
+}
+
+TEST(PoissonSaltAllocator, WeightsAreExponentialLike) {
+  // Across many messages the (uncapped) tag frequencies should have mean
+  // ~1/lambda.
+  std::map<std::string, double> probs;
+  constexpr int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) {
+    probs["m" + std::to_string(i)] = 1.0 / kMessages;
+  }
+  auto d = PlaintextDistribution::from_probabilities(probs);
+  double lambda = 2000;
+  PoissonSaltAllocator a(d, lambda, test_keys().shuffle_key);
+  std::vector<double> freqs;
+  for (const auto& m : d.messages()) {
+    auto s = a.salts_for(m);
+    double p = d.probability(m);
+    // Drop the final (capped) weight of each message.
+    for (size_t i = 0; i + 1 < s.weights.size(); ++i) {
+      freqs.push_back(s.weights[i] * p);
+    }
+  }
+  ASSERT_GT(freqs.size(), 1000u);
+  double mean = std::accumulate(freqs.begin(), freqs.end(), 0.0) /
+                static_cast<double>(freqs.size());
+  EXPECT_NEAR(mean, 1.0 / lambda, 0.15 / lambda);
+}
+
+TEST(PoissonSaltAllocator, RejectsBadLambda) {
+  auto d = small_dist();
+  EXPECT_THROW(PoissonSaltAllocator(d, 0, test_keys().shuffle_key), WreError);
+  EXPECT_THROW(PoissonSaltAllocator(d, -5, test_keys().shuffle_key), WreError);
+}
+
+TEST(BucketizedPoissonAllocator, BucketsPartitionUnitInterval) {
+  auto d = small_dist();
+  auto keys = test_keys();
+  BucketizedPoissonAllocator a(d, 100, keys.shuffle_key, to_bytes("col"));
+  EXPECT_TRUE(a.bucketized());
+  // Expected bucket count ~ lambda + 1.
+  EXPECT_NEAR(static_cast<double>(a.bucket_count()), 101, 5 * 10);
+
+  // The union of all messages' salt weights must cover every bucket and the
+  // per-message weights must sum to 1.
+  std::set<uint64_t> all_salts;
+  for (const auto& m : d.messages()) {
+    auto s = a.salts_for(m);
+    EXPECT_NEAR(weight_sum(s), 1.0, 1e-9) << m;
+    all_salts.insert(s.salts.begin(), s.salts.end());
+  }
+  EXPECT_EQ(all_salts.size(), a.bucket_count());
+}
+
+TEST(BucketizedPoissonAllocator, SharedBucketsCreateAmbiguity) {
+  // With few buckets relative to messages, some bucket must straddle two
+  // messages — the ambiguity that defeats frequency matching.
+  std::map<std::string, double> probs;
+  for (int i = 0; i < 50; ++i) probs["m" + std::to_string(i)] = 0.02;
+  auto d = PlaintextDistribution::from_probabilities(probs);
+  BucketizedPoissonAllocator a(d, 20, test_keys().shuffle_key,
+                               to_bytes("col"));
+  std::unordered_map<uint64_t, int> bucket_owners;
+  for (const auto& m : d.messages()) {
+    for (uint64_t s : a.salts_for(m).salts) ++bucket_owners[s];
+  }
+  int shared = 0;
+  for (const auto& [b, owners] : bucket_owners) {
+    if (owners > 1) ++shared;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+TEST(BucketizedPoissonAllocator, DeterministicAndKeyDependent) {
+  auto d = small_dist();
+  BucketizedPoissonAllocator a(d, 100, test_keys(1).shuffle_key,
+                               to_bytes("col"));
+  BucketizedPoissonAllocator b(d, 100, test_keys(1).shuffle_key,
+                               to_bytes("col"));
+  BucketizedPoissonAllocator c(d, 100, test_keys(2).shuffle_key,
+                               to_bytes("col"));
+  EXPECT_EQ(a.salts_for("bob").salts, b.salts_for("bob").salts);
+  EXPECT_NE(a.salts_for("bob").salts, c.salts_for("bob").salts);
+}
+
+TEST(BucketizedPoissonAllocator, OutsideSupportThrows) {
+  auto d = small_dist();
+  BucketizedPoissonAllocator a(d, 100, test_keys().shuffle_key,
+                               to_bytes("col"));
+  EXPECT_THROW(a.salts_for("mallory"), WreError);
+}
+
+TEST(SaltSet, SampleHonorsWeights) {
+  SaltSet s{{1, 2}, {0.9, 0.1}};
+  auto rng = crypto::SecureRandom::for_testing(3);
+  int ones = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (s.sample(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kDraws), 0.9, 0.02);
+}
+
+// -------------------------------------------------------------- WreScheme
+
+std::unique_ptr<WreScheme> make_scheme(SaltMethod method, double param,
+                                       uint64_t seed = 1) {
+  auto keys = test_keys(seed);
+  auto d = small_dist();
+  std::unique_ptr<SaltAllocator> alloc;
+  switch (method) {
+    case SaltMethod::kDeterministic:
+      alloc = std::make_unique<DeterministicAllocator>();
+      break;
+    case SaltMethod::kFixed:
+      alloc = std::make_unique<FixedSaltAllocator>(
+          static_cast<uint32_t>(param));
+      break;
+    case SaltMethod::kProportional:
+      alloc = std::make_unique<ProportionalSaltAllocator>(
+          d, static_cast<uint32_t>(param));
+      break;
+    case SaltMethod::kPoisson:
+      alloc = std::make_unique<PoissonSaltAllocator>(d, param,
+                                                     keys.shuffle_key);
+      break;
+    case SaltMethod::kBucketizedPoisson:
+      alloc = std::make_unique<BucketizedPoissonAllocator>(
+          d, param, keys.shuffle_key, to_bytes("test-col"));
+      break;
+  }
+  return std::make_unique<WreScheme>(std::move(keys), std::move(alloc));
+}
+
+class WreSchemeAllMethods
+    : public ::testing::TestWithParam<std::pair<SaltMethod, double>> {};
+
+TEST_P(WreSchemeAllMethods, EncryptDecryptRoundTrip) {
+  auto [method, param] = GetParam();
+  auto scheme = make_scheme(method, param);
+  auto rng = crypto::SecureRandom::for_testing(42);
+  for (const std::string m : {"alice", "bob", "carol"}) {
+    auto cell = scheme->encrypt(m, rng);
+    EXPECT_EQ(scheme->decrypt(cell.ciphertext), m);
+  }
+}
+
+TEST_P(WreSchemeAllMethods, SearchTagsContainEveryEncryptionTag) {
+  // Completeness: any tag Enc can emit must be in Search's tag list.
+  auto [method, param] = GetParam();
+  auto scheme = make_scheme(method, param);
+  auto rng = crypto::SecureRandom::for_testing(43);
+  for (const std::string m : {"alice", "bob", "carol"}) {
+    auto tags = scheme->search_tags(m);
+    std::set<crypto::Tag> tag_set(tags.begin(), tags.end());
+    for (int i = 0; i < 200; ++i) {
+      auto cell = scheme->encrypt(m, rng);
+      EXPECT_TRUE(tag_set.contains(cell.tag))
+          << "method param " << param << " message " << m;
+    }
+  }
+}
+
+TEST_P(WreSchemeAllMethods, CiphertextsAreRandomized) {
+  auto [method, param] = GetParam();
+  auto scheme = make_scheme(method, param);
+  auto rng = crypto::SecureRandom::for_testing(44);
+  auto c1 = scheme->encrypt("alice", rng);
+  auto c2 = scheme->encrypt("alice", rng);
+  EXPECT_NE(c1.ciphertext, c2.ciphertext);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, WreSchemeAllMethods,
+    ::testing::Values(std::pair{SaltMethod::kDeterministic, 0.0},
+                      std::pair{SaltMethod::kFixed, 10.0},
+                      std::pair{SaltMethod::kFixed, 100.0},
+                      std::pair{SaltMethod::kProportional, 50.0},
+                      std::pair{SaltMethod::kPoisson, 10.0},
+                      std::pair{SaltMethod::kPoisson, 200.0},
+                      std::pair{SaltMethod::kBucketizedPoisson, 10.0},
+                      std::pair{SaltMethod::kBucketizedPoisson, 200.0}));
+
+TEST(WreScheme, DeterministicMethodYieldsOneTagPerMessage) {
+  auto scheme = make_scheme(SaltMethod::kDeterministic, 0);
+  EXPECT_EQ(scheme->search_tags("alice").size(), 1u);
+  auto rng = crypto::SecureRandom::for_testing(1);
+  auto t1 = scheme->encrypt("alice", rng).tag;
+  auto t2 = scheme->encrypt("alice", rng).tag;
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(WreScheme, DifferentMessagesNeverShareTagsInPlainWre) {
+  auto scheme = make_scheme(SaltMethod::kFixed, 50);
+  auto ta = scheme->search_tags("alice");
+  auto tb = scheme->search_tags("bob");
+  std::set<crypto::Tag> sa(ta.begin(), ta.end());
+  for (auto t : tb) EXPECT_FALSE(sa.contains(t));
+}
+
+TEST(WreScheme, BucketizedSchemesShareTagsAcrossMessages) {
+  // With lambda small relative to the support, boundary buckets are shared.
+  auto scheme = make_scheme(SaltMethod::kBucketizedPoisson, 10.0);
+  std::set<crypto::Tag> all;
+  size_t total = 0;
+  for (const std::string m : {"alice", "bob", "carol"}) {
+    auto tags = scheme->search_tags(m);
+    total += tags.size();
+    all.insert(tags.begin(), tags.end());
+  }
+  EXPECT_LT(all.size(), total);  // at least one shared tag
+}
+
+TEST(WreScheme, FalsePositiveFlagMatchesAllocator) {
+  EXPECT_FALSE(
+      make_scheme(SaltMethod::kPoisson, 100)->may_return_false_positives());
+  EXPECT_TRUE(make_scheme(SaltMethod::kBucketizedPoisson, 100)
+                  ->may_return_false_positives());
+}
+
+// ----------------------------------------------------- EncryptedConnection
+
+sql::Schema people_schema() {
+  return sql::Schema({sql::Column{"id", sql::ValueType::kInt64, true},
+                      sql::Column{"fname", sql::ValueType::kText},
+                      sql::Column{"age", sql::ValueType::kInt64}});
+}
+
+struct ClientFixture {
+  TempDir dir;
+  sql::Database db;
+  EncryptedConnection conn;
+
+  explicit ClientFixture(SaltMethod method, double param)
+      : db(dir.str()), conn(db, Bytes(32, 0x24)) {
+    std::map<std::string, PlaintextDistribution> dists;
+    dists.emplace("fname", small_dist());
+    conn.create_table("people", people_schema(),
+                      {EncryptedColumnSpec{"fname", method, param}}, dists);
+  }
+
+  void load(int n) {
+    auto rng = crypto::SecureRandom::for_testing(5);
+    const char* names[] = {"alice", "alice", "alice", "alice", "alice",
+                           "bob",   "bob",   "bob",   "carol", "carol"};
+    for (int i = 0; i < n; ++i) {
+      conn.insert("people",
+                  {sql::Value::int64(i), sql::Value::text(names[i % 10]),
+                   sql::Value::int64(20 + i % 50)});
+    }
+    (void)rng;
+  }
+};
+
+TEST(EncryptedConnection, PhysicalSchemaSplitsEncryptedColumns) {
+  ClientFixture f(SaltMethod::kPoisson, 100);
+  const auto& physical = f.db.table("people").schema();
+  EXPECT_EQ(physical.column_count(), 4u);
+  EXPECT_TRUE(physical.index_of("fname_tag").has_value());
+  EXPECT_TRUE(physical.index_of("fname_enc").has_value());
+  EXPECT_FALSE(physical.index_of("fname").has_value());
+  EXPECT_TRUE(f.db.table("people").has_index("fname_tag"));
+}
+
+TEST(EncryptedConnection, ServerNeverSeesPlaintext) {
+  ClientFixture f(SaltMethod::kPoisson, 100);
+  f.load(10);
+  auto rs = f.db.execute("SELECT * FROM people");
+  for (const auto& row : rs.rows) {
+    // fname_enc is a blob; nothing textual equals the plaintext.
+    EXPECT_EQ(row[1].type(), sql::ValueType::kInt64);  // tag
+    EXPECT_EQ(row[2].type(), sql::ValueType::kBlob);   // ciphertext
+  }
+}
+
+class EncryptedConnectionAllMethods
+    : public ::testing::TestWithParam<std::pair<SaltMethod, double>> {};
+
+TEST_P(EncryptedConnectionAllMethods, SelectStarReturnsExactMatches) {
+  auto [method, param] = GetParam();
+  ClientFixture f(method, param);
+  f.load(100);
+  auto result = f.conn.select_star("people", "fname", "bob");
+  EXPECT_EQ(result.rows.size(), 30u);  // names[] has 3 bobs per 10
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[1].as_text(), "bob");
+  }
+  // Filtering must remove exactly the false positives.
+  EXPECT_EQ(result.server_rows_returned - result.false_positives,
+            result.rows.size());
+}
+
+TEST_P(EncryptedConnectionAllMethods, SelectIdsCoversAllTrueMatches) {
+  auto [method, param] = GetParam();
+  ClientFixture f(method, param);
+  f.load(100);
+  auto result = f.conn.select_ids("people", "fname", "alice");
+  // ids must be a superset of the 50 true alice rows (ids 0-4 mod 10).
+  std::set<int64_t> ids(result.ids.begin(), result.ids.end());
+  for (int i = 0; i < 100; ++i) {
+    if (i % 10 < 5) {
+      EXPECT_TRUE(ids.contains(i)) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, EncryptedConnectionAllMethods,
+    ::testing::Values(std::pair{SaltMethod::kDeterministic, 0.0},
+                      std::pair{SaltMethod::kFixed, 25.0},
+                      std::pair{SaltMethod::kProportional, 30.0},
+                      std::pair{SaltMethod::kPoisson, 60.0},
+                      std::pair{SaltMethod::kBucketizedPoisson, 60.0}));
+
+TEST(EncryptedConnection, NonBucketizedHasNoFalsePositives) {
+  ClientFixture f(SaltMethod::kPoisson, 100);
+  f.load(100);
+  auto result = f.conn.select_star("people", "fname", "carol");
+  EXPECT_EQ(result.false_positives, 0u);
+}
+
+TEST(EncryptedConnection, BucketizedFalsePositivesAreFiltered) {
+  // Tiny lambda => few buckets => many shared tags => false positives.
+  ClientFixture f(SaltMethod::kBucketizedPoisson, 3.0);
+  f.load(100);
+  auto result = f.conn.select_star("people", "fname", "carol");
+  EXPECT_EQ(result.rows.size(), 20u);
+  EXPECT_GT(result.server_rows_returned, result.rows.size());
+  EXPECT_GT(result.false_positives, 0u);
+}
+
+TEST(EncryptedConnection, RewriteSelectProducesInClause) {
+  ClientFixture f(SaltMethod::kFixed, 4);
+  std::string sql = f.conn.rewrite_select("people", "fname", "bob", false);
+  EXPECT_TRUE(sql.starts_with("SELECT id FROM people WHERE fname_tag IN ("));
+  // Fixed-4 yields exactly 4 tags.
+  EXPECT_EQ(std::count(sql.begin(), sql.end(), ','), 3);
+}
+
+TEST(EncryptedConnection, NullValuesPassThrough) {
+  ClientFixture f(SaltMethod::kPoisson, 50);
+  f.conn.insert("people", {sql::Value::int64(1), sql::Value::null(),
+                           sql::Value::int64(30)});
+  auto rs = f.db.execute("SELECT * FROM people");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  EXPECT_TRUE(rs.rows[0][2].is_null());
+}
+
+TEST(EncryptedConnection, UnknownTableOrColumnThrows) {
+  ClientFixture f(SaltMethod::kPoisson, 50);
+  EXPECT_THROW(f.conn.select_ids("ghost", "fname", "x"), WreError);
+  EXPECT_THROW(f.conn.select_ids("people", "age", "x"), WreError);
+  EXPECT_THROW(f.conn.scheme("people", "age"), WreError);
+}
+
+TEST(EncryptedConnection, NonTextEncryptedColumnRejected) {
+  TempDir dir;
+  sql::Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 1));
+  EXPECT_THROW(
+      conn.create_table("t", people_schema(),
+                        {EncryptedColumnSpec{"age", SaltMethod::kFixed, 5}},
+                        {}),
+      WreError);
+}
+
+TEST(EncryptedConnection, MissingDistributionRejectedWhenRequired) {
+  TempDir dir;
+  sql::Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 1));
+  EXPECT_THROW(
+      conn.create_table(
+          "t", people_schema(),
+          {EncryptedColumnSpec{"fname", SaltMethod::kPoisson, 100}}, {}),
+      WreError);
+}
+
+TEST(EncryptedConnection, FixedMethodNeedsNoDistribution) {
+  TempDir dir;
+  sql::Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 1));
+  EXPECT_NO_THROW(conn.create_table(
+      "t", people_schema(),
+      {EncryptedColumnSpec{"fname", SaltMethod::kFixed, 8}}, {}));
+}
+
+TEST(EncryptedConnection, ConjunctionAcrossEncryptedAndPlaintextColumns) {
+  ClientFixture f(SaltMethod::kPoisson, 60);
+  f.load(100);
+  // fname = 'alice' (encrypted) AND age = 25 (plaintext).
+  auto result = f.conn.select_star_and(
+      "people", {{"fname", sql::Value::text("alice")},
+                 {"age", sql::Value::int64(25)}});
+  // alice rows are ids with i % 10 < 5; age = 20 + i % 50 == 25 -> i%50==5.
+  size_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 10 < 5 && 20 + i % 50 == 25) ++expected;
+  }
+  EXPECT_EQ(result.rows.size(), expected);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[1].as_text(), "alice");
+    EXPECT_EQ(row[2].as_int64(), 25);
+  }
+}
+
+TEST(EncryptedConnection, ConjunctionOfTwoEncryptedColumns) {
+  TempDir dir;
+  sql::Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 9));
+  sql::Schema schema({sql::Column{"id", sql::ValueType::kInt64, true},
+                      sql::Column{"fname", sql::ValueType::kText},
+                      sql::Column{"city", sql::ValueType::kText}});
+  std::map<std::string, PlaintextDistribution> dists;
+  dists.emplace("fname", small_dist());
+  dists.emplace("city", PlaintextDistribution::from_probabilities(
+                            {{"rome", 0.6}, {"oslo", 0.4}}));
+  conn.create_table(
+      "t", schema,
+      {EncryptedColumnSpec{"fname", SaltMethod::kBucketizedPoisson, 20},
+       EncryptedColumnSpec{"city", SaltMethod::kPoisson, 20}},
+      dists);
+  const char* names[] = {"alice", "bob", "carol", "alice"};
+  const char* cities[] = {"rome", "rome", "oslo", "oslo"};
+  for (int i = 0; i < 40; ++i) {
+    conn.insert("t", {sql::Value::int64(i), sql::Value::text(names[i % 4]),
+                      sql::Value::text(cities[i % 4])});
+  }
+  auto result = conn.select_star_and(
+      "t", {{"fname", sql::Value::text("alice")},
+            {"city", sql::Value::text("oslo")}});
+  EXPECT_EQ(result.rows.size(), 10u);  // i % 4 == 3
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[1].as_text(), "alice");
+    EXPECT_EQ(row[2].as_text(), "oslo");
+  }
+}
+
+TEST(EncryptedConnection, ConjunctionRejectsBadInput) {
+  ClientFixture f(SaltMethod::kPoisson, 60);
+  EXPECT_THROW(f.conn.select_star_and("people", {}), WreError);
+  EXPECT_THROW(f.conn.select_star_and(
+                   "people", {{"ghost", sql::Value::text("x")}}),
+               WreError);
+}
+
+TEST(EncryptedConnection, DifferentMasterSecretsProduceDifferentTags) {
+  TempDir dir1, dir2;
+  sql::Database db1(dir1.str()), db2(dir2.str());
+  EncryptedConnection c1(db1, Bytes(32, 1)), c2(db2, Bytes(32, 2));
+  std::map<std::string, PlaintextDistribution> dists;
+  dists.emplace("fname", small_dist());
+  auto specs = std::vector<EncryptedColumnSpec>{
+      EncryptedColumnSpec{"fname", SaltMethod::kDeterministic, 0}};
+  c1.create_table("t", people_schema(), specs, dists);
+  c2.create_table("t", people_schema(), specs, dists);
+  EXPECT_NE(c1.scheme("t", "fname").search_tags("alice"),
+            c2.scheme("t", "fname").search_tags("alice"));
+}
+
+}  // namespace
+}  // namespace wre::core

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "src/datagen/query_generator.h"
+#include "src/datagen/record_generator.h"
+#include "src/datagen/vocabulary.h"
+
+namespace wre::datagen {
+namespace {
+
+// ------------------------------------------------------ WeightedVocabulary
+
+TEST(Vocabulary, ProbabilitiesNormalize) {
+  WeightedVocabulary v({"a", "b", "c"}, {1, 2, 7});
+  EXPECT_NEAR(v.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(v.probability(1), 0.2, 1e-12);
+  EXPECT_NEAR(v.probability(2), 0.7, 1e-12);
+}
+
+TEST(Vocabulary, RejectsBadInput) {
+  EXPECT_THROW(WeightedVocabulary({}, {}), std::invalid_argument);
+  EXPECT_THROW(WeightedVocabulary({"a"}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(WeightedVocabulary({"a"}, {0}), std::invalid_argument);
+  EXPECT_THROW(WeightedVocabulary({"a"}, {-1}), std::invalid_argument);
+}
+
+TEST(Vocabulary, SamplingMatchesWeights) {
+  WeightedVocabulary v({"common", "rare"}, {9, 1});
+  Xoshiro256 rng(1);
+  int common = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (v.sample(rng) == "common") ++common;
+  }
+  EXPECT_NEAR(common / static_cast<double>(kDraws), 0.9, 0.01);
+}
+
+TEST(Vocabulary, AliasMethodHandlesManyValues) {
+  std::vector<std::string> values;
+  std::vector<double> weights;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back("v" + std::to_string(i));
+    weights.push_back(1.0 / (i + 1));
+  }
+  WeightedVocabulary v(std::move(values), std::move(weights));
+  Xoshiro256 rng(2);
+  std::unordered_map<std::string, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[v.sample(rng)];
+  // Head value frequency ~ 1/H(1000) ~ 0.1336.
+  EXPECT_NEAR(counts["v0"] / 200000.0, 0.1336, 0.01);
+}
+
+TEST(Vocabulary, BuildersProduceRequestedSizes) {
+  EXPECT_EQ(census_first_names(500).size(), 500u);
+  EXPECT_EQ(census_last_names(1000).size(), 1000u);
+  EXPECT_EQ(us_cities(300).size(), 300u);
+  EXPECT_EQ(us_states().size(), 50u);
+  EXPECT_EQ(zip_codes(2000).size(), 2000u);
+}
+
+TEST(Vocabulary, HeadsHaveDecreasingWeights) {
+  auto v = census_first_names(0);
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_GE(v.probability(i - 1), v.probability(i));
+  }
+}
+
+TEST(Vocabulary, ValuesAreUnique) {
+  for (const auto& v :
+       {census_first_names(2000), census_last_names(2000), us_cities(2000),
+        zip_codes(5000)}) {
+    std::set<std::string> unique(v.values().begin(), v.values().end());
+    EXPECT_EQ(unique.size(), v.size());
+  }
+}
+
+TEST(SynthName, DeterministicAndDistinct) {
+  EXPECT_EQ(synth_name(5, 1), synth_name(5, 1));
+  EXPECT_NE(synth_name(5, 1), synth_name(6, 1));
+  EXPECT_NE(synth_name(5, 1), synth_name(5, 2));
+}
+
+// -------------------------------------------------------- RecordGenerator
+
+TEST(RecordGenerator, SchemaHas23ColumnsWithIdPk) {
+  auto schema = RecordGenerator::schema();
+  EXPECT_EQ(schema.column_count(), 23u);
+  EXPECT_EQ(schema.primary_key_index(), 0u);
+  EXPECT_EQ(schema.column(0).name, "id");
+  for (const auto& col : RecordGenerator::encrypted_columns()) {
+    EXPECT_TRUE(schema.index_of(col).has_value()) << col;
+  }
+}
+
+TEST(RecordGenerator, RecordsMatchSchema) {
+  GeneratorOptions opts;
+  opts.notes_bytes = 30;
+  RecordGenerator gen(opts);
+  auto schema = RecordGenerator::schema();
+  for (int64_t id = 0; id < 50; ++id) {
+    EXPECT_NO_THROW(schema.check_row(gen.record(id)));
+  }
+}
+
+TEST(RecordGenerator, DeterministicInSeedAndId) {
+  GeneratorOptions opts;
+  opts.notes_bytes = 30;
+  RecordGenerator a(opts), b(opts);
+  EXPECT_EQ(a.record(17), b.record(17));
+  // Order independence: reading id 17 after id 3 gives the same record.
+  (void)b.record(3);
+  EXPECT_EQ(a.record(17), b.record(17));
+}
+
+TEST(RecordGenerator, DifferentSeedsChangeRecords) {
+  GeneratorOptions a_opts, b_opts;
+  a_opts.notes_bytes = b_opts.notes_bytes = 30;
+  b_opts.seed = 999;
+  RecordGenerator a(a_opts), b(b_opts);
+  EXPECT_NE(a.record(0), b.record(0));
+}
+
+TEST(RecordGenerator, IdColumnCarriesRequestedId) {
+  GeneratorOptions opts;
+  opts.notes_bytes = 30;
+  RecordGenerator gen(opts);
+  EXPECT_EQ(gen.record(12345)[0].as_int64(), 12345);
+}
+
+TEST(RecordGenerator, FrequenciesFollowVocabulary) {
+  GeneratorOptions opts;
+  opts.notes_bytes = 10;
+  opts.first_name_vocab = 200;
+  RecordGenerator gen(opts);
+  auto schema = RecordGenerator::schema();
+  size_t fname_idx = *schema.index_of("fname");
+  std::unordered_map<std::string, int> counts;
+  constexpr int kRecords = 30000;
+  for (int64_t id = 0; id < kRecords; ++id) {
+    ++counts[gen.record(id)[fname_idx].as_text()];
+  }
+  // The most common first name should appear with roughly its vocabulary
+  // probability.
+  double expected = gen.first_names().probability(0);
+  double observed =
+      counts[gen.first_names().values()[0]] / static_cast<double>(kRecords);
+  EXPECT_NEAR(observed, expected, expected * 0.15);
+}
+
+TEST(RecordGenerator, NotesBytesRespected) {
+  GeneratorOptions opts;
+  opts.notes_bytes = 300;
+  RecordGenerator gen(opts);
+  auto schema = RecordGenerator::schema();
+  auto row = gen.record(1);
+  size_t total = row[*schema.index_of("notes1")].as_text().size() +
+                 row[*schema.index_of("notes2")].as_text().size() +
+                 row[*schema.index_of("notes3")].as_text().size();
+  EXPECT_EQ(total, 300u);
+}
+
+// -------------------------------------------------------- ColumnHistogram
+
+TEST(ColumnHistogram, CountsAndTotals) {
+  ColumnHistogram h;
+  h.add("fname", "alice");
+  h.add("fname", "alice");
+  h.add("fname", "bob");
+  h.add("city", "springfield");
+  EXPECT_EQ(h.counts("fname").at("alice"), 2u);
+  EXPECT_EQ(h.total("fname"), 3u);
+  EXPECT_EQ(h.total("city"), 1u);
+  EXPECT_TRUE(h.counts("ghost").empty());
+  EXPECT_EQ(h.total("ghost"), 0u);
+}
+
+// --------------------------------------------------------- QueryGenerator
+
+TEST(QueryGenerator, RespectsResultSizeBands) {
+  ColumnHistogram h;
+  // 1 value per band.
+  h.add("c", "one");                                      // count 1
+  for (int i = 0; i < 5; ++i) h.add("c", "five");         // count 5
+  for (int i = 0; i < 50; ++i) h.add("c", "fifty");       // count 50
+  for (int i = 0; i < 500; ++i) h.add("c", "fivehundred");// count 500
+
+  QueryGenerator qg(h, {"c"});
+  auto queries = qg.generate(40);
+  ASSERT_FALSE(queries.empty());
+  std::set<std::string> seen;
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.column, "c");
+    seen.insert(q.value);
+    EXPECT_GE(q.expected_count, 1u);
+    EXPECT_LE(q.expected_count, 10000u);
+  }
+  // The mix should cover all four populated bands.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(QueryGenerator, ExpectedCountsAreAccurate) {
+  ColumnHistogram h;
+  for (int i = 0; i < 7; ++i) h.add("c", "seven");
+  QueryGenerator qg(h, {"c"});
+  auto queries = qg.generate(3);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& q : queries) EXPECT_EQ(q.expected_count, 7u);
+}
+
+TEST(QueryGenerator, EmptyHistogramYieldsNoQueries) {
+  ColumnHistogram h;
+  QueryGenerator qg(h, {"c"});
+  EXPECT_TRUE(qg.generate(10).empty());
+}
+
+TEST(QueryGenerator, DeterministicInSeed) {
+  ColumnHistogram h;
+  for (int i = 0; i < 3; ++i) h.add("c", "a");
+  for (int i = 0; i < 4; ++i) h.add("c", "b");
+  QueryGeneratorOptions opts;
+  QueryGenerator g1(h, {"c"}, opts), g2(h, {"c"}, opts);
+  auto q1 = g1.generate(10);
+  auto q2 = g2.generate(10);
+  ASSERT_EQ(q1.size(), q2.size());
+  for (size_t i = 0; i < q1.size(); ++i) EXPECT_EQ(q1[i].value, q2[i].value);
+}
+
+}  // namespace
+}  // namespace wre::datagen

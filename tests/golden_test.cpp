@@ -1,0 +1,63 @@
+// Golden-vector tests: pin every keyed derivation that reaches persistent
+// storage. If any of these change, databases written by previous builds
+// become unsearchable — a format break that must be deliberate (bump the
+// derivation labels, e.g. "wre-key-derivation-v1" -> v2, and migrate).
+#include <gtest/gtest.h>
+
+#include "src/core/salts.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/prf.h"
+#include "src/crypto/prs.h"
+
+namespace wre {
+namespace {
+
+crypto::KeyBundle golden_keys() {
+  return crypto::KeyBundle::derive(Bytes(32, 0x42));
+}
+
+TEST(Golden, KeyBundleDerivation) {
+  auto keys = golden_keys();
+  EXPECT_EQ(to_hex(keys.payload_key),
+            "ada40a813b73a2d1f291841580f41bd91d762a9a31fa691ed79ef707c2d8b7a2");
+  EXPECT_EQ(to_hex(keys.tag_key),
+            "9a9b20bdc36f2080d4357beb1ac7a215396ab580a4999605047a74e8b5506f21");
+  EXPECT_EQ(to_hex(keys.shuffle_key),
+            "7fc238c1c4d620f6933283b39a5f4f7e9f1740287839c24c5bb3349e365cfddc");
+}
+
+TEST(Golden, TagDerivations) {
+  crypto::TagPrf prf(golden_keys().tag_key);
+  EXPECT_EQ(prf.tag(7, to_bytes("alice")), 10795810256718709864ULL);
+  EXPECT_EQ(prf.bucket_tag(7), 8275187307937391664ULL);
+  EXPECT_EQ(prf.range_tag(7), 4246672761708013599ULL);
+}
+
+TEST(Golden, PoissonSaltLayout) {
+  // The pseudorandom salt layout must be stable: search tags written under
+  // an old build must stay reachable.
+  auto dist = core::PlaintextDistribution::from_probabilities(
+      {{"a", 0.5}, {"b", 0.5}});
+  core::PoissonSaltAllocator alloc(dist, 10, golden_keys().shuffle_key);
+  auto s = alloc.salts_for("a");
+  ASSERT_EQ(s.salts.size(), 5u);
+  EXPECT_NEAR(s.weights[0], 0.059020230113311277, 1e-15);
+}
+
+TEST(Golden, BucketizedLayout) {
+  auto dist = core::PlaintextDistribution::from_probabilities(
+      {{"a", 0.5}, {"b", 0.5}});
+  core::BucketizedPoissonAllocator alloc(dist, 10, golden_keys().shuffle_key,
+                                         to_bytes("ctx"));
+  ASSERT_EQ(alloc.bucket_count(), 12u);
+  EXPECT_NEAR(alloc.bucket_width(0), 0.0067661815982060182, 1e-15);
+}
+
+TEST(Golden, PseudoRandomShufflePermutation) {
+  crypto::PseudoRandomShuffle prs(golden_keys().shuffle_key, to_bytes("ctx"));
+  EXPECT_EQ(prs.permutation(8),
+            (std::vector<size_t>{4, 5, 6, 0, 7, 3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace wre

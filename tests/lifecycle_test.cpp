@@ -1,0 +1,226 @@
+// Tests for the data-lifecycle features: unseen-value policy, distribution
+// drift monitoring, and table migration/re-encryption — the operational
+// story around the paper's "future work will address security when the
+// distribution changes from updates".
+#include <gtest/gtest.h>
+
+#include "src/core/encrypted_client.h"
+#include "src/sql/database.h"
+#include "tests/test_util.h"
+
+namespace wre::core {
+namespace {
+
+using sql::Column;
+using sql::Database;
+using sql::Row;
+using sql::Schema;
+using sql::Value;
+using sql::ValueType;
+using wre::testing::TempDir;
+
+Schema demo_schema() {
+  return Schema({Column{"id", ValueType::kInt64, true},
+                 Column{"city", ValueType::kText}});
+}
+
+PlaintextDistribution two_cities() {
+  return PlaintextDistribution::from_probabilities(
+      {{"springfield", 0.7}, {"shelbyville", 0.3}});
+}
+
+struct Fixture {
+  TempDir dir;
+  Database db;
+  EncryptedConnection conn;
+
+  explicit Fixture(UnseenValuePolicy policy = UnseenValuePolicy::kReject)
+      : db(dir.str()), conn(db, Bytes(32, 0x71)) {
+    std::map<std::string, PlaintextDistribution> dists;
+    dists.emplace("city", two_cities());
+    conn.create_table(
+        "t", demo_schema(),
+        {EncryptedColumnSpec{"city", SaltMethod::kPoisson, 100, policy}},
+        dists);
+  }
+
+  void put(int64_t id, const std::string& city) {
+    conn.insert("t", {Value::int64(id), Value::text(city)});
+  }
+};
+
+// ------------------------------------------------------ unseen-value policy
+
+TEST(UnseenPolicy, RejectThrowsOnUnseenValue) {
+  Fixture f(UnseenValuePolicy::kReject);
+  f.put(1, "springfield");
+  EXPECT_THROW(f.put(2, "ogdenville"), WreError);
+  EXPECT_THROW(f.conn.select_star("t", "city", "ogdenville"), WreError);
+}
+
+TEST(UnseenPolicy, FallbackEncryptsAndSearchesUnseenValues) {
+  Fixture f(UnseenValuePolicy::kDeterministicFallback);
+  f.put(1, "springfield");
+  f.put(2, "ogdenville");
+  f.put(3, "ogdenville");
+  auto result = f.conn.select_star("t", "city", "ogdenville");
+  EXPECT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.tags_in_query, 1u);  // deterministic: exactly one tag
+  // Seen values keep their smoothed multi-tag treatment.
+  EXPECT_GT(f.conn.scheme("t", "city").search_tags("springfield").size(), 1u);
+}
+
+TEST(UnseenPolicy, DistinctUnseenValuesGetDistinctTags) {
+  Fixture f(UnseenValuePolicy::kDeterministicFallback);
+  auto ta = f.conn.scheme("t", "city").search_tags("ogdenville");
+  auto tb = f.conn.scheme("t", "city").search_tags("north haverbrook");
+  ASSERT_EQ(ta.size(), 1u);
+  ASSERT_EQ(tb.size(), 1u);
+  EXPECT_NE(ta[0], tb[0]);
+}
+
+TEST(UnseenPolicy, FallbackWorksForBucketizedScheme) {
+  TempDir dir;
+  Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 0x72));
+  std::map<std::string, PlaintextDistribution> dists;
+  dists.emplace("city", two_cities());
+  conn.create_table(
+      "t", demo_schema(),
+      {EncryptedColumnSpec{"city", SaltMethod::kBucketizedPoisson, 50,
+                           UnseenValuePolicy::kDeterministicFallback}},
+      dists);
+  conn.insert("t", {Value::int64(1), Value::text("ogdenville")});
+  conn.insert("t", {Value::int64(2), Value::text("springfield")});
+  auto result = conn.select_star("t", "city", "ogdenville");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_int64(), 1);
+}
+
+// ------------------------------------------------------------------- drift
+
+TEST(Drift, ZeroWhenInsertsMatchDistribution) {
+  Fixture f;
+  for (int i = 0; i < 100; ++i) {
+    f.put(i, i % 10 < 7 ? "springfield" : "shelbyville");
+  }
+  auto drift = f.conn.column_drift("t", "city");
+  EXPECT_EQ(drift.observed_rows, 100u);
+  EXPECT_EQ(drift.unseen_rows, 0u);
+  EXPECT_LT(drift.tv_distance, 0.05);
+}
+
+TEST(Drift, DetectsSkewedInserts) {
+  Fixture f;
+  // All inserts are the rare value: TV = |0.7 - 0| + |0.3 - 1| / 2 = 0.7.
+  for (int i = 0; i < 50; ++i) f.put(i, "shelbyville");
+  auto drift = f.conn.column_drift("t", "city");
+  EXPECT_NEAR(drift.tv_distance, 0.7, 1e-9);
+}
+
+TEST(Drift, CountsUnseenRows) {
+  Fixture f(UnseenValuePolicy::kDeterministicFallback);
+  f.put(1, "springfield");
+  f.put(2, "ogdenville");
+  f.put(3, "ogdenville");
+  auto drift = f.conn.column_drift("t", "city");
+  EXPECT_EQ(drift.observed_rows, 3u);
+  EXPECT_EQ(drift.unseen_rows, 2u);
+  EXPECT_GT(drift.tv_distance, 0.5);
+}
+
+TEST(Drift, EmptyColumnReportsZero) {
+  Fixture f;
+  auto drift = f.conn.column_drift("t", "city");
+  EXPECT_EQ(drift.observed_rows, 0u);
+  EXPECT_EQ(drift.tv_distance, 0.0);
+}
+
+TEST(Drift, UnknownColumnThrows) {
+  Fixture f;
+  EXPECT_THROW(f.conn.column_drift("t", "id"), WreError);
+  EXPECT_THROW(f.conn.column_drift("ghost", "city"), WreError);
+}
+
+// --------------------------------------------------------------- migration
+
+TEST(Migration, ReencryptsUnderFreshDistribution) {
+  Fixture f(UnseenValuePolicy::kDeterministicFallback);
+  // Load data that has drifted badly: a value the original P_M never saw.
+  for (int i = 0; i < 30; ++i) f.put(i, "springfield");
+  for (int i = 30; i < 60; ++i) f.put(i, "ogdenville");
+
+  // Migrate with an auto-estimated distribution (none supplied).
+  f.conn.migrate_table(
+      "t", "t2",
+      {EncryptedColumnSpec{"city", SaltMethod::kPoisson, 100}}, {});
+
+  auto result = f.conn.select_star("t2", "city", "ogdenville");
+  EXPECT_EQ(result.rows.size(), 30u);
+  // After migration the value is inside the distribution: multi-tag again.
+  EXPECT_GT(f.conn.scheme("t2", "city").search_tags("ogdenville").size(), 1u);
+  // And the new table's tags differ from the old one's (fresh keys derive
+  // from the table name).
+  EXPECT_NE(f.conn.scheme("t", "city").search_tags("springfield"),
+            f.conn.scheme("t2", "city").search_tags("springfield"));
+}
+
+TEST(Migration, PreservesAllRowsAndPlaintextColumns) {
+  Fixture f;
+  for (int i = 0; i < 40; ++i) {
+    f.put(i, i % 2 == 0 ? "springfield" : "shelbyville");
+  }
+  f.conn.migrate_table(
+      "t", "copy",
+      {EncryptedColumnSpec{"city", SaltMethod::kBucketizedPoisson, 200}}, {});
+  EXPECT_EQ(f.db.table("copy").row_count(), 40u);
+  auto result = f.conn.select_star("copy", "city", "shelbyville");
+  EXPECT_EQ(result.rows.size(), 20u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[0].as_int64() % 2, 1);
+  }
+}
+
+TEST(Migration, CanDowngradeOrChangeMethod) {
+  Fixture f;
+  f.put(1, "springfield");
+  // To plaintext-equality DET (e.g. for an export); no distribution needed.
+  f.conn.migrate_table(
+      "t", "det",
+      {EncryptedColumnSpec{"city", SaltMethod::kDeterministic, 0}}, {});
+  auto result = f.conn.select_star("det", "city", "springfield");
+  EXPECT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(f.conn.scheme("det", "city").search_tags("springfield").size(),
+            1u);
+}
+
+TEST(Migration, RejectsExistingDestination) {
+  Fixture f;
+  EXPECT_THROW(
+      f.conn.migrate_table(
+          "t", "t", {EncryptedColumnSpec{"city", SaltMethod::kFixed, 2}}, {}),
+      WreError);
+}
+
+TEST(Migration, EmptyEncryptedColumnCannotAutoEstimate) {
+  Fixture f;  // no rows at all
+  EXPECT_THROW(
+      f.conn.migrate_table(
+          "t", "t2", {EncryptedColumnSpec{"city", SaltMethod::kPoisson, 50}},
+          {}),
+      WreError);
+}
+
+TEST(Migration, ManifestWrittenForDestination) {
+  Fixture f;
+  f.put(1, "springfield");
+  f.conn.migrate_table(
+      "t", "t2", {EncryptedColumnSpec{"city", SaltMethod::kPoisson, 80}}, {});
+  // A brand-new connection can open the migrated table from its manifest.
+  EncryptedConnection fresh(f.db, Bytes(32, 0x71));
+  fresh.open_table("t2");
+  EXPECT_EQ(fresh.select_star("t2", "city", "springfield").rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wre::core

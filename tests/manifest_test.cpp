@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "src/core/encrypted_client.h"
+#include "src/core/manifest.h"
+#include "src/sql/database.h"
+#include "tests/test_util.h"
+
+namespace wre::core {
+namespace {
+
+using sql::Column;
+using sql::Database;
+using sql::Row;
+using sql::Schema;
+using sql::Value;
+using sql::ValueType;
+using wre::testing::TempDir;
+
+Schema demo_schema() {
+  return Schema({Column{"id", ValueType::kInt64, true},
+                 Column{"city", ValueType::kText},
+                 Column{"zip", ValueType::kText},
+                 Column{"pop", ValueType::kInt64}});
+}
+
+TableManifest demo_manifest() {
+  TableManifest m;
+  m.logical_schema = demo_schema();
+  m.specs = {EncryptedColumnSpec{"city", SaltMethod::kPoisson, 500},
+             EncryptedColumnSpec{"zip", SaltMethod::kBucketizedPoisson, 250}};
+  m.distributions.emplace(
+      "city", PlaintextDistribution::from_probabilities(
+                  {{"springfield", 0.5}, {"shelbyville", 0.5}}));
+  m.distributions.emplace(
+      "zip", PlaintextDistribution::from_probabilities(
+                 {{"11111", 0.25}, {"22222", 0.75}}));
+  return m;
+}
+
+TEST(Manifest, SerializationRoundTrip) {
+  TableManifest m = demo_manifest();
+  TableManifest back = deserialize_manifest(serialize_manifest(m));
+
+  ASSERT_EQ(back.logical_schema.column_count(), 4u);
+  EXPECT_EQ(back.logical_schema.column(1).name, "city");
+  EXPECT_EQ(back.logical_schema.primary_key_index(), 0u);
+
+  ASSERT_EQ(back.specs.size(), 2u);
+  EXPECT_EQ(back.specs[0].column, "city");
+  EXPECT_EQ(back.specs[0].method, SaltMethod::kPoisson);
+  EXPECT_EQ(back.specs[0].parameter, 500);
+  EXPECT_EQ(back.specs[1].method, SaltMethod::kBucketizedPoisson);
+
+  ASSERT_EQ(back.distributions.size(), 2u);
+  EXPECT_NEAR(back.distributions.at("zip").probability("22222"), 0.75, 1e-12);
+}
+
+TEST(Manifest, EmptySectionsRoundTrip) {
+  TableManifest m;
+  m.logical_schema = demo_schema();
+  TableManifest back = deserialize_manifest(serialize_manifest(m));
+  EXPECT_TRUE(back.specs.empty());
+  EXPECT_TRUE(back.distributions.empty());
+}
+
+TEST(Manifest, RejectsCorruptInput) {
+  Bytes good = serialize_manifest(demo_manifest());
+  Bytes truncated(good.begin(), good.end() - 3);
+  EXPECT_THROW(deserialize_manifest(truncated), WreError);
+  Bytes extended = good;
+  extended.push_back(0);
+  EXPECT_THROW(deserialize_manifest(extended), WreError);
+  Bytes bad_version = good;
+  bad_version[0] = 99;
+  EXPECT_THROW(deserialize_manifest(bad_version), WreError);
+  EXPECT_THROW(deserialize_manifest(Bytes{}), WreError);
+}
+
+struct ManifestFixture {
+  TempDir dir;
+  Bytes master = Bytes(32, 0x51);
+
+  void create_and_load() {
+    Database db(dir.str());
+    EncryptedConnection conn(db, master);
+    TableManifest m = demo_manifest();
+    conn.create_table("places", demo_schema(), m.specs, m.distributions);
+    conn.insert("places", {Value::int64(1), Value::text("springfield"),
+                           Value::text("11111"), Value::int64(30000)});
+    conn.insert("places", {Value::int64(2), Value::text("shelbyville"),
+                           Value::text("22222"), Value::int64(20000)});
+    conn.insert("places", {Value::int64(3), Value::text("springfield"),
+                           Value::text("22222"), Value::int64(12000)});
+    db.checkpoint();
+  }
+};
+
+TEST(Manifest, OpenTableRestoresSearchabilityAcrossRestart) {
+  ManifestFixture f;
+  f.create_and_load();
+
+  Database db(f.dir.str());
+  EncryptedConnection conn(db, f.master);
+  conn.open_table("places");
+  auto result = conn.select_star("places", "city", "springfield");
+  EXPECT_EQ(result.rows.size(), 2u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[1].as_text(), "springfield");
+  }
+  // The second encrypted column works too.
+  EXPECT_EQ(conn.select_star("places", "zip", "22222").rows.size(), 2u);
+}
+
+TEST(Manifest, OpenTableWithWrongSecretFailsCleanly) {
+  ManifestFixture f;
+  f.create_and_load();
+
+  Database db(f.dir.str());
+  EncryptedConnection conn(db, Bytes(32, 0x52));
+  EXPECT_THROW(conn.open_table("places"), WreError);
+}
+
+TEST(Manifest, OpenTableUnknownTableThrows) {
+  ManifestFixture f;
+  f.create_and_load();
+  Database db(f.dir.str());
+  EncryptedConnection conn(db, f.master);
+  EXPECT_THROW(conn.open_table("ghost"), WreError);
+}
+
+TEST(Manifest, OpenTableWithoutManifestTableThrows) {
+  TempDir dir;
+  Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 1));
+  EXPECT_THROW(conn.open_table("anything"), WreError);
+}
+
+TEST(Manifest, SaveManifestUpdatesLatestVersion) {
+  ManifestFixture f;
+  f.create_and_load();
+
+  Database db(f.dir.str());
+  EncryptedConnection conn(db, f.master);
+  conn.open_table("places");
+  // Re-save (e.g. refreshed distribution estimate) and reopen: the newest
+  // manifest row must win.
+  conn.save_manifest("places");
+  EncryptedConnection conn2(db, f.master);
+  conn2.open_table("places");
+  EXPECT_EQ(conn2.select_star("places", "city", "shelbyville").rows.size(),
+            1u);
+}
+
+TEST(Manifest, ServerSeesOnlyOpaqueBlob) {
+  ManifestFixture f;
+  f.create_and_load();
+  Database db(f.dir.str());
+  auto rs = db.execute("SELECT * FROM _wre_manifest");
+  ASSERT_GE(rs.rows.size(), 1u);
+  // Concatenate every stored chunk; the serialized manifest contains values
+  // like "springfield" and column names like "city" — the ciphertext must
+  // not.
+  std::string as_text;
+  for (const auto& row : rs.rows) {
+    const Bytes& chunk = row[5].as_blob();
+    as_text.append(chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(as_text.find("springfield"), std::string::npos);
+  EXPECT_EQ(as_text.find("city"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wre::core

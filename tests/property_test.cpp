@@ -1,0 +1,341 @@
+// Property-based suites: parameterized sweeps over scheme parameters, fuzzed
+// distributions, and randomized storage workloads, checking the invariants
+// the constructions must satisfy for every parameter choice.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "src/attack/capped_exponential.h"
+#include "src/core/salts.h"
+#include "src/core/wre_scheme.h"
+#include "src/sql/database.h"
+#include "src/storage/bptree.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace wre {
+namespace {
+
+using core::BucketizedPoissonAllocator;
+using core::FixedSaltAllocator;
+using core::PlaintextDistribution;
+using core::PoissonSaltAllocator;
+using core::ProportionalSaltAllocator;
+using core::SaltSet;
+using wre::testing::TempDir;
+
+/// Random distribution with `n` messages, probabilities from a symmetric
+/// Dirichlet-ish draw (normalized exponentials).
+PlaintextDistribution random_distribution(int n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::map<std::string, double> probs;
+  double total = 0;
+  std::vector<double> raw;
+  for (int i = 0; i < n; ++i) {
+    raw.push_back(rng.next_exponential(1.0) + 1e-6);
+    total += raw.back();
+  }
+  double assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    double p = raw[i] / total;
+    if (i == n - 1) p = 1.0 - assigned;  // exact unit sum
+    probs["msg" + std::to_string(i)] = p;
+    assigned += p;
+  }
+  return PlaintextDistribution::from_probabilities(probs);
+}
+
+Bytes test_key(uint64_t seed) {
+  auto rng = crypto::SecureRandom::for_testing(seed);
+  return rng.bytes(32);
+}
+
+double weight_sum(const SaltSet& s) {
+  return std::accumulate(s.weights.begin(), s.weights.end(), 0.0);
+}
+
+// --------------------------------------------- Poisson allocator invariants
+
+class PoissonLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonLambdaSweep, WeightsFormDistributionForEveryMessage) {
+  double lambda = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto dist = random_distribution(20, seed);
+    PoissonSaltAllocator alloc(dist, lambda, test_key(seed));
+    for (const auto& m : dist.messages()) {
+      auto s = alloc.salts_for(m);
+      ASSERT_FALSE(s.salts.empty());
+      EXPECT_EQ(s.salts.size(), s.weights.size());
+      EXPECT_NEAR(weight_sum(s), 1.0, 1e-6) << m;
+      for (double w : s.weights) EXPECT_GE(w, 0.0);
+      std::set<uint64_t> unique(s.salts.begin(), s.salts.end());
+      EXPECT_EQ(unique.size(), s.salts.size());
+    }
+  }
+}
+
+TEST_P(PoissonLambdaSweep, TotalSaltCountNearLambdaPlusSupport) {
+  double lambda = GetParam();
+  auto dist = random_distribution(20, 7);
+  PoissonSaltAllocator alloc(dist, lambda, test_key(7));
+  size_t total = 0;
+  for (const auto& m : dist.messages()) {
+    total += alloc.salts_for(m).salts.size();
+  }
+  // E[total] = lambda + |M| (Section V-C); tolerate 5 sigma.
+  double expected = lambda + 20;
+  EXPECT_NEAR(static_cast<double>(total), expected,
+              5 * std::sqrt(lambda) + 10);
+}
+
+TEST_P(PoissonLambdaSweep, UncappedFrequenciesLookExponential) {
+  double lambda = GetParam();
+  if (lambda < 100) GTEST_SKIP() << "needs enough samples";
+  auto dist = random_distribution(30, 9);
+  PoissonSaltAllocator alloc(dist, lambda, test_key(9));
+  std::vector<double> freqs;
+  for (const auto& m : dist.messages()) {
+    auto s = alloc.salts_for(m);
+    double p = dist.probability(m);
+    for (size_t i = 0; i + 1 < s.weights.size(); ++i) {
+      freqs.push_back(s.weights[i] * p);
+    }
+  }
+  ASSERT_GT(freqs.size(), 50u);
+  EXPECT_LT(attack::ks_statistic_exponential(freqs, lambda),
+            1.63 / std::sqrt(static_cast<double>(freqs.size())) * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonLambdaSweep,
+                         ::testing::Values(10.0, 100.0, 1000.0, 5000.0));
+
+// ------------------------------------------ Bucketized allocator invariants
+
+class BucketizedLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketizedLambdaSweep, BucketsExactlyPartitionMessages) {
+  double lambda = GetParam();
+  for (uint64_t seed : {11u, 12u}) {
+    auto dist = random_distribution(25, seed);
+    BucketizedPoissonAllocator alloc(dist, lambda, test_key(seed),
+                                     to_bytes("sweep"));
+    // Each message's weights sum to 1; total probability-mass per bucket
+    // across messages equals the bucket width, i.e. sums to 1 overall.
+    double total_mass = 0;
+    std::set<uint64_t> used;
+    for (const auto& m : dist.messages()) {
+      auto s = alloc.salts_for(m);
+      EXPECT_NEAR(weight_sum(s), 1.0, 1e-6);
+      used.insert(s.salts.begin(), s.salts.end());
+      for (size_t i = 0; i < s.salts.size(); ++i) {
+        total_mass += s.weights[i] * dist.probability(m);
+      }
+    }
+    EXPECT_NEAR(total_mass, 1.0, 1e-6);
+    EXPECT_EQ(used.size(), alloc.bucket_count());
+    // Salt ids are valid bucket indices.
+    for (uint64_t s : used) EXPECT_LT(s, alloc.bucket_count());
+  }
+}
+
+TEST_P(BucketizedLambdaSweep, AdjacentMessagesShareAtMostBoundaryBuckets) {
+  double lambda = GetParam();
+  auto dist = random_distribution(25, 13);
+  BucketizedPoissonAllocator alloc(dist, lambda, test_key(13),
+                                   to_bytes("sweep"));
+  // A bucket is shared by at most the set of messages whose intervals it
+  // straddles; consecutive salt ids within one message must be contiguous.
+  for (const auto& m : dist.messages()) {
+    auto s = alloc.salts_for(m);
+    for (size_t i = 1; i < s.salts.size(); ++i) {
+      EXPECT_EQ(s.salts[i], s.salts[i - 1] + 1) << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, BucketizedLambdaSweep,
+                         ::testing::Values(5.0, 50.0, 500.0, 2000.0));
+
+// ------------------------------------------------- proportional invariants
+
+class ProportionalSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ProportionalSweep, TotalTagCountTracksParameter) {
+  uint32_t n_t = GetParam();
+  auto dist = random_distribution(15, 21);
+  ProportionalSaltAllocator alloc(dist, n_t);
+  size_t total = 0;
+  for (const auto& m : dist.messages()) {
+    auto s = alloc.salts_for(m);
+    EXPECT_NEAR(weight_sum(s), 1.0, 1e-9);
+    total += s.salts.size();
+  }
+  // Rounding gives each message +-0.5 and a floor of 1.
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(n_t),
+              0.5 * 15 + 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(TagCounts, ProportionalSweep,
+                         ::testing::Values(20u, 100u, 1000u));
+
+// ----------------------------------------------- scheme completeness fuzz
+
+class SchemeCompletenessFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchemeCompletenessFuzz, EveryEncryptionIsSearchable) {
+  uint64_t seed = GetParam();
+  Xoshiro256 meta_rng(seed);
+  int support = 2 + static_cast<int>(meta_rng.next_below(40));
+  auto dist = random_distribution(support, seed * 31 + 1);
+  auto keygen = crypto::SecureRandom::for_testing(seed * 31 + 2);
+  auto keys = crypto::KeyBundle::generate(keygen);
+
+  std::vector<std::unique_ptr<core::SaltAllocator>> allocators;
+  allocators.push_back(std::make_unique<FixedSaltAllocator>(
+      1 + static_cast<uint32_t>(meta_rng.next_below(64))));
+  allocators.push_back(std::make_unique<ProportionalSaltAllocator>(
+      dist, 1 + static_cast<uint32_t>(meta_rng.next_below(500))));
+  allocators.push_back(std::make_unique<PoissonSaltAllocator>(
+      dist, 1.0 + static_cast<double>(meta_rng.next_below(2000)),
+      keys.shuffle_key));
+  allocators.push_back(std::make_unique<BucketizedPoissonAllocator>(
+      dist, 1.0 + static_cast<double>(meta_rng.next_below(2000)),
+      keys.shuffle_key, to_bytes("fuzz")));
+
+  for (auto& alloc : allocators) {
+    std::string name = alloc->name();
+    core::WreScheme scheme(keys, std::move(alloc));
+    auto rng = crypto::SecureRandom::for_testing(seed * 31 + 3);
+    for (const auto& m : dist.messages()) {
+      auto tags = scheme.search_tags(m);
+      std::set<crypto::Tag> tag_set(tags.begin(), tags.end());
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(tag_set.contains(scheme.encrypt(m, rng).tag))
+            << name << " " << m;
+      }
+      EXPECT_EQ(scheme.decrypt(scheme.encrypt(m, rng).ciphertext), m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeCompletenessFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// -------------------------------------------------- frequency smoothing
+
+TEST(FrequencySmoothing, PoissonTagFrequenciesIndependentOfPlaintext) {
+  // Encrypt a two-message population where one message is 20x more frequent;
+  // the per-tag empirical frequencies of the two messages' tags must be
+  // statistically close (this is the core smoothing claim).
+  auto dist = PlaintextDistribution::from_probabilities(
+      {{"common", 20.0 / 21}, {"rare", 1.0 / 21}});
+  auto keygen = crypto::SecureRandom::for_testing(77);
+  auto keys = crypto::KeyBundle::generate(keygen);
+  double lambda = 4000;
+  PoissonSaltAllocator alloc(dist, lambda, keys.shuffle_key);
+
+  auto freqs_of = [&](const std::string& m) {
+    std::vector<double> freqs;
+    auto s = alloc.salts_for(m);
+    double p = dist.probability(m);
+    for (size_t i = 0; i + 1 < s.weights.size(); ++i) {
+      freqs.push_back(s.weights[i] * p);
+    }
+    return freqs;
+  };
+  auto common = freqs_of("common");
+  auto rare = freqs_of("rare");
+  ASSERT_GT(common.size(), 500u);
+  ASSERT_GT(rare.size(), 50u);
+  EXPECT_LT(attack::empirical_tv_distance(common, rare, 12), 0.25);
+}
+
+TEST(FrequencySmoothing, DeterministicTagFrequenciesTrackPlaintext) {
+  // Control for the previous test: under DET the tag frequency IS the
+  // plaintext frequency, trivially distinguishable.
+  auto dist = PlaintextDistribution::from_probabilities(
+      {{"common", 20.0 / 21}, {"rare", 1.0 / 21}});
+  EXPECT_GT(dist.probability("common") / dist.probability("rare"), 19.0);
+}
+
+// -------------------------------------------------- storage fuzz sweeps
+
+class BPlusTreePoolSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BPlusTreePoolSweep, RandomWorkloadMatchesReference) {
+  size_t pool_pages = GetParam();
+  TempDir dir;
+  storage::DiskManager disk;
+  storage::BufferPool pool(disk, pool_pages);
+  storage::BPlusTree tree(pool, disk.open_file(dir.str() + "/t.idx"));
+  std::multimap<uint64_t, uint64_t> reference;
+  Xoshiro256 rng(pool_pages * 7919);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.next_below(997);
+    uint64_t value = rng.next_below(100000);
+    tree.insert(key, value);
+    reference.emplace(key, value);
+  }
+  for (uint64_t key = 0; key < 997; key += 13) {
+    auto [lo, hi] = reference.equal_range(key);
+    std::multiset<uint64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.insert(it->second);
+    auto got = tree.find(key);
+    EXPECT_EQ(std::multiset<uint64_t>(got.begin(), got.end()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, BPlusTreePoolSweep,
+                         ::testing::Values(3u, 8u, 64u, 4096u));
+
+// ----------------------------------------------------- SQL roundtrip fuzz
+
+TEST(SqlFuzz, RandomRowsSurviveInsertSelectRoundTrip) {
+  TempDir dir;
+  sql::Database db(dir.str());
+  db.execute(
+      "CREATE TABLE fuzz (id INTEGER PRIMARY KEY, a TEXT, b INTEGER, c BLOB)");
+  db.execute("CREATE INDEX ON fuzz (b)");
+
+  Xoshiro256 rng(31337);
+  std::vector<sql::Row> rows;
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    for (int c = 0; c < static_cast<int>(rng.next_below(20)); ++c) {
+      // Include quoting hazards.
+      text.push_back("abc'\",; x"[rng.next_below(9)]);
+    }
+    Bytes blob;
+    for (int c = 0; c < static_cast<int>(rng.next_below(40)); ++c) {
+      blob.push_back(static_cast<uint8_t>(rng.next_below(256)));
+    }
+    sql::Row row = {sql::Value::int64(i),
+                    rng.next_below(5) == 0 ? sql::Value::null()
+                                           : sql::Value::text(text),
+                    sql::Value::int64(static_cast<int64_t>(rng.next_below(7))),
+                    sql::Value::blob(blob)};
+    rows.push_back(row);
+    db.execute("INSERT INTO fuzz VALUES (" + row[0].to_sql_literal() + ", " +
+               row[1].to_sql_literal() + ", " + row[2].to_sql_literal() +
+               ", " + row[3].to_sql_literal() + ")");
+  }
+
+  // Every row retrievable by an indexed equality on b + recheck by id.
+  for (int64_t b = 0; b < 7; ++b) {
+    auto rs = db.execute("SELECT * FROM fuzz WHERE b = " + std::to_string(b));
+    size_t expected = 0;
+    for (const auto& row : rows) {
+      if (row[2].as_int64() == b) ++expected;
+    }
+    EXPECT_EQ(rs.rows.size(), expected) << b;
+    for (const auto& got : rs.rows) {
+      EXPECT_EQ(got, rows[static_cast<size_t>(got[0].as_int64())]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wre

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/storage/bptree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+#include "src/storage/heap_file.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace wre::storage {
+namespace {
+
+using wre::testing::TempDir;
+
+// ------------------------------------------------------------ DiskManager
+
+TEST(DiskManager, FreshFileHasMetadataPage) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  EXPECT_EQ(disk.page_count(f), 1u);
+  EXPECT_EQ(disk.file_size_bytes(f), kPageSize);
+}
+
+TEST(DiskManager, AllocateGrowsFile) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  PageNumber p1 = disk.allocate_page(f);
+  PageNumber p2 = disk.allocate_page(f);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(p2, 2u);
+  EXPECT_EQ(disk.page_count(f), 3u);
+}
+
+TEST(DiskManager, WriteThenReadBack) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  PageNumber p = disk.allocate_page(f);
+  uint8_t page[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) page[i] = static_cast<uint8_t>(i);
+  disk.write_page({f, p}, page);
+  uint8_t back[kPageSize];
+  disk.read_page({f, p}, back);
+  EXPECT_EQ(0, memcmp(page, back, kPageSize));
+}
+
+TEST(DiskManager, PersistsAcrossReopen) {
+  TempDir dir;
+  std::string path = dir.str() + "/a.db";
+  {
+    DiskManager disk;
+    FileId f = disk.open_file(path);
+    PageNumber p = disk.allocate_page(f);
+    uint8_t page[kPageSize] = {0xAB};
+    disk.write_page({f, p}, page);
+  }
+  DiskManager disk;
+  FileId f = disk.open_file(path);
+  EXPECT_EQ(disk.page_count(f), 2u);
+  uint8_t back[kPageSize];
+  disk.read_page({f, 1}, back);
+  EXPECT_EQ(back[0], 0xAB);
+}
+
+TEST(DiskManager, ReadPastEndThrows) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  uint8_t page[kPageSize];
+  EXPECT_THROW(disk.read_page({f, 5}, page), StorageError);
+}
+
+TEST(DiskManager, BadFileIdThrows) {
+  DiskManager disk;
+  uint8_t page[kPageSize];
+  EXPECT_THROW(disk.read_page({42, 0}, page), StorageError);
+}
+
+TEST(DiskManager, StatsCountOperations) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  PageNumber p = disk.allocate_page(f);
+  uint8_t page[kPageSize] = {};
+  disk.write_page({f, p}, page);
+  disk.read_page({f, p}, page);
+  EXPECT_EQ(disk.stats().page_writes, 1u);
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+  EXPECT_EQ(disk.stats().pages_allocated, 2u);  // metadata + explicit
+}
+
+// ------------------------------------------------------------ BufferPool
+
+TEST(BufferPool, FetchCachesPage) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  BufferPool pool(disk, 8);
+  { PageGuard g = pool.fetch({f, 0}); }
+  { PageGuard g = pool.fetch({f, 0}); }
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+}
+
+TEST(BufferPool, DirtyPageFlushedOnEviction) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  BufferPool pool(disk, 2);
+  PageNumber p = disk.allocate_page(f);
+  {
+    PageGuard g = pool.fetch({f, p});
+    g.mutable_data()[0] = 0x77;
+  }
+  // Fill the pool to force eviction of the dirty page.
+  for (int i = 0; i < 4; ++i) {
+    PageNumber q = disk.allocate_page(f);
+    PageGuard g = pool.fetch({f, q});
+  }
+  uint8_t back[kPageSize];
+  disk.read_page({f, p}, back);
+  EXPECT_EQ(back[0], 0x77);
+}
+
+TEST(BufferPool, ClearCacheDropsEverything) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  BufferPool pool(disk, 8);
+  {
+    PageGuard g = pool.fetch({f, 0});
+    g.mutable_data()[1] = 0x55;
+  }
+  pool.clear_cache();
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  disk.reset_stats();
+  { PageGuard g = pool.fetch({f, 0}); EXPECT_EQ(g.data()[1], 0x55); }
+  EXPECT_EQ(disk.stats().page_reads, 1u);  // cold read after clear
+}
+
+TEST(BufferPool, ClearCacheRefusesPinnedPages) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  BufferPool pool(disk, 8);
+  PageGuard g = pool.fetch({f, 0});
+  EXPECT_THROW(pool.clear_cache(), StorageError);
+}
+
+TEST(BufferPool, PinnedPagesSurviveCapacityPressure) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  for (int i = 0; i < 10; ++i) disk.allocate_page(f);
+  BufferPool pool(disk, 2);
+  PageGuard pinned = pool.fetch({f, 1});
+  pinned.mutable_data()[0] = 0x42;
+  for (PageNumber p = 2; p <= 10; ++p) {
+    PageGuard g = pool.fetch({f, p});
+  }
+  // The pinned frame's data pointer must still be valid and intact.
+  EXPECT_EQ(pinned.data()[0], 0x42);
+}
+
+TEST(BufferPool, MoveTransfersPin) {
+  TempDir dir;
+  DiskManager disk;
+  FileId f = disk.open_file(dir.str() + "/a.db");
+  BufferPool pool(disk, 4);
+  PageGuard a = pool.fetch({f, 0});
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b.release();
+  pool.clear_cache();  // would throw if a pin leaked
+}
+
+// -------------------------------------------------------------- HeapFile
+
+TEST(HeapFile, AppendAndRead) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(dir.str() + "/h.db"));
+  RecordId rid = heap.append(to_bytes("hello"));
+  EXPECT_EQ(heap.read(rid), to_bytes("hello"));
+  EXPECT_EQ(heap.record_count(), 1u);
+}
+
+TEST(HeapFile, ManyRecordsSpanPages) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(dir.str() + "/h.db"));
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 2000; ++i) {
+    rids.push_back(heap.append(to_bytes("record-" + std::to_string(i))));
+  }
+  EXPECT_GT(heap.page_count(), 2u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(heap.read(rids[i]), to_bytes("record-" + std::to_string(i)));
+  }
+}
+
+TEST(HeapFile, ScanVisitsAllInOrder) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(dir.str() + "/h.db"));
+  for (int i = 0; i < 500; ++i) heap.append(to_bytes(std::to_string(i)));
+  int expected = 0;
+  heap.scan([&](RecordId, ByteView record) {
+    EXPECT_EQ(to_string(record), std::to_string(expected));
+    ++expected;
+  });
+  EXPECT_EQ(expected, 500);
+}
+
+TEST(HeapFile, PersistsAcrossReopen) {
+  TempDir dir;
+  std::string path = dir.str() + "/h.db";
+  RecordId rid;
+  {
+    DiskManager disk;
+    BufferPool pool(disk, 64);
+    HeapFile heap(pool, disk.open_file(path));
+    rid = heap.append(to_bytes("persist me"));
+    pool.flush_all();
+  }
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(path));
+  EXPECT_EQ(heap.record_count(), 1u);
+  EXPECT_EQ(heap.read(rid), to_bytes("persist me"));
+}
+
+TEST(HeapFile, OversizedRecordRejected) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(dir.str() + "/h.db"));
+  EXPECT_THROW(heap.append(Bytes(kPageSize)), StorageError);
+}
+
+TEST(HeapFile, MaximalRecordFits) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(dir.str() + "/h.db"));
+  Bytes big(kPageSize - 8, 0x5a);
+  RecordId rid = heap.append(big);
+  EXPECT_EQ(heap.read(rid), big);
+}
+
+TEST(HeapFile, BadSlotThrows) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  HeapFile heap(pool, disk.open_file(dir.str() + "/h.db"));
+  heap.append(to_bytes("x"));
+  EXPECT_THROW(heap.read(RecordId{1, 7}), StorageError);
+  EXPECT_THROW(heap.read(RecordId{}), StorageError);
+}
+
+TEST(RecordId, PackUnpackRoundTrip) {
+  RecordId rid{123456, 789};
+  EXPECT_EQ(RecordId::unpack(rid.pack()), rid);
+}
+
+// --------------------------------------------------------------- BPlusTree
+
+TEST(BPlusTree, EmptyFindReturnsNothing) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  EXPECT_TRUE(tree.find(42).empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(BPlusTree, InsertAndFindSingle) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  tree.insert(10, 100);
+  EXPECT_EQ(tree.find(10), std::vector<uint64_t>{100});
+  EXPECT_TRUE(tree.find(11).empty());
+}
+
+TEST(BPlusTree, DuplicateKeysReturnAllValues) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  for (uint64_t v = 0; v < 50; ++v) tree.insert(7, v);
+  auto values = tree.find(7);
+  ASSERT_EQ(values.size(), 50u);
+  for (uint64_t v = 0; v < 50; ++v) EXPECT_EQ(values[v], v);
+}
+
+TEST(BPlusTree, FullyDuplicatePairsAllowed) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  tree.insert(1, 1);
+  tree.insert(1, 1);
+  EXPECT_EQ(tree.find(1).size(), 2u);
+}
+
+TEST(BPlusTree, MatchesReferenceMultimapUnderRandomLoad) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 256);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  std::multimap<uint64_t, uint64_t> reference;
+  Xoshiro256 rng(2024);
+  constexpr int kInserts = 50000;
+  for (int i = 0; i < kInserts; ++i) {
+    uint64_t key = rng.next_below(5000);  // heavy duplication
+    uint64_t value = rng();
+    tree.insert(key, value);
+    reference.emplace(key, value);
+  }
+  EXPECT_EQ(tree.size(), static_cast<uint64_t>(kInserts));
+  EXPECT_GT(tree.height(), 1u);
+
+  for (uint64_t key = 0; key < 5000; key += 37) {
+    auto [lo, hi] = reference.equal_range(key);
+    std::multiset<uint64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.insert(it->second);
+    auto found = tree.find(key);
+    std::multiset<uint64_t> actual(found.begin(), found.end());
+    EXPECT_EQ(actual, expected) << "key=" << key;
+  }
+}
+
+TEST(BPlusTree, ScanAllIsSortedAndComplete) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 256);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  Xoshiro256 rng(17);
+  constexpr int kInserts = 20000;
+  for (int i = 0; i < kInserts; ++i) tree.insert(rng.next_below(1000), rng());
+
+  uint64_t count = 0;
+  uint64_t prev_key = 0;
+  uint64_t prev_val = 0;
+  bool first = true;
+  tree.scan_all([&](uint64_t key, uint64_t value) {
+    if (!first) {
+      EXPECT_TRUE(key > prev_key || (key == prev_key && value >= prev_val));
+    }
+    prev_key = key;
+    prev_val = value;
+    first = false;
+    ++count;
+  });
+  EXPECT_EQ(count, static_cast<uint64_t>(kInserts));
+}
+
+TEST(BPlusTree, SequentialKeysSplitCorrectly) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 256);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  constexpr uint64_t kN = 10000;
+  for (uint64_t k = 0; k < kN; ++k) tree.insert(k, k * 2);
+  for (uint64_t k = 0; k < kN; k += 97) {
+    EXPECT_EQ(tree.find(k), std::vector<uint64_t>{k * 2});
+  }
+}
+
+TEST(BPlusTree, PersistsAcrossReopen) {
+  TempDir dir;
+  std::string path = dir.str() + "/i.db";
+  {
+    DiskManager disk;
+    BufferPool pool(disk, 64);
+    BPlusTree tree(pool, disk.open_file(path));
+    for (uint64_t k = 0; k < 1000; ++k) tree.insert(k, k + 1);
+    pool.flush_all();
+  }
+  DiskManager disk;
+  BufferPool pool(disk, 64);
+  BPlusTree tree(pool, disk.open_file(path));
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_EQ(tree.find(999), std::vector<uint64_t>{1000});
+}
+
+TEST(BPlusTree, ExtremeDuplicationSpansLeaves) {
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 256);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  // 1000 copies of one key forces the run to cross several leaves.
+  for (uint64_t v = 0; v < 1000; ++v) tree.insert(5, v);
+  tree.insert(4, 40);
+  tree.insert(6, 60);
+  EXPECT_EQ(tree.find(5).size(), 1000u);
+  EXPECT_EQ(tree.find(4), std::vector<uint64_t>{40});
+  EXPECT_EQ(tree.find(6), std::vector<uint64_t>{60});
+}
+
+TEST(BPlusTree, WorksWithTinyBufferPool) {
+  // Forces constant eviction during splits to catch pin bugs.
+  TempDir dir;
+  DiskManager disk;
+  BufferPool pool(disk, 4);
+  BPlusTree tree(pool, disk.open_file(dir.str() + "/i.db"));
+  for (uint64_t k = 0; k < 5000; ++k) tree.insert(k % 100, k);
+  EXPECT_EQ(tree.find(3).size(), 50u);
+}
+
+}  // namespace
+}  // namespace wre::storage

@@ -1,0 +1,42 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+namespace wre::testing {
+
+/// RAII temporary directory; removed recursively on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "wre_test") {
+    auto base = std::filesystem::temp_directory_path();
+    std::random_device rd;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto candidate = base / (prefix + "_" + std::to_string(rd()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        path_ = candidate;
+        return;
+      }
+    }
+    throw std::runtime_error("TempDir: cannot create temporary directory");
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace wre::testing
