@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_capped_exponential.dir/bench_fig2_capped_exponential.cpp.o"
+  "CMakeFiles/bench_fig2_capped_exponential.dir/bench_fig2_capped_exponential.cpp.o.d"
+  "bench_fig2_capped_exponential"
+  "bench_fig2_capped_exponential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_capped_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_false_positives.dir/bench_fig8_9_false_positives.cpp.o"
+  "CMakeFiles/bench_fig8_9_false_positives.dir/bench_fig8_9_false_positives.cpp.o.d"
+  "bench_fig8_9_false_positives"
+  "bench_fig8_9_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ind_cuda_sweep.dir/bench_ind_cuda_sweep.cpp.o"
+  "CMakeFiles/bench_ind_cuda_sweep.dir/bench_ind_cuda_sweep.cpp.o.d"
+  "bench_ind_cuda_sweep"
+  "bench_ind_cuda_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ind_cuda_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

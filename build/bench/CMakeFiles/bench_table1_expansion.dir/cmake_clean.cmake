@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_expansion.dir/bench_table1_expansion.cpp.o"
+  "CMakeFiles/bench_table1_expansion.dir/bench_table1_expansion.cpp.o.d"
+  "bench_table1_expansion"
+  "bench_table1_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
