@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/encrypted_client.h"
+#include "src/core/ingest_pipeline.h"
 #include "src/datagen/query_generator.h"
 #include "src/datagen/record_generator.h"
 #include "src/sql/database.h"
@@ -152,12 +153,18 @@ inline datagen::ColumnHistogram collect_histogram(
 /// (Figures 4-7) index them for a fair latency comparison; the Table I
 /// expansion bench turns them off to mirror the paper's accounting, which
 /// counts the tag indexes as "additional indexes on the search columns".
+///
+/// `ingest_threads` selects the load path for encrypted configs: 0 keeps the
+/// legacy per-row `insert` loop; N > 0 streams chunks through a persistent
+/// core::IngestPipeline with N worker threads (N == 1 exercises the
+/// pipeline's serial path, so thread scaling can be measured against it).
 inline LoadedDb load_database(const SchemeConfig& config,
                               const datagen::RecordGenerator& gen,
                               const datagen::ColumnHistogram& hist,
                               int64_t records,
                               sql::DatabaseOptions db_options = {},
-                              bool index_plaintext_columns = true) {
+                              bool index_plaintext_columns = true,
+                              unsigned ingest_threads = 0) {
   LoadedDb out;
   out.config = config;
   out.dir = std::make_unique<ScratchDir>(config.label);
@@ -187,8 +194,25 @@ inline LoadedDb load_database(const SchemeConfig& config,
           core::EncryptedColumnSpec{col, config.method, config.parameter});
     }
     out.conn->create_table("main", schema, specs, dists);
-    for (int64_t id = 0; id < records; ++id) {
-      out.conn->insert("main", gen.record(id));
+    if (ingest_threads == 0) {
+      for (int64_t id = 0; id < records; ++id) {
+        out.conn->insert("main", gen.record(id));
+      }
+    } else {
+      core::IngestOptions options;
+      options.threads = ingest_threads;
+      core::IngestPipeline pipeline(*out.conn, "main", options);
+      constexpr int64_t kChunk = 4096;  // bound resident plaintext
+      std::vector<sql::Row> chunk;
+      chunk.reserve(static_cast<size_t>(std::min(kChunk, records)));
+      for (int64_t id = 0; id < records; ++id) {
+        chunk.push_back(gen.record(id));
+        if (static_cast<int64_t>(chunk.size()) == kChunk) {
+          pipeline.ingest(chunk);
+          chunk.clear();
+        }
+      }
+      if (!chunk.empty()) pipeline.ingest(chunk);
     }
   }
   out.db->checkpoint();

@@ -253,25 +253,35 @@ bench/CMakeFiles/bench_fig2_capped_exponential.dir/bench_fig2_capped_exponential
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/range.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/core/ingest_pipeline.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sql/schema.h \
+ /usr/include/c++/12/optional /root/repo/src/sql/value.h \
+ /usr/include/c++/12/variant /root/repo/src/util/bytes.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/thread /root/repo/src/core/range.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/error.h /root/repo/src/core/wre_scheme.h \
  /root/repo/src/core/salts.h /root/repo/src/core/distribution.h \
- /root/repo/src/crypto/secure_random.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/crypto/chacha20.h /root/repo/src/util/bytes.h \
+ /root/repo/src/crypto/secure_random.h /root/repo/src/crypto/chacha20.h \
  /root/repo/src/crypto/aes_ctr.h /root/repo/src/crypto/aes.h \
  /root/repo/src/crypto/keys.h /root/repo/src/crypto/hkdf.h \
  /root/repo/src/crypto/prf.h /root/repo/src/sql/database.h \
- /root/repo/src/sql/ast.h /usr/include/c++/12/optional \
- /usr/include/c++/12/variant /root/repo/src/sql/schema.h \
- /root/repo/src/sql/value.h /root/repo/src/sql/table.h \
- /root/repo/src/storage/bptree.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /root/repo/src/storage/buffer_pool.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/disk_manager.h /root/repo/src/storage/page.h \
- /root/repo/src/storage/heap_file.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/table.h \
+ /root/repo/src/storage/bptree.h /root/repo/src/storage/buffer_pool.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk_manager.h \
+ /root/repo/src/storage/page.h /root/repo/src/storage/heap_file.h \
  /root/repo/src/datagen/query_generator.h \
  /root/repo/src/datagen/record_generator.h \
  /root/repo/src/datagen/vocabulary.h /root/repo/src/util/rng.h \

@@ -220,36 +220,46 @@ examples/CMakeFiles/wre_shell.dir/wre_shell.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/util/../../src/core/range.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/util/../../src/core/ingest_pipeline.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/util/../../src/sql/schema.h /usr/include/c++/12/optional \
+ /root/repo/src/util/../../src/sql/value.h /usr/include/c++/12/variant \
+ /root/repo/src/util/../../src/util/bytes.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/util/../../src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /root/repo/src/util/../../src/core/range.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/../../src/util/error.h \
  /root/repo/src/util/../../src/core/wre_scheme.h \
  /root/repo/src/util/../../src/core/salts.h \
  /root/repo/src/util/../../src/core/distribution.h \
  /root/repo/src/util/../../src/crypto/secure_random.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef \
  /root/repo/src/util/../../src/crypto/chacha20.h \
- /root/repo/src/util/../../src/util/bytes.h \
  /root/repo/src/util/../../src/crypto/aes_ctr.h \
  /root/repo/src/util/../../src/crypto/aes.h \
  /root/repo/src/util/../../src/crypto/keys.h \
  /root/repo/src/util/../../src/crypto/hkdf.h \
  /root/repo/src/util/../../src/crypto/prf.h \
  /root/repo/src/util/../../src/sql/database.h \
- /root/repo/src/util/../../src/sql/ast.h /usr/include/c++/12/optional \
- /usr/include/c++/12/variant /root/repo/src/util/../../src/sql/schema.h \
- /root/repo/src/util/../../src/sql/value.h \
+ /root/repo/src/util/../../src/sql/ast.h \
  /root/repo/src/util/../../src/sql/table.h \
  /root/repo/src/util/../../src/storage/bptree.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/util/../../src/storage/buffer_pool.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc \

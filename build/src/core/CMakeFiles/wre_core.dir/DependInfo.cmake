@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/wre_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/distribution.cpp.o.d"
   "/root/repo/src/core/encrypted_client.cpp" "src/core/CMakeFiles/wre_core.dir/encrypted_client.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/encrypted_client.cpp.o.d"
+  "/root/repo/src/core/ingest_pipeline.cpp" "src/core/CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o.d"
   "/root/repo/src/core/manifest.cpp" "src/core/CMakeFiles/wre_core.dir/manifest.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/manifest.cpp.o.d"
   "/root/repo/src/core/range.cpp" "src/core/CMakeFiles/wre_core.dir/range.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/range.cpp.o.d"
   "/root/repo/src/core/salts.cpp" "src/core/CMakeFiles/wre_core.dir/salts.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/salts.cpp.o.d"

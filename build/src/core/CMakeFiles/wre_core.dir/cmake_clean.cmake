@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wre_core.dir/distribution.cpp.o.d"
   "CMakeFiles/wre_core.dir/encrypted_client.cpp.o"
   "CMakeFiles/wre_core.dir/encrypted_client.cpp.o.d"
+  "CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o"
+  "CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o.d"
   "CMakeFiles/wre_core.dir/manifest.cpp.o"
   "CMakeFiles/wre_core.dir/manifest.cpp.o.d"
   "CMakeFiles/wre_core.dir/range.cpp.o"

@@ -222,5 +222,11 @@ src/sql/CMakeFiles/wre_sql.dir/table.cpp.o: /root/repo/src/sql/table.cpp \
  /root/repo/src/util/../../src/storage/disk_manager.h \
  /root/repo/src/util/../../src/storage/page.h \
  /root/repo/src/util/../../src/storage/heap_file.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/../../src/crypto/sha256.h \
  /root/repo/src/util/../../src/util/error.h

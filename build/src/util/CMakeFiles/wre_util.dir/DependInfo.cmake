@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/wre_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/wre_util.dir/bytes.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/wre_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/wre_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/wre_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/wre_util.dir/thread_pool.cpp.o.d"
   "/root/repo/src/util/timer.cpp" "src/util/CMakeFiles/wre_util.dir/timer.cpp.o" "gcc" "src/util/CMakeFiles/wre_util.dir/timer.cpp.o.d"
   )
 

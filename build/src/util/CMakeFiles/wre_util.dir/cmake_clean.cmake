@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/wre_util.dir/bytes.cpp.o.d"
   "CMakeFiles/wre_util.dir/rng.cpp.o"
   "CMakeFiles/wre_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wre_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wre_util.dir/thread_pool.cpp.o.d"
   "CMakeFiles/wre_util.dir/timer.cpp.o"
   "CMakeFiles/wre_util.dir/timer.cpp.o.d"
   "libwre_util.a"

@@ -301,7 +301,21 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/util/../../src/crypto/prf.h \
  /root/repo/src/util/../../src/util/bytes.h /usr/include/c++/12/span \
  /root/repo/src/util/../../src/core/encrypted_client.h \
- /root/repo/src/util/../../src/core/range.h \
+ /root/repo/src/util/../../src/core/ingest_pipeline.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/../../src/sql/schema.h \
+ /root/repo/src/util/../../src/sql/value.h \
+ /root/repo/src/util/../../src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/util/../../src/core/range.h \
  /root/repo/src/util/../../src/util/error.h \
  /root/repo/src/util/../../src/core/wre_scheme.h \
  /root/repo/src/util/../../src/core/salts.h \
@@ -314,8 +328,6 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/util/../../src/crypto/hkdf.h \
  /root/repo/src/util/../../src/sql/database.h \
  /root/repo/src/util/../../src/sql/ast.h \
- /root/repo/src/util/../../src/sql/schema.h \
- /root/repo/src/util/../../src/sql/value.h \
  /root/repo/src/util/../../src/sql/table.h \
  /root/repo/src/util/../../src/storage/bptree.h \
  /root/repo/src/util/../../src/storage/buffer_pool.h \
@@ -330,7 +342,6 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/util/../../src/util/rng.h \
  /root/repo/src/util/../../tests/test_util.h \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \

@@ -17,3 +17,5 @@ include("/root/repo/build/tests/manifest_test[1]_include.cmake")
 include("/root/repo/build/tests/range_test[1]_include.cmake")
 include("/root/repo/build/tests/lifecycle_test[1]_include.cmake")
 include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_ingest_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_stress_test[1]_include.cmake")

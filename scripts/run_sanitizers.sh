@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer and AddressSanitizer
+# (bench/ is excluded from sanitized builds; see the top-level CMakeLists).
+#
+#   scripts/run_sanitizers.sh             # full suite under both sanitizers
+#   scripts/run_sanitizers.sh -L fast     # fast-labelled tests only
+#
+# Extra arguments are forwarded to ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+for san in thread address; do
+  build_dir=build-${san}san
+  echo "== WRE_SANITIZE=${san} -> ${build_dir} =="
+  cmake -B "${build_dir}" -S . -DWRE_SANITIZE=${san} >/dev/null
+  cmake --build "${build_dir}" -j"${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j"${JOBS}" "$@"
+done
+
+echo "== sanitizer runs passed (thread, address) =="

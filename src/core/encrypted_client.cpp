@@ -376,6 +376,13 @@ void EncryptedConnection::insert(const std::string& table, const Row& row) {
   db_.table(table).insert(physical);
 }
 
+IngestStats EncryptedConnection::insert_bulk(const std::string& table,
+                                             const std::vector<Row>& rows,
+                                             const IngestOptions& options) {
+  IngestPipeline pipeline(*this, table, options);
+  return pipeline.ingest(rows);
+}
+
 std::string EncryptedConnection::rewrite_select(const std::string& table,
                                                 const std::string& column,
                                                 const std::string& value,
@@ -653,7 +660,7 @@ void EncryptedConnection::migrate_table(
   }
 
   create_table(destination, src.logical, specs, distributions, range_specs);
-  for (const Row& row : rows) insert(destination, row);
+  insert_bulk(destination, rows);
 }
 
 }  // namespace wre::core

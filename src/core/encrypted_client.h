@@ -16,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/core/ingest_pipeline.h"
 #include "src/core/range.h"
 #include "src/core/wre_scheme.h"
 #include "src/sql/database.h"
@@ -126,6 +127,16 @@ class EncryptedConnection {
   /// Encrypts and inserts one logical row.
   void insert(const std::string& table, const sql::Row& row);
 
+  /// Encrypts and inserts many logical rows through the parallel bulk-ingest
+  /// pipeline (see ingest_pipeline.h): tags and payloads are computed across
+  /// a worker pool, then written in input order via the batched insert path.
+  /// One-shot convenience over IngestPipeline; streaming callers that ingest
+  /// chunk by chunk should hold an IngestPipeline so record indices (and the
+  /// randomness stream) continue across chunks.
+  IngestStats insert_bulk(const std::string& table,
+                          const std::vector<sql::Row>& rows,
+                          const IngestOptions& options = {});
+
   /// SELECT id FROM table WHERE column = value  (index-only on the server).
   EncryptedQueryResult select_ids(const std::string& table,
                                   const std::string& column,
@@ -196,6 +207,10 @@ class EncryptedConnection {
                           const std::string& column) const;
 
  private:
+  // The bulk-ingest pipeline snapshots per-worker encryption contexts from
+  // TableState and shares this connection's drift counters and rng.
+  friend class IngestPipeline;
+
   struct ColumnState {
     EncryptedColumnSpec spec;
     std::unique_ptr<WreScheme> scheme;

@@ -1,0 +1,288 @@
+#include "src/core/ingest_pipeline.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <thread>
+
+#include "src/core/encrypted_client.h"
+#include "src/crypto/hkdf.h"
+#include "src/crypto/hmac_sha256.h"
+#include "src/util/timer.h"
+
+namespace wre::core {
+
+// Per-worker encryption contexts. Every worker owns private PRF/AES state
+// (cloned, so no two threads ever touch the same cipher object) plus a
+// column plan mapping logical columns to those contexts; the salt
+// allocators and range bucketizers behind the pointers are immutable after
+// construction and shared by all workers.
+struct IngestPipeline::Worker {
+  struct EncCol {
+    size_t logical_index;
+    std::unique_ptr<WreScheme> scheme;  // cloned contexts, shared allocator
+  };
+  struct RangeCol {
+    size_t logical_index;
+    const RangeBucketizer* bucketizer;  // shared, immutable
+    crypto::TagPrf prf;                 // worker-private copies
+    crypto::AesCtr payload;
+  };
+  enum Kind : uint8_t { kPlain, kEncrypted, kRange };
+  struct Slot {
+    Kind kind;
+    size_t pos;  // index into enc / ranges for the non-plain kinds
+  };
+
+  std::vector<Slot> plan;  // one entry per logical column
+  std::vector<EncCol> enc;
+  std::vector<RangeCol> ranges;
+  size_t physical_columns = 0;
+};
+
+IngestPipeline::IngestPipeline(EncryptedConnection& conn, std::string table,
+                               IngestOptions options)
+    : conn_(conn), table_(std::move(table)), options_(std::move(options)) {
+  threads_ = options_.threads;
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+  if (options_.batch_rows == 0) options_.batch_rows = 1;
+  next_index_ = options_.start_index;
+
+  // Record g's randomness stream is seeded with
+  //   HMAC(record_key, nonce || le64(g)),
+  // so an encryption depends only on (master secret, table, nonce, g, row)
+  // — never on which worker ran it or how rows were batched. That is the
+  // whole determinism argument: together with salt sets being pseudorandom
+  // in (key, m), parallel ingest is bit-identical to serial ingest.
+  record_key_ =
+      crypto::hkdf(to_bytes("wre-ingest-rng-v1"), conn_.master_secret_,
+                   to_bytes("ingest:" + sql::to_lower(table_)), 32);
+  nonce_ = options_.stream_nonce.empty() ? conn_.rng_.bytes(16)
+                                         : options_.stream_nonce;
+
+  const EncryptedConnection::TableState& ts = conn_.state(table_);
+  workers_.reserve(threads_);
+  for (unsigned t = 0; t < threads_; ++t) {
+    auto w = std::make_unique<Worker>();
+    w->plan.reserve(ts.logical.column_count());
+    for (size_t i = 0; i < ts.logical.column_count(); ++i) {
+      const sql::Column& col = ts.logical.column(i);
+      if (auto rit = ts.ranges.find(col.name); rit != ts.ranges.end()) {
+        w->plan.push_back({Worker::kRange, w->ranges.size()});
+        w->ranges.push_back(Worker::RangeCol{i, rit->second.bucketizer.get(),
+                                             *rit->second.prf,
+                                             *rit->second.payload});
+      } else if (auto it = ts.encrypted.find(col.name);
+                 it != ts.encrypted.end()) {
+        w->plan.push_back({Worker::kEncrypted, w->enc.size()});
+        w->enc.push_back(Worker::EncCol{i, it->second.scheme->clone()});
+      } else {
+        w->plan.push_back({Worker::kPlain, 0});
+      }
+    }
+    w->physical_columns = ts.physical.column_count();
+    free_workers_.push_back(w.get());
+    workers_.push_back(std::move(w));
+  }
+  if (threads_ > 1) pool_ = std::make_unique<util::ThreadPool>(threads_);
+}
+
+IngestPipeline::~IngestPipeline() = default;
+
+IngestPipeline::Worker* IngestPipeline::acquire_worker() {
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  // Never empty: the pool runs at most threads_ tasks at once and there are
+  // exactly threads_ contexts.
+  Worker* w = free_workers_.back();
+  free_workers_.pop_back();
+  return w;
+}
+
+void IngestPipeline::release_worker(Worker* w) {
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  free_workers_.push_back(w);
+}
+
+std::vector<sql::Row> IngestPipeline::encrypt_batch(
+    Worker& w, const std::vector<sql::Row>& rows, size_t begin, size_t end,
+    uint64_t base_index) const {
+  std::vector<sql::Row> out;
+  out.reserve(end - begin);
+  Bytes seed_input;
+  for (size_t r = begin; r < end; ++r) {
+    const sql::Row& row = rows[r];
+    seed_input.assign(nonce_.begin(), nonce_.end());
+    store_le64(seed_input, base_index + (r - begin));
+    auto seed = crypto::HmacSha256::mac(record_key_, seed_input);
+    crypto::SecureRandom rng{ByteView(seed.data(), seed.size())};
+
+    sql::Row physical;
+    physical.reserve(w.physical_columns);
+    for (size_t i = 0; i < w.plan.size(); ++i) {
+      const Worker::Slot& slot = w.plan[i];
+      if (slot.kind == Worker::kPlain) {
+        physical.push_back(row[i]);
+        continue;
+      }
+      if (row[i].is_null()) {
+        physical.push_back(sql::Value::null());
+        physical.push_back(sql::Value::null());
+        continue;
+      }
+      if (slot.kind == Worker::kEncrypted) {
+        EncryptedCell cell = w.enc[slot.pos].scheme->encrypt(row[i].as_text(),
+                                                             rng);
+        physical.push_back(sql::Value::tag(cell.tag));
+        physical.push_back(sql::Value::blob(std::move(cell.ciphertext)));
+      } else {
+        const Worker::RangeCol& rc = w.ranges[slot.pos];
+        int64_t v = row[i].as_int64();
+        Bytes plain;
+        store_le64(plain, static_cast<uint64_t>(v));
+        physical.push_back(
+            sql::Value::tag(rc.prf.range_tag(rc.bucketizer->bucket_of(v))));
+        physical.push_back(sql::Value::blob(rc.payload.encrypt(plain, rng)));
+      }
+    }
+    out.push_back(std::move(physical));
+  }
+  return out;
+}
+
+void IngestPipeline::record_drift(const std::vector<sql::Row>& rows,
+                                  size_t begin, size_t end) {
+  EncryptedConnection::TableState& ts = conn_.mutable_state(table_);
+  for (auto& [name, cs] : ts.encrypted) {
+    for (size_t r = begin; r < end; ++r) {
+      const sql::Value& v = rows[r][cs.logical_index];
+      if (v.is_null()) continue;
+      const std::string& value = v.as_text();
+      ++cs.observed[value];
+      ++cs.observed_total;
+      if (!cs.scheme->allocator().covers(value)) ++cs.unseen_total;
+    }
+  }
+}
+
+IngestStats IngestPipeline::ingest(const std::vector<sql::Row>& rows) {
+  Timer total;
+  IngestStats stats;
+  stats.threads = threads_;
+  stats.rows = rows.size();
+  if (rows.empty()) return stats;
+
+  {
+    const EncryptedConnection::TableState& ts = conn_.state(table_);
+    for (const sql::Row& row : rows) ts.logical.check_row(row);
+  }
+  sql::Table& out = conn_.db_.table(table_);
+
+  const size_t batch = options_.batch_rows;
+  const size_t nbatches = (rows.size() + batch - 1) / batch;
+  stats.batches = nbatches;
+  const uint64_t base = next_index_;
+
+  if (threads_ <= 1) {
+    Worker& w = *workers_.front();
+    for (size_t b = 0; b < nbatches; ++b) {
+      size_t begin = b * batch;
+      size_t end = std::min(rows.size(), begin + batch);
+      Timer enc_timer;
+      std::vector<sql::Row> physical =
+          encrypt_batch(w, rows, begin, end, base + begin);
+      stats.encrypt_seconds += enc_timer.elapsed_seconds();
+      Timer write_timer;
+      out.insert_batch(physical);
+      stats.write_seconds += write_timer.elapsed_seconds();
+      record_drift(rows, begin, end);
+      next_index_ += end - begin;
+    }
+    stats.total_seconds = total.elapsed_seconds();
+    return stats;
+  }
+
+  // Fan out encryption; this thread is the single writer, draining batches
+  // strictly in input order.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::vector<sql::Row>> done;
+    std::vector<char> ready;
+    size_t first_error;
+    std::exception_ptr error;
+    size_t outstanding;
+    double encrypt_seconds = 0;
+  } sh;
+  sh.done.resize(nbatches);
+  sh.ready.assign(nbatches, 0);
+  sh.first_error = nbatches;
+  sh.outstanding = nbatches;
+  Timer enc_timer;
+
+  for (size_t b = 0; b < nbatches; ++b) {
+    const size_t begin = b * batch;
+    const size_t end = std::min(rows.size(), begin + batch);
+    pool_->submit([this, &rows, &sh, &enc_timer, b, begin, end, base] {
+      std::vector<sql::Row> physical;
+      std::exception_ptr err;
+      Worker* w = acquire_worker();
+      try {
+        physical = encrypt_batch(*w, rows, begin, end, base + begin);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      release_worker(w);
+      std::lock_guard<std::mutex> lk(sh.mu);
+      if (err) {
+        if (b < sh.first_error) {
+          sh.first_error = b;
+          sh.error = err;
+        }
+      } else {
+        sh.done[b] = std::move(physical);
+        sh.ready[b] = 1;
+      }
+      if (--sh.outstanding == 0) {
+        sh.encrypt_seconds = enc_timer.elapsed_seconds();
+      }
+      sh.cv.notify_all();
+    });
+  }
+
+  try {
+    for (size_t b = 0; b < nbatches; ++b) {
+      std::vector<sql::Row> physical;
+      {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        sh.cv.wait(lk, [&] { return sh.ready[b] || sh.first_error <= b; });
+        if (sh.first_error <= b) break;
+        physical = std::move(sh.done[b]);
+      }
+      const size_t begin = b * batch;
+      const size_t end = std::min(rows.size(), begin + batch);
+      Timer write_timer;
+      out.insert_batch(physical);
+      stats.write_seconds += write_timer.elapsed_seconds();
+      record_drift(rows, begin, end);
+      next_index_ += end - begin;
+    }
+  } catch (...) {
+    // A write failure must not leave workers touching `sh` (stack memory)
+    // after we unwind.
+    pool_->wait_idle();
+    throw;
+  }
+
+  pool_->wait_idle();
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    stats.encrypt_seconds = sh.encrypt_seconds;
+    if (sh.error) std::rethrow_exception(sh.error);
+  }
+  stats.total_seconds = total.elapsed_seconds();
+  return stats;
+}
+
+}  // namespace wre::core

@@ -9,13 +9,27 @@
 namespace wre::core {
 
 uint64_t SaltSet::sample(crypto::SecureRandom& rng) const {
+  if (salts.empty() || weights.size() != salts.size()) {
+    throw WreError("SaltSet::sample: malformed salt set");
+  }
   double x = rng.next_double();
+  // The weights sum to 1 only up to floating-point error. When the sum falls
+  // slightly short and x lands in the slack, the draw is clamped into the
+  // final *positive-weight* bucket — never a zero-weight salt, which the
+  // Poisson allocators can legitimately emit at the tail and which must
+  // appear with probability 0 for the frequency-smoothing argument to hold.
   double cum = 0;
+  size_t last_positive = salts.size();
   for (size_t i = 0; i < salts.size(); ++i) {
+    if (!(weights[i] > 0)) continue;  // also skips NaN defensively
+    last_positive = i;
     cum += weights[i];
     if (x < cum) return salts[i];
   }
-  return salts.back();  // floating-point slack lands on the last salt
+  if (last_positive == salts.size()) {
+    throw WreError("SaltSet::sample: no positive-weight salt");
+  }
+  return salts[last_positive];
 }
 
 SaltSet DeterministicAllocator::salts_for(const std::string&) const {

@@ -7,12 +7,24 @@ namespace wre::core {
 WreScheme::WreScheme(crypto::KeyBundle keys,
                      std::unique_ptr<SaltAllocator> allocator,
                      UnseenValuePolicy unseen_policy)
+    : WreScheme(std::move(keys),
+                std::shared_ptr<const SaltAllocator>(std::move(allocator)),
+                unseen_policy) {}
+
+WreScheme::WreScheme(crypto::KeyBundle keys,
+                     std::shared_ptr<const SaltAllocator> allocator,
+                     UnseenValuePolicy unseen_policy)
     : keys_(std::move(keys)),
       prf_(keys_.tag_key),
       payload_(keys_.payload_key),
       allocator_(std::move(allocator)),
       unseen_policy_(unseen_policy) {
   if (!allocator_) throw WreError("WreScheme: null allocator");
+}
+
+std::unique_ptr<WreScheme> WreScheme::clone() const {
+  return std::unique_ptr<WreScheme>(
+      new WreScheme(keys_, allocator_, unseen_policy_));
 }
 
 crypto::Tag WreScheme::tag_for(uint64_t salt, const std::string& m) const {

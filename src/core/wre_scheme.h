@@ -50,6 +50,14 @@ class WreScheme {
   WreScheme(crypto::KeyBundle keys, std::unique_ptr<SaltAllocator> allocator,
             UnseenValuePolicy unseen_policy = UnseenValuePolicy::kReject);
 
+  /// Clones this scheme for a parallel-ingest worker: the clone gets its own
+  /// PRF and AES contexts (no state shared with other workers) while the
+  /// salt allocator — immutable after construction, and potentially large
+  /// (distribution tables, bucket layouts) — is shared read-only. Clones
+  /// produce bit-identical output to the original for the same (m, rng)
+  /// inputs, which is what makes parallel ingest equivalent to serial.
+  std::unique_ptr<WreScheme> clone() const;
+
   /// Enc: draws a salt from P_S(m) using `rng` and produces (tag, c).
   EncryptedCell encrypt(const std::string& m, crypto::SecureRandom& rng) const;
 
@@ -69,6 +77,10 @@ class WreScheme {
   UnseenValuePolicy unseen_policy() const { return unseen_policy_; }
 
  private:
+  WreScheme(crypto::KeyBundle keys,
+            std::shared_ptr<const SaltAllocator> allocator,
+            UnseenValuePolicy unseen_policy);
+
   crypto::Tag tag_for(uint64_t salt, const std::string& m) const;
   /// Salt set for m, applying the unseen-value policy when m is outside the
   /// allocator's support.
@@ -82,7 +94,7 @@ class WreScheme {
   crypto::KeyBundle keys_;
   crypto::TagPrf prf_;
   crypto::AesCtr payload_;
-  std::unique_ptr<SaltAllocator> allocator_;
+  std::shared_ptr<const SaltAllocator> allocator_;
   UnseenValuePolicy unseen_policy_;
 };
 

@@ -111,6 +111,11 @@ bool Database::has_table(const std::string& name) const {
   return tables_.contains(to_lower(name));
 }
 
+std::vector<int64_t> Database::insert_batch(const std::string& table_name,
+                                            const std::vector<Row>& rows) {
+  return table(table_name).insert_batch(rows);
+}
+
 ResultSet Database::execute(std::string_view sql) {
   Statement stmt = parse_statement(sql);
   return std::visit(

@@ -54,6 +54,12 @@ class Database {
   Table& table(const std::string& name);
   bool has_table(const std::string& name) const;
 
+  /// Batched insert entry point (see Table::insert_batch): equivalent to one
+  /// INSERT per row but with per-row parsing, heap-metadata and B+-tree
+  /// descent costs amortized across the batch. Returns the primary keys.
+  std::vector<int64_t> insert_batch(const std::string& table,
+                                    const std::vector<Row>& rows);
+
   /// Executes a parsed SELECT (lets clients pre-build ASTs).
   ResultSet execute_select(const SelectStmt& stmt);
 

@@ -1,5 +1,9 @@
 #include "src/sql/table.h"
 
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
 #include "src/crypto/sha256.h"
 #include "src/util/error.h"
 
@@ -64,6 +68,58 @@ int64_t Table::insert(const Row& row) {
     tree->insert(index_key_for(row[idx]), static_cast<uint64_t>(pk));
   }
   return pk;
+}
+
+std::vector<int64_t> Table::insert_batch(const std::vector<Row>& rows) {
+  std::vector<int64_t> pks;
+  pks.reserve(rows.size());
+  auto pk_col = schema_.primary_key_index();
+
+  // Validate everything before writing anything, so a bad row cannot leave a
+  // half-applied batch behind. Hidden keys are assigned from a local cursor
+  // that is committed only after validation succeeds.
+  int64_t hidden = next_hidden_pk_;
+  std::unordered_set<int64_t> batch_pks;
+  for (const Row& row : rows) {
+    schema_.check_row(row);
+    int64_t pk;
+    if (pk_col) {
+      pk = row[*pk_col].as_int64();
+      if (!batch_pks.insert(pk).second ||
+          !pk_index_->find(static_cast<uint64_t>(pk)).empty()) {
+        throw SqlError("duplicate primary key " + std::to_string(pk) +
+                       " in table " + name_);
+      }
+    } else {
+      pk = hidden++;
+    }
+    pks.push_back(pk);
+  }
+  next_hidden_pk_ = hidden;
+
+  std::vector<Bytes> encoded;
+  encoded.reserve(rows.size());
+  for (const Row& row : rows) encoded.push_back(schema_.encode_row(row));
+  std::vector<storage::RecordId> rids = heap_->append_batch(encoded);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    pk_index_->insert(static_cast<uint64_t>(pks[i]), rids[i].pack());
+  }
+
+  // Secondary indexes: one sorted (key, pk) run per index.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (auto& [col, tree] : indexes_) {
+    size_t idx = *schema_.index_of(col);
+    entries.clear();
+    entries.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i][idx].is_null()) continue;
+      entries.emplace_back(index_key_for(rows[i][idx]),
+                           static_cast<uint64_t>(pks[i]));
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [key, pk] : entries) tree->insert(key, pk);
+  }
+  return pks;
 }
 
 std::optional<Row> Table::find_by_pk(int64_t pk) {

@@ -69,6 +69,22 @@ void HeapFile::save_meta() {
 }
 
 RecordId HeapFile::append(ByteView record) {
+  RecordId rid = append_record(record);
+  save_meta();
+  return rid;
+}
+
+std::vector<RecordId> HeapFile::append_batch(const std::vector<Bytes>& records) {
+  std::vector<RecordId> rids;
+  rids.reserve(records.size());
+  for (const Bytes& record : records) {
+    rids.push_back(append_record(record));
+  }
+  if (!records.empty()) save_meta();
+  return rids;
+}
+
+RecordId HeapFile::append_record(ByteView record) {
   if (record.size() + kPageHeader + kSlotSize > kPageSize) {
     throw StorageError("HeapFile: record larger than a page");
   }
@@ -104,7 +120,6 @@ RecordId HeapFile::append(ByteView record) {
   page.release();
 
   ++record_count_;
-  save_meta();
   return rid;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/storage/buffer_pool.h"
 #include "src/util/bytes.h"
@@ -46,6 +47,12 @@ class HeapFile {
   /// Appends a record, returning its id.
   RecordId append(ByteView record);
 
+  /// Appends every record in `records`, returning their ids in order. One
+  /// metadata write covers the whole batch (append() persists the record
+  /// count per call), which is the heap-file half of the bulk-ingest
+  /// amortization. Equivalent to calling append() per record.
+  std::vector<RecordId> append_batch(const std::vector<Bytes>& records);
+
   /// Reads the record at `rid`. Throws StorageError for invalid ids.
   Bytes read(const RecordId& rid);
 
@@ -62,6 +69,8 @@ class HeapFile {
  private:
   void load_or_init_meta();
   void save_meta();
+  /// Places one record without persisting metadata; callers save_meta().
+  RecordId append_record(ByteView record);
 
   BufferPool& pool_;
   FileId file_;

@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for CPU-bound fan-out (bulk-ingest
+// encryption). Deliberately minimal: FIFO queue, no futures, no work
+// stealing — callers coordinate through wait_idle() or their own state.
+//
+// Shutdown contract: the destructor stops accepting new work, *finishes*
+// every task already queued, then joins the workers. Nothing submitted
+// before destruction is ever dropped, so a pipeline that dies mid-flight
+// loses no rows (the concurrency stress test pins this down).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wre::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the remaining queue, then joins. See the shutdown contract above.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — an escaping exception would
+  /// terminate the process; wrap fallible work and capture the error.
+  /// Throws Error if the pool is shutting down.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Tasks currently queued (excludes running ones); for tests/introspection.
+  size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // wait_idle: queue empty and none running
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;  // tasks dequeued but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wre::util

@@ -1,0 +1,229 @@
+// Concurrency stress for the thread pool, the bulk-ingest pipeline and the
+// batched-insert path: many small batches interleaved with queries, plus
+// shutdown-under-load. Built to be run under ThreadSanitizer / ASan too
+// (scripts/run_sanitizers.sh); carries the `stress` ctest label so the
+// fast tier-1 loop can skip it with `ctest -L fast`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/encrypted_client.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/sql/database.h"
+#include "src/util/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace wre {
+namespace {
+
+using core::EncryptedColumnSpec;
+using core::EncryptedConnection;
+using core::IngestOptions;
+using core::IngestPipeline;
+using core::PlaintextDistribution;
+using core::SaltMethod;
+using sql::Column;
+using sql::Row;
+using sql::Schema;
+using sql::Value;
+using sql::ValueType;
+using wre::testing::TempDir;
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolStress, ManySmallTasksAllRun) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kTasks = 5000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPoolStress, WaitIdleFromManyRounds) {
+  util::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 40);
+  }
+}
+
+// The shutdown contract: destruction with work still queued completes the
+// backlog — nothing submitted is ever dropped.
+TEST(ThreadPoolStress, DestructionDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  constexpr int kTasks = 300;
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&count] {
+        // Slow tasks guarantee a deep backlog at destruction time.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here, with most of the queue still pending.
+  }
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmitters) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.submit(
+            [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 4 * kPerProducer);
+}
+
+// ------------------------------------------- pipeline + batched inserts
+
+PlaintextDistribution stress_dist() {
+  std::unordered_map<std::string, uint64_t> counts;
+  for (int i = 0; i < 12; ++i) {
+    counts["v" + std::to_string(i)] = static_cast<uint64_t>(2 * i + 1);
+  }
+  return PlaintextDistribution::from_counts(counts);
+}
+
+TEST(IngestStress, ManySmallBatchesInterleavedWithQueries) {
+  TempDir dir("ingest_stress");
+  sql::Database db(dir.str());
+  Bytes secret(32, 0x11);
+  EncryptedConnection conn(db, secret);
+
+  Schema schema({Column{"id", ValueType::kInt64, true},
+                 Column{"name", ValueType::kText},
+                 Column{"note", ValueType::kText}});
+  std::vector<EncryptedColumnSpec> specs{{"name", SaltMethod::kPoisson, 40}};
+  std::map<std::string, PlaintextDistribution> dists;
+  dists.emplace("name", stress_dist());
+  conn.create_table("t", schema, specs, dists);
+
+  IngestOptions options;
+  options.threads = 4;
+  options.batch_rows = 3;  // deliberately tiny: maximize handoffs
+  IngestPipeline pipeline(conn, "t", options);
+
+  std::unordered_map<std::string, size_t> expected;
+  int64_t next_id = 0;
+  constexpr int kRounds = 60;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Row> chunk;
+    const size_t chunk_rows = 1 + static_cast<size_t>(round % 13);
+    for (size_t i = 0; i < chunk_rows; ++i) {
+      std::string name = "v" + std::to_string((next_id * 5) % 12);
+      chunk.push_back({Value::int64(next_id++), Value::text(name),
+                       Value::text("note")});
+      ++expected[name];
+    }
+    pipeline.ingest(chunk);
+
+    // Interleave queries with the ingest stream: results must always see
+    // exactly the rows ingested so far (no lost, duplicated or torn rows).
+    if (round % 7 == 0) {
+      std::string probe = "v" + std::to_string(round % 12);
+      auto result = conn.select_star("t", "name", probe);
+      EXPECT_EQ(result.rows.size(), expected[probe]) << "round " << round;
+    }
+  }
+
+  EXPECT_EQ(db.table("t").row_count(), static_cast<uint64_t>(next_id));
+  size_t total = 0;
+  for (const auto& [name, count] : expected) {
+    auto result = conn.select_ids("t", "name", name);
+    EXPECT_EQ(result.ids.size(), count) << name;
+    total += result.ids.size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(next_id));
+}
+
+TEST(IngestStress, AlternatingBulkAndSerialInserts) {
+  TempDir dir("ingest_mixed");
+  sql::Database db(dir.str());
+  EncryptedConnection conn(db, Bytes(32, 0x22));
+
+  Schema schema({Column{"id", ValueType::kInt64, true},
+                 Column{"name", ValueType::kText}});
+  std::vector<EncryptedColumnSpec> specs{{"name", SaltMethod::kFixed, 8}};
+  conn.create_table("t", schema, specs, {});
+
+  int64_t next_id = 0;
+  for (int round = 0; round < 20; ++round) {
+    if (round % 2 == 0) {
+      std::vector<Row> chunk;
+      for (int i = 0; i < 9; ++i) {
+        chunk.push_back({Value::int64(next_id++), Value::text("bulk")});
+      }
+      IngestOptions options;
+      options.threads = 2;
+      options.batch_rows = 4;
+      conn.insert_bulk("t", chunk, options);
+    } else {
+      conn.insert("t", {Value::int64(next_id++), Value::text("serial")});
+    }
+  }
+  EXPECT_EQ(db.table("t").row_count(), static_cast<uint64_t>(next_id));
+  EXPECT_EQ(conn.select_ids("t", "name", "bulk").ids.size(), 90u);
+  EXPECT_EQ(conn.select_ids("t", "name", "serial").ids.size(), 10u);
+}
+
+// Raw batched-insert hammering (no encryption): many ragged batches must
+// leave the table and its indexes exactly as per-row inserts would.
+TEST(IngestStress, TableInsertBatchManyRaggedBatches) {
+  TempDir dir("table_batch");
+  sql::Database db(dir.str());
+  Schema schema({Column{"id", ValueType::kInt64, true},
+                 Column{"k", ValueType::kInt64},
+                 Column{"s", ValueType::kText}});
+  db.create_table("t", schema);
+  db.create_index("t", "k");
+
+  int64_t next_id = 0;
+  std::map<int64_t, size_t> expected;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<Row> batch;
+    for (int i = 0; i <= round % 9; ++i) {
+      int64_t k = next_id % 7;
+      batch.push_back({Value::int64(next_id++), Value::int64(k),
+                       Value::text("r" + std::to_string(round))});
+      ++expected[k];
+    }
+    db.insert_batch("t", batch);
+  }
+  EXPECT_EQ(db.table("t").row_count(), static_cast<uint64_t>(next_id));
+  for (const auto& [k, count] : expected) {
+    EXPECT_EQ(db.table("t").probe_index("k", Value::int64(k)).size(), count);
+  }
+  // Duplicate-pk rejection is all-or-nothing for the batch.
+  std::vector<Row> dup{{Value::int64(next_id), Value::int64(0),
+                        Value::text("x")},
+                       {Value::int64(0), Value::int64(0), Value::text("x")}};
+  EXPECT_THROW(db.insert_batch("t", dup), SqlError);
+  EXPECT_EQ(db.table("t").row_count(), static_cast<uint64_t>(next_id));
+}
+
+}  // namespace
+}  // namespace wre

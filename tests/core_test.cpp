@@ -267,6 +267,50 @@ TEST(SaltSet, SampleHonorsWeights) {
   EXPECT_NEAR(ones / static_cast<double>(kDraws), 0.9, 0.02);
 }
 
+// Regression: weight sums slightly below 1.0 (floating-point slack) must
+// clamp into the final *positive-weight* bucket. Before the fix, a draw
+// landing in the slack returned salts.back() — which could be a zero-weight
+// salt the Poisson allocators legitimately emit at the tail, i.e. a salt
+// that must appear with probability 0.
+TEST(SaltSet, SampleClampsSlackIntoFinalPositiveBucket) {
+  SaltSet s{{7, 8, 9, 10}, {0.5, 0.25, 0.25 - 1e-9, 0.0}};
+  auto rng = crypto::SecureRandom::for_testing(17);
+  bool drew_clamped = false;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t salt = s.sample(rng);
+    EXPECT_NE(salt, 10u);  // zero-weight: probability must stay 0
+    if (salt == 9) drew_clamped = true;
+  }
+  EXPECT_TRUE(drew_clamped);
+}
+
+TEST(SaltSet, SampleAdversarialWeightSums) {
+  auto rng = crypto::SecureRandom::for_testing(23);
+  // A grossly short sum (0.5): any slack draw clamps into the last
+  // positive-weight salt, so only declared salts ever come back.
+  SaltSet shorted{{1, 2}, {0.25, 0.25}};
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t salt = shorted.sample(rng);
+    EXPECT_TRUE(salt == 1 || salt == 2);
+  }
+  // Zero-weight salts sprinkled through the set are never drawn.
+  SaltSet holes{{1, 2, 3, 4}, {0.0, 0.6, 0.0, 0.4 - 1e-12}};
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t salt = holes.sample(rng);
+    EXPECT_TRUE(salt == 2 || salt == 4);
+  }
+}
+
+TEST(SaltSet, SampleRejectsMalformedSets) {
+  auto rng = crypto::SecureRandom::for_testing(29);
+  SaltSet empty;
+  EXPECT_THROW(empty.sample(rng), WreError);
+  SaltSet mismatched{{1, 2}, {1.0}};
+  EXPECT_THROW(mismatched.sample(rng), WreError);
+  SaltSet all_zero{{1, 2}, {0.0, 0.0}};
+  EXPECT_THROW(all_zero.sample(rng), WreError);
+}
+
 // -------------------------------------------------------------- WreScheme
 
 std::unique_ptr<WreScheme> make_scheme(SaltMethod method, double param,
@@ -334,6 +378,28 @@ TEST_P(WreSchemeAllMethods, CiphertextsAreRandomized) {
   auto c1 = scheme->encrypt("alice", rng);
   auto c2 = scheme->encrypt("alice", rng);
   EXPECT_NE(c1.ciphertext, c2.ciphertext);
+}
+
+TEST_P(WreSchemeAllMethods, CloneIsBitIdenticalToOriginal) {
+  // The parallel ingest pipeline hands each worker a clone(); correctness
+  // of the whole design rests on a clone behaving exactly like its source
+  // for the same (message, rng stream).
+  auto [method, param] = GetParam();
+  auto scheme = make_scheme(method, param);
+  auto clone = scheme->clone();
+  for (const std::string m : {"alice", "bob", "carol"}) {
+    EXPECT_EQ(scheme->search_tags(m), clone->search_tags(m));
+    auto rng_a = crypto::SecureRandom::for_testing(45);
+    auto rng_b = crypto::SecureRandom::for_testing(45);
+    for (int i = 0; i < 8; ++i) {
+      auto ca = scheme->encrypt(m, rng_a);
+      auto cb = clone->encrypt(m, rng_b);
+      EXPECT_EQ(ca.tag, cb.tag);
+      EXPECT_EQ(ca.ciphertext, cb.ciphertext);
+      EXPECT_EQ(clone->decrypt(ca.ciphertext), m);
+      EXPECT_EQ(scheme->decrypt(cb.ciphertext), m);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
