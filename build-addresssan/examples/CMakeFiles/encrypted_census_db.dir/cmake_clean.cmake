@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_census_db.dir/encrypted_census_db.cpp.o"
+  "CMakeFiles/encrypted_census_db.dir/encrypted_census_db.cpp.o.d"
+  "encrypted_census_db"
+  "encrypted_census_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_census_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_attack_demo.dir/inference_attack_demo.cpp.o"
+  "CMakeFiles/inference_attack_demo.dir/inference_attack_demo.cpp.o.d"
+  "inference_attack_demo"
+  "inference_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_lambda.dir/tuning_lambda.cpp.o"
+  "CMakeFiles/tuning_lambda.dir/tuning_lambda.cpp.o.d"
+  "tuning_lambda"
+  "tuning_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_shell.dir/wre_shell.cpp.o"
+  "CMakeFiles/wre_shell.dir/wre_shell.cpp.o.d"
+  "wre_shell"
+  "wre_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_attack.dir/capped_exponential.cpp.o"
+  "CMakeFiles/wre_attack.dir/capped_exponential.cpp.o.d"
+  "CMakeFiles/wre_attack.dir/frequency_attack.cpp.o"
+  "CMakeFiles/wre_attack.dir/frequency_attack.cpp.o.d"
+  "CMakeFiles/wre_attack.dir/ind_cuda.cpp.o"
+  "CMakeFiles/wre_attack.dir/ind_cuda.cpp.o.d"
+  "CMakeFiles/wre_attack.dir/optimal_matching.cpp.o"
+  "CMakeFiles/wre_attack.dir/optimal_matching.cpp.o.d"
+  "libwre_attack.a"
+  "libwre_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_core.dir/distribution.cpp.o"
+  "CMakeFiles/wre_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/wre_core.dir/encrypted_client.cpp.o"
+  "CMakeFiles/wre_core.dir/encrypted_client.cpp.o.d"
+  "CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o"
+  "CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o.d"
+  "CMakeFiles/wre_core.dir/manifest.cpp.o"
+  "CMakeFiles/wre_core.dir/manifest.cpp.o.d"
+  "CMakeFiles/wre_core.dir/range.cpp.o"
+  "CMakeFiles/wre_core.dir/range.cpp.o.d"
+  "CMakeFiles/wre_core.dir/salts.cpp.o"
+  "CMakeFiles/wre_core.dir/salts.cpp.o.d"
+  "CMakeFiles/wre_core.dir/wre_scheme.cpp.o"
+  "CMakeFiles/wre_core.dir/wre_scheme.cpp.o.d"
+  "libwre_core.a"
+  "libwre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/aes_ctr.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/aes_ctr.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/aes_ctr.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/hkdf.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac_sha256.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/hmac_sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/hmac_sha256.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/keys.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/prf.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/prf.cpp.o.d"
+  "/root/repo/src/crypto/prs.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/prs.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/prs.cpp.o.d"
+  "/root/repo/src/crypto/secure_random.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/secure_random.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/secure_random.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/wre_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/wre_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-addresssan/src/util/CMakeFiles/wre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_crypto.dir/aes.cpp.o"
+  "CMakeFiles/wre_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/aes_ctr.cpp.o"
+  "CMakeFiles/wre_crypto.dir/aes_ctr.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/wre_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/wre_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/hmac_sha256.cpp.o"
+  "CMakeFiles/wre_crypto.dir/hmac_sha256.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/keys.cpp.o"
+  "CMakeFiles/wre_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/prf.cpp.o"
+  "CMakeFiles/wre_crypto.dir/prf.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/prs.cpp.o"
+  "CMakeFiles/wre_crypto.dir/prs.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/secure_random.cpp.o"
+  "CMakeFiles/wre_crypto.dir/secure_random.cpp.o.d"
+  "CMakeFiles/wre_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/wre_crypto.dir/sha256.cpp.o.d"
+  "libwre_crypto.a"
+  "libwre_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

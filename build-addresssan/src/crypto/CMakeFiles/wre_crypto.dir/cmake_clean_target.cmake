@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwre_crypto.a"
+)

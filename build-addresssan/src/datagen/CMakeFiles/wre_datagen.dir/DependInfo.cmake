@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/query_generator.cpp" "src/datagen/CMakeFiles/wre_datagen.dir/query_generator.cpp.o" "gcc" "src/datagen/CMakeFiles/wre_datagen.dir/query_generator.cpp.o.d"
+  "/root/repo/src/datagen/record_generator.cpp" "src/datagen/CMakeFiles/wre_datagen.dir/record_generator.cpp.o" "gcc" "src/datagen/CMakeFiles/wre_datagen.dir/record_generator.cpp.o.d"
+  "/root/repo/src/datagen/vocabulary.cpp" "src/datagen/CMakeFiles/wre_datagen.dir/vocabulary.cpp.o" "gcc" "src/datagen/CMakeFiles/wre_datagen.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-addresssan/src/sql/CMakeFiles/wre_sql.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/util/CMakeFiles/wre_util.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/storage/CMakeFiles/wre_storage.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/crypto/CMakeFiles/wre_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

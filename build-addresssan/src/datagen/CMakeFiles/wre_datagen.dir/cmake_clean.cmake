@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_datagen.dir/query_generator.cpp.o"
+  "CMakeFiles/wre_datagen.dir/query_generator.cpp.o.d"
+  "CMakeFiles/wre_datagen.dir/record_generator.cpp.o"
+  "CMakeFiles/wre_datagen.dir/record_generator.cpp.o.d"
+  "CMakeFiles/wre_datagen.dir/vocabulary.cpp.o"
+  "CMakeFiles/wre_datagen.dir/vocabulary.cpp.o.d"
+  "libwre_datagen.a"
+  "libwre_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

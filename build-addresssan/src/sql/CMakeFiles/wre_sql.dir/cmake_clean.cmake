@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_sql.dir/ast.cpp.o"
+  "CMakeFiles/wre_sql.dir/ast.cpp.o.d"
+  "CMakeFiles/wre_sql.dir/database.cpp.o"
+  "CMakeFiles/wre_sql.dir/database.cpp.o.d"
+  "CMakeFiles/wre_sql.dir/parser.cpp.o"
+  "CMakeFiles/wre_sql.dir/parser.cpp.o.d"
+  "CMakeFiles/wre_sql.dir/schema.cpp.o"
+  "CMakeFiles/wre_sql.dir/schema.cpp.o.d"
+  "CMakeFiles/wre_sql.dir/table.cpp.o"
+  "CMakeFiles/wre_sql.dir/table.cpp.o.d"
+  "CMakeFiles/wre_sql.dir/value.cpp.o"
+  "CMakeFiles/wre_sql.dir/value.cpp.o.d"
+  "libwre_sql.a"
+  "libwre_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_storage.dir/bptree.cpp.o"
+  "CMakeFiles/wre_storage.dir/bptree.cpp.o.d"
+  "CMakeFiles/wre_storage.dir/buffer_pool.cpp.o"
+  "CMakeFiles/wre_storage.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/wre_storage.dir/disk_manager.cpp.o"
+  "CMakeFiles/wre_storage.dir/disk_manager.cpp.o.d"
+  "CMakeFiles/wre_storage.dir/heap_file.cpp.o"
+  "CMakeFiles/wre_storage.dir/heap_file.cpp.o.d"
+  "libwre_storage.a"
+  "libwre_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wre_util.dir/bytes.cpp.o"
+  "CMakeFiles/wre_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/wre_util.dir/rng.cpp.o"
+  "CMakeFiles/wre_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wre_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wre_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/wre_util.dir/timer.cpp.o"
+  "CMakeFiles/wre_util.dir/timer.cpp.o.d"
+  "libwre_util.a"
+  "libwre_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wre_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

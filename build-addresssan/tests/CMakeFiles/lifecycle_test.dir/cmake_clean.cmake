@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifecycle_test.dir/lifecycle_test.cpp.o"
+  "CMakeFiles/lifecycle_test.dir/lifecycle_test.cpp.o.d"
+  "lifecycle_test"
+  "lifecycle_test.pdb"
+  "lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

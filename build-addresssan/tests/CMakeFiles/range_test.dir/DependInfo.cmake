@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/range_test.cpp" "tests/CMakeFiles/range_test.dir/range_test.cpp.o" "gcc" "tests/CMakeFiles/range_test.dir/range_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-addresssan/src/attack/CMakeFiles/wre_attack.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/core/CMakeFiles/wre_core.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/datagen/CMakeFiles/wre_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/sql/CMakeFiles/wre_sql.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/storage/CMakeFiles/wre_storage.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/crypto/CMakeFiles/wre_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-addresssan/src/util/CMakeFiles/wre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_test.dir/range_test.cpp.o"
+  "CMakeFiles/range_test.dir/range_test.cpp.o.d"
+  "range_test"
+  "range_test.pdb"
+  "range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-addresssan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-addresssan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/sql_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/attack_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/manifest_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/range_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/lifecycle_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/golden_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/parallel_ingest_test[1]_include.cmake")
+include("/root/repo/build-addresssan/tests/concurrency_stress_test[1]_include.cmake")

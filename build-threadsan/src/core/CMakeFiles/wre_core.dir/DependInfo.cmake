@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/wre_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/encrypted_client.cpp" "src/core/CMakeFiles/wre_core.dir/encrypted_client.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/encrypted_client.cpp.o.d"
+  "/root/repo/src/core/ingest_pipeline.cpp" "src/core/CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/ingest_pipeline.cpp.o.d"
+  "/root/repo/src/core/manifest.cpp" "src/core/CMakeFiles/wre_core.dir/manifest.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/manifest.cpp.o.d"
+  "/root/repo/src/core/range.cpp" "src/core/CMakeFiles/wre_core.dir/range.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/range.cpp.o.d"
+  "/root/repo/src/core/salts.cpp" "src/core/CMakeFiles/wre_core.dir/salts.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/salts.cpp.o.d"
+  "/root/repo/src/core/wre_scheme.cpp" "src/core/CMakeFiles/wre_core.dir/wre_scheme.cpp.o" "gcc" "src/core/CMakeFiles/wre_core.dir/wre_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/sql/CMakeFiles/wre_sql.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/crypto/CMakeFiles/wre_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/util/CMakeFiles/wre_util.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/storage/CMakeFiles/wre_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cpp" "src/sql/CMakeFiles/wre_sql.dir/ast.cpp.o" "gcc" "src/sql/CMakeFiles/wre_sql.dir/ast.cpp.o.d"
+  "/root/repo/src/sql/database.cpp" "src/sql/CMakeFiles/wre_sql.dir/database.cpp.o" "gcc" "src/sql/CMakeFiles/wre_sql.dir/database.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/sql/CMakeFiles/wre_sql.dir/parser.cpp.o" "gcc" "src/sql/CMakeFiles/wre_sql.dir/parser.cpp.o.d"
+  "/root/repo/src/sql/schema.cpp" "src/sql/CMakeFiles/wre_sql.dir/schema.cpp.o" "gcc" "src/sql/CMakeFiles/wre_sql.dir/schema.cpp.o.d"
+  "/root/repo/src/sql/table.cpp" "src/sql/CMakeFiles/wre_sql.dir/table.cpp.o" "gcc" "src/sql/CMakeFiles/wre_sql.dir/table.cpp.o.d"
+  "/root/repo/src/sql/value.cpp" "src/sql/CMakeFiles/wre_sql.dir/value.cpp.o" "gcc" "src/sql/CMakeFiles/wre_sql.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/storage/CMakeFiles/wre_storage.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/crypto/CMakeFiles/wre_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-threadsan/src/util/CMakeFiles/wre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bptree.cpp" "src/storage/CMakeFiles/wre_storage.dir/bptree.cpp.o" "gcc" "src/storage/CMakeFiles/wre_storage.dir/bptree.cpp.o.d"
+  "/root/repo/src/storage/buffer_pool.cpp" "src/storage/CMakeFiles/wre_storage.dir/buffer_pool.cpp.o" "gcc" "src/storage/CMakeFiles/wre_storage.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/storage/disk_manager.cpp" "src/storage/CMakeFiles/wre_storage.dir/disk_manager.cpp.o" "gcc" "src/storage/CMakeFiles/wre_storage.dir/disk_manager.cpp.o.d"
+  "/root/repo/src/storage/heap_file.cpp" "src/storage/CMakeFiles/wre_storage.dir/heap_file.cpp.o" "gcc" "src/storage/CMakeFiles/wre_storage.dir/heap_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-threadsan/src/util/CMakeFiles/wre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

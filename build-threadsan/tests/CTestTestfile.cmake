@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-threadsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-threadsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/sql_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/attack_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/manifest_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/range_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/lifecycle_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/golden_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/parallel_ingest_test[1]_include.cmake")
+include("/root/repo/build-threadsan/tests/concurrency_stress_test[1]_include.cmake")
