@@ -115,6 +115,21 @@ struct LoadedDb {
     return rs.rows.size();
   }
 
+  /// SELECT id equality query returning the ids themselves, for result-set
+  /// identity checks (e.g. parallel vs serial executor).
+  std::vector<int64_t> select_ids_full(const std::string& column,
+                                       const std::string& value) {
+    if (config.encrypted) {
+      return conn->select_ids("main", column, value).ids;
+    }
+    auto rs = db->execute("SELECT id FROM main WHERE " + column + " = " +
+                          sql::Value::text(value).to_sql_literal());
+    std::vector<int64_t> ids;
+    ids.reserve(rs.rows.size());
+    for (const auto& row : rs.rows) ids.push_back(row[0].as_int64());
+    return ids;
+  }
+
   /// SELECT * equality query; returns number of (client-filtered) rows.
   size_t select_star(const std::string& column, const std::string& value) {
     if (config.encrypted) {

@@ -14,8 +14,14 @@
 // Poisson within ~27% of plaintext; latency grows with result size; SELECT *
 // slower than SELECT id; cold slower than warm.
 //
+// With --query-threads N (N > 1) an extra section measures the parallel
+// executor: per configuration, the warm SELECT id workload runs with 1 and
+// with N executor threads, asserts both return identical id sets, and
+// reports throughput and speedup.
+//
 //   $ ./bench_fig4_7_query_latency [--records N] [--queries Q] [--io-us U]
-//       [--cold-only] [--warm-only] [--id-only] [--star-only]
+//       [--cold-only|--cold] [--warm-only|--warm] [--id-only|--select-id]
+//       [--star-only|--select-star] [--query-threads N]
 #include <iomanip>
 #include <iostream>
 
@@ -78,6 +84,76 @@ void run_regime(std::vector<bench::LoadedDb>& dbs,
   }
 }
 
+// Parallel-executor scaling, SELECT id, query-threads 1 vs N, in two passes
+// per configuration:
+//   warm — every page resident: measures pure executor/CPU overlap (flat on
+//          a single-core host, scales with cores elsewhere);
+//   disk — cold cache per query under the synthetic per-page read latency
+//          (the same spinning-disk model the cold figures use): concurrent
+//          probes overlap their page reads, which is the latched buffer
+//          pool's payoff even on one core.
+// Every parallel run must return ids identical to its serial counterpart —
+// the merge is deterministic.
+void run_scaling(std::vector<bench::LoadedDb>& dbs,
+                 const std::vector<datagen::EqualityQuery>& queries,
+                 unsigned threads, uint32_t io_us) {
+  std::cout << "\n# parallel scaling: SELECT id, query-threads 1 vs "
+            << threads << " (disk pass: cold cache, io-us=" << io_us << ")\n";
+  std::cout << std::left << std::setw(15) << "config" << std::right
+            << std::setw(12) << "warm-1 q/s" << std::setw(12) << "warm-N q/s"
+            << std::setw(9) << "speedup" << std::setw(12) << "disk-1 q/s"
+            << std::setw(12) << "disk-N q/s" << std::setw(9) << "speedup"
+            << std::setw(8) << "match\n";
+
+  for (auto& db : dbs) {
+    double n = static_cast<double>(queries.size());
+    bool match = true;
+    std::vector<std::vector<int64_t>> serial_ids;
+    serial_ids.reserve(queries.size());
+
+    auto measure = [&](bool cold, bool parallel) {
+      db.db->set_query_threads(parallel ? threads : 1);
+      Timer t;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (cold) db.db->clear_cache();
+        auto ids = db.select_ids_full(queries[i].column, queries[i].value);
+        if (!parallel) {
+          serial_ids[i] = std::move(ids);
+        } else if (ids != serial_ids[i]) {
+          match = false;
+        }
+      }
+      double s = t.elapsed_seconds();
+      db.db->set_query_threads(1);
+      return n / s;
+    };
+
+    // Warm pass: prime caches (pages + client tag cache), then measure.
+    for (const auto& q : queries) db.select_ids(q.column, q.value);
+    serial_ids.assign(queries.size(), {});
+    double warm1 = measure(/*cold=*/false, /*parallel=*/false);
+    double warmN = measure(false, true);
+
+    // Modeled-disk pass: cold cache per query, synthetic read latency on.
+    db.db->disk().set_read_latency_micros(io_us);
+    double disk1 = measure(true, false);
+    double diskN = measure(true, true);
+    db.db->disk().set_read_latency_micros(0);
+
+    std::cout << std::left << std::setw(15) << db.config.label << std::right
+              << std::fixed << std::setprecision(1) << std::setw(12) << warm1
+              << std::setw(12) << warmN << std::setprecision(2)
+              << std::setw(8) << warmN / warm1 << "x" << std::setprecision(1)
+              << std::setw(12) << disk1 << std::setw(12) << diskN
+              << std::setprecision(2) << std::setw(8) << diskN / disk1 << "x"
+              << std::setw(7) << (match ? "yes" : "NO") << "\n";
+    if (!match) {
+      std::cout << "ERROR: parallel executor returned different ids for "
+                << db.config.label << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,15 +180,25 @@ int main(int argc, char** argv) {
               << dbs.back().load_seconds << "s\n";
   }
 
-  bool do_cold = !args.has("warm-only");
-  bool do_warm = !args.has("cold-only");
-  bool do_id = !args.has("star-only");
-  bool do_star = !args.has("id-only");
+  // --warm / --cold / --select-id / --select-star are aliases for the
+  // corresponding *-only flags.
+  bool warm_only = args.has("warm-only") || args.has("warm");
+  bool cold_only = args.has("cold-only") || args.has("cold");
+  bool id_only = args.has("id-only") || args.has("select-id");
+  bool star_only = args.has("star-only") || args.has("select-star");
+  bool do_cold = !warm_only;
+  bool do_warm = !cold_only;
+  bool do_id = !star_only;
+  bool do_star = !id_only;
+  auto query_threads =
+      static_cast<unsigned>(args.get_int("query-threads", 1));
 
   if (do_cold && do_id) run_regime(dbs, queries, /*cold=*/true, false, io_us);
   if (do_cold && do_star) run_regime(dbs, queries, true, true, io_us);
   if (do_warm && do_id) run_regime(dbs, queries, false, false, io_us);
   if (do_warm && do_star) run_regime(dbs, queries, false, true, io_us);
+
+  if (query_threads > 1) run_scaling(dbs, queries, query_threads, io_us);
 
   std::cout << "\n# paper shape: fixed-1000 slowest; poisson-1000 slightly "
                "slower than poisson-100; Poisson close to plaintext; cold > "

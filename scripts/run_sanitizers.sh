@@ -2,16 +2,26 @@
 # Builds and runs the test suite under ThreadSanitizer and AddressSanitizer
 # (bench/ is excluded from sanitized builds; see the top-level CMakeLists).
 #
-#   scripts/run_sanitizers.sh             # full suite under both sanitizers
-#   scripts/run_sanitizers.sh -L fast     # fast-labelled tests only
+#   scripts/run_sanitizers.sh                 # full suite under both sanitizers
+#   scripts/run_sanitizers.sh thread          # ThreadSanitizer only
+#   scripts/run_sanitizers.sh address -L fast # ASan, fast-labelled tests only
+#   scripts/run_sanitizers.sh -L fast         # both sanitizers, fast tests
 #
-# Extra arguments are forwarded to ctest.
+# An optional first argument of `thread` or `address` selects a single
+# sanitizer (used by CI to split the two runs across jobs); all remaining
+# arguments are forwarded to ctest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 2)
 
-for san in thread address; do
+SANITIZERS="thread address"
+if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" ) ]]; then
+  SANITIZERS="$1"
+  shift
+fi
+
+for san in ${SANITIZERS}; do
   build_dir=build-${san}san
   echo "== WRE_SANITIZE=${san} -> ${build_dir} =="
   cmake -B "${build_dir}" -S . -DWRE_SANITIZE=${san} >/dev/null
@@ -19,4 +29,4 @@ for san in thread address; do
   ctest --test-dir "${build_dir}" --output-on-failure -j"${JOBS}" "$@"
 done
 
-echo "== sanitizer runs passed (thread, address) =="
+echo "== sanitizer runs passed (${SANITIZERS}) =="

@@ -312,6 +312,39 @@ EncryptedConnection::TableState& EncryptedConnection::mutable_state(
   return it->second;
 }
 
+const EncryptedConnection::ColumnState& EncryptedConnection::column_state(
+    const std::string& table, const std::string& column) const {
+  const TableState& ts = state(table);
+  auto it = ts.encrypted.find(sql::to_lower(column));
+  if (it == ts.encrypted.end()) {
+    throw WreError("EncryptedConnection: column not encrypted: " + column);
+  }
+  return it->second;
+}
+
+std::shared_ptr<const std::vector<crypto::Tag>>
+EncryptedConnection::search_tags_cached(const ColumnState& cs,
+                                        const std::string& value) const {
+  // Bounds client memory at ~kMaxCachedValues * lambda tags per column;
+  // overflow wipes the map wholesale (cheap, and query workloads that blow
+  // past it are uniform sweeps that would not re-hit entries anyway).
+  constexpr size_t kMaxCachedValues = 4096;
+  TagCache& cache = *cs.tag_cache;
+  {
+    std::lock_guard<std::mutex> lk(cache.mu);
+    auto it = cache.by_value.find(value);
+    if (it != cache.by_value.end()) return it->second;
+  }
+  // Compute outside the lock: the expansion is up to lambda HMACs and must
+  // not serialize concurrent searches for different values.
+  auto tags = std::make_shared<const std::vector<crypto::Tag>>(
+      cs.scheme->search_tags(value));
+  std::lock_guard<std::mutex> lk(cache.mu);
+  if (cache.by_value.size() >= kMaxCachedValues) cache.by_value.clear();
+  // On a lost race the first writer's (identical) vector wins.
+  return cache.by_value.emplace(value, std::move(tags)).first->second;
+}
+
 const Schema& EncryptedConnection::logical_schema(
     const std::string& table) const {
   return state(table).logical;
@@ -383,21 +416,37 @@ IngestStats EncryptedConnection::insert_bulk(const std::string& table,
   return pipeline.ingest(rows);
 }
 
-std::string EncryptedConnection::rewrite_select(const std::string& table,
-                                                const std::string& column,
-                                                const std::string& value,
-                                                bool star) {
-  const WreScheme& s = scheme(table, column);
-  auto tags = s.search_tags(value);
-  std::string sql = star ? "SELECT * FROM " : "SELECT id FROM ";
-  sql += sql::to_lower(table);
-  sql += " WHERE " + sql::to_lower(column) + "_tag IN (";
+namespace {
+
+/// "<column>_tag IN (t1, t2, ...)" for a tag expansion.
+std::string tag_in_clause(const std::string& column,
+                          const std::vector<crypto::Tag>& tags) {
+  std::string sql = sql::to_lower(column) + "_tag IN (";
   for (size_t i = 0; i < tags.size(); ++i) {
     if (i > 0) sql += ", ";
     sql += Value::tag(tags[i]).to_sql_literal();
   }
   sql += ")";
   return sql;
+}
+
+std::string tag_select_sql(const std::string& table, const std::string& column,
+                           const std::vector<crypto::Tag>& tags, bool star) {
+  std::string sql = star ? "SELECT * FROM " : "SELECT id FROM ";
+  sql += sql::to_lower(table);
+  sql += " WHERE " + tag_in_clause(column, tags);
+  return sql;
+}
+
+}  // namespace
+
+std::string EncryptedConnection::rewrite_select(const std::string& table,
+                                                const std::string& column,
+                                                const std::string& value,
+                                                bool star) {
+  const ColumnState& cs = column_state(table, column);
+  auto tags = search_tags_cached(cs, value);
+  return tag_select_sql(table, column, *tags, star);
 }
 
 Row EncryptedConnection::decrypt_row(const TableState& ts,
@@ -441,10 +490,11 @@ Row EncryptedConnection::decrypt_row(const TableState& ts,
 EncryptedQueryResult EncryptedConnection::select_ids(
     const std::string& table, const std::string& column,
     const std::string& value) {
-  const WreScheme& s = scheme(table, column);
+  const ColumnState& cs = column_state(table, column);
+  auto tags = search_tags_cached(cs, value);
   EncryptedQueryResult result;
-  result.sql = rewrite_select(table, column, value, /*star=*/false);
-  result.tags_in_query = s.search_tags(value).size();
+  result.sql = tag_select_sql(table, column, *tags, /*star=*/false);
+  result.tags_in_query = tags->size();
 
   sql::ResultSet rs = db_.execute(result.sql);
   result.server_rows_returned = rs.rows.size();
@@ -474,14 +524,9 @@ EncryptedQueryResult EncryptedConnection::select_star_and(
       sql += col + " = " + c.value.to_sql_literal();
       continue;
     }
-    auto tags = it->second.scheme->search_tags(c.value.as_text());
-    result.tags_in_query += tags.size();
-    sql += "(" + col + "_tag IN (";
-    for (size_t t = 0; t < tags.size(); ++t) {
-      if (t > 0) sql += ", ";
-      sql += Value::tag(tags[t]).to_sql_literal();
-    }
-    sql += "))";
+    auto tags = search_tags_cached(it->second, c.value.as_text());
+    result.tags_in_query += tags->size();
+    sql += "(" + tag_in_clause(col, *tags) + ")";
   }
   result.sql = sql;
 
@@ -555,10 +600,11 @@ EncryptedQueryResult EncryptedConnection::select_star(
     const std::string& table, const std::string& column,
     const std::string& value) {
   const TableState& ts = state(table);
-  const WreScheme& s = scheme(table, column);
+  const ColumnState& cs = column_state(table, column);
+  auto tags = search_tags_cached(cs, value);
   EncryptedQueryResult result;
-  result.sql = rewrite_select(table, column, value, /*star=*/true);
-  result.tags_in_query = s.search_tags(value).size();
+  result.sql = tag_select_sql(table, column, *tags, /*star=*/true);
+  result.tags_in_query = tags->size();
 
   sql::ResultSet rs = db_.execute(result.sql);
   result.server_rows_returned = rs.rows.size();

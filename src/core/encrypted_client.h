@@ -13,8 +13,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/ingest_pipeline.h"
 #include "src/core/range.h"
@@ -89,6 +91,13 @@ struct EncryptedQueryResult {
 /// create_table() with the logical schema, the per-column specs and the
 /// plaintext distribution of each encrypted column, then insert() and
 /// select_*() in terms of plaintext values.
+///
+/// Concurrency: the query methods (select_ids, select_star, select_star_and,
+/// select_star_range, rewrite_select) are safe to call from multiple threads
+/// on one connection — the crypto contexts are stateless for reads and the
+/// per-column tag cache takes its own lock. Everything that writes or
+/// rebuilds state (insert, insert_bulk, create/attach/open/migrate_table,
+/// save_manifest) requires exclusion from all other calls.
 class EncryptedConnection {
  public:
   EncryptedConnection(sql::Database& db, ByteView master_secret);
@@ -211,10 +220,24 @@ class EncryptedConnection {
   // TableState and shares this connection's drift counters and rng.
   friend class IngestPipeline;
 
+  // Memoizes WreScheme::search_tags per plaintext value. A repeated search
+  // recomputes up to lambda HMAC invocations otherwise; the expansion is
+  // deterministic per column key, so it can be cached for the lifetime of
+  // the column state. Invalidation is structural: create/attach/open/migrate
+  // rebuild the owning ColumnState (and thus a fresh cache) whenever keys,
+  // salt layout or distribution change.
+  struct TagCache {
+    std::mutex mu;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const std::vector<crypto::Tag>>>
+        by_value;
+  };
+
   struct ColumnState {
     EncryptedColumnSpec spec;
     std::unique_ptr<WreScheme> scheme;
     size_t logical_index = 0;
+    std::unique_ptr<TagCache> tag_cache = std::make_unique<TagCache>();
     // Drift tracking over this connection's inserts.
     std::unordered_map<std::string, uint64_t> observed;
     uint64_t observed_total = 0;
@@ -246,6 +269,12 @@ class EncryptedConnection {
 
   const TableState& state(const std::string& table) const;
   TableState& mutable_state(const std::string& table);
+  const ColumnState& column_state(const std::string& table,
+                                  const std::string& column) const;
+  /// search_tags through the column's TagCache (thread-safe; the HMAC
+  /// expansion runs outside the cache lock).
+  std::shared_ptr<const std::vector<crypto::Tag>> search_tags_cached(
+      const ColumnState& cs, const std::string& value) const;
   void build_table_state(
       const std::string& table, const sql::Schema& logical_schema,
       const std::vector<EncryptedColumnSpec>& specs,

@@ -1,7 +1,10 @@
 #include "src/sql/database.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "src/sql/parser.h"
 #include "src/util/error.h"
@@ -11,6 +14,47 @@ namespace wre::sql {
 namespace {
 
 constexpr const char* kCatalogFile = "catalog.wre";
+
+/// Runs fn(0..n-1) on `pool` and blocks until all complete. Completion is
+/// tracked per call (not via ThreadPool::wait_idle), so concurrent SELECTs
+/// can share one pool without waiting on each other's tasks. The first
+/// exception thrown by any task is rethrown here.
+void run_tasks(util::ThreadPool& pool, size_t n,
+               const std::function<void(size_t)>& fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = n;
+  std::exception_ptr error;
+
+  for (size_t i = 0; i < n; ++i) {
+    pool.submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (--remaining == 0) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return remaining == 0; });
+  if (error) std::rethrow_exception(error);
+}
+
+/// Splits [0, n) into at most `max_slices` contiguous slices of near-equal
+/// size; returns the slice boundaries (size() - 1 slices).
+std::vector<size_t> slice_bounds(size_t n, size_t max_slices) {
+  size_t slices = std::min(max_slices, n);
+  if (slices == 0) slices = 1;
+  std::vector<size_t> bounds;
+  bounds.reserve(slices + 1);
+  for (size_t s = 0; s <= slices; ++s) {
+    bounds.push_back(n * s / slices);
+  }
+  return bounds;
+}
 
 ValueType type_from_name(const std::string& t) {
   if (t == "INTEGER") return ValueType::kInt64;
@@ -80,6 +124,17 @@ Database::Database(std::string dir, DatabaseOptions options)
   pool_ = std::make_unique<storage::BufferPool>(disk_,
                                                 options.buffer_pool_pages);
   load_catalog();
+  if (options.query_threads != 1) set_query_threads(options.query_threads);
+}
+
+void Database::set_query_threads(unsigned n) {
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  query_threads_ = n;
+  query_pool_.reset();
+  if (n > 1) query_pool_ = std::make_unique<util::ThreadPool>(n);
 }
 
 Table& Database::create_table(const std::string& name, Schema schema) {
@@ -286,26 +341,73 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
     bool index_only =
         (pk_only_projection || stmt.count_star) && probe_is_whole_predicate;
 
+    // Probe phase. With a worker pool the probes fan out in contiguous
+    // value slices; each slice collects its own pks and probe count, and
+    // the slice-ordered concatenation below feeds the same sort+unique as
+    // the serial path — parallel and serial runs produce identical pk
+    // lists. Below the threshold the fan-out overhead beats the win.
+    constexpr size_t kMinItemsPerTask = 8;
     std::vector<int64_t> pks;
-    for (const Value& v : values) {
-      if (v.is_null()) continue;
-      ++rs.index_probes;
-      auto matches = t.probe_index(probe->first, v);
-      pks.insert(pks.end(), matches.begin(), matches.end());
+    if (query_pool_ && values.size() >= 2 * kMinItemsPerTask) {
+      auto bounds = slice_bounds(values.size(), query_threads_);
+      size_t slices = bounds.size() - 1;
+      std::vector<std::vector<int64_t>> slice_pks(slices);
+      std::vector<uint64_t> slice_probes(slices, 0);
+      run_tasks(*query_pool_, slices, [&](size_t s) {
+        for (size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+          const Value& v = values[i];
+          if (v.is_null()) continue;
+          ++slice_probes[s];
+          auto matches = t.probe_index(probe->first, v);
+          slice_pks[s].insert(slice_pks[s].end(), matches.begin(),
+                              matches.end());
+        }
+      });
+      for (size_t s = 0; s < slices; ++s) {
+        rs.index_probes += slice_probes[s];
+        pks.insert(pks.end(), slice_pks[s].begin(), slice_pks[s].end());
+      }
+    } else {
+      for (const Value& v : values) {
+        if (v.is_null()) continue;
+        ++rs.index_probes;
+        auto matches = t.probe_index(probe->first, v);
+        pks.insert(pks.end(), matches.begin(), matches.end());
+      }
     }
     std::sort(pks.begin(), pks.end());
     pks.erase(std::unique(pks.begin(), pks.end()), pks.end());
 
-    for (int64_t pk : pks) {
-      if (index_only) {
+    if (index_only) {
+      for (int64_t pk : pks) {
         if (!emit_row(pk, nullptr)) break;
-        continue;
       }
-      auto row = t.find_by_pk(pk);
-      if (!row) continue;  // cannot happen in the append-only engine
-      ++rs.heap_fetches;
-      if (!eval_expr(*stmt.where, schema, *row)) continue;  // recheck
-      if (!emit_row(pk, &*row)) break;
+    } else if (query_pool_ && limit == UINT64_MAX &&
+               pks.size() >= 2 * kMinItemsPerTask) {
+      // Record-fetch phase, parallel variant: materialize all rows first
+      // (no LIMIT means every pk is needed), then recheck and emit in pk
+      // order exactly as the serial loop would.
+      std::vector<std::optional<Row>> fetched(pks.size());
+      auto bounds = slice_bounds(pks.size(), query_threads_);
+      run_tasks(*query_pool_, bounds.size() - 1, [&](size_t s) {
+        for (size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+          fetched[i] = t.find_by_pk(pks[i]);
+        }
+      });
+      for (size_t i = 0; i < pks.size(); ++i) {
+        if (!fetched[i]) continue;  // cannot happen in the append-only engine
+        ++rs.heap_fetches;
+        if (!eval_expr(*stmt.where, schema, *fetched[i])) continue;  // recheck
+        if (!emit_row(pks[i], &*fetched[i])) break;
+      }
+    } else {
+      for (int64_t pk : pks) {
+        auto row = t.find_by_pk(pk);
+        if (!row) continue;  // cannot happen in the append-only engine
+        ++rs.heap_fetches;
+        if (!eval_expr(*stmt.where, schema, *row)) continue;  // recheck
+        if (!emit_row(pk, &*row)) break;
+      }
     }
   } else {
     // Sequential scan. Table::scan has no early-exit channel; a LIMIT that

@@ -12,6 +12,7 @@
 #include "src/sql/table.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_manager.h"
+#include "src/util/thread_pool.h"
 
 namespace wre::sql {
 
@@ -36,9 +37,20 @@ struct DatabaseOptions {
   /// see DiskManager). Zero = off.
   uint32_t read_latency_us = 0;
   uint32_t write_latency_us = 0;
+  /// Worker threads for multi-probe index scans (WRE's `tag IN (t1..tn)`
+  /// queries fan out up to thousands of probes). 1 = serial executor;
+  /// 0 = one per hardware thread. See set_query_threads().
+  unsigned query_threads = 1;
 };
 
-/// An embedded single-threaded relational database rooted at a directory.
+/// An embedded relational database rooted at a directory.
+///
+/// Concurrency: any number of threads may run SELECTs concurrently (the
+/// storage layer latches pages; the executor additionally fans large
+/// multi-probe scans over an internal worker pool). Statements that write
+/// (CREATE/INSERT) or mutate cache state (clear_cache, checkpoint,
+/// set_query_threads) require exclusion from all other calls — the engine's
+/// single-writer rule.
 class Database {
  public:
   /// Opens (or creates) the database in `dir`. The directory must exist.
@@ -67,6 +79,13 @@ class Database {
   /// paper's drop_caches + server-restart procedure.
   void clear_cache();
 
+  /// Resizes the multi-probe worker pool (0 = one thread per hardware
+  /// thread, 1 = serial). Must not race with in-flight queries. Parallel
+  /// and serial executions of the same SELECT return identical results in
+  /// identical order — the merge is deterministic.
+  void set_query_threads(unsigned n);
+  unsigned query_threads() const { return query_threads_; }
+
   /// Flushes all dirty pages to disk.
   void checkpoint();
 
@@ -88,6 +107,8 @@ class Database {
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  unsigned query_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> query_pool_;  // null when serial
 };
 
 /// Evaluates a predicate against a row. Unknown columns raise SqlError.

@@ -122,7 +122,7 @@ std::vector<int64_t> Table::insert_batch(const std::vector<Row>& rows) {
   return pks;
 }
 
-std::optional<Row> Table::find_by_pk(int64_t pk) {
+std::optional<Row> Table::find_by_pk(int64_t pk) const {
   auto rids = pk_index_->find(static_cast<uint64_t>(pk));
   if (rids.empty()) return std::nullopt;
   Bytes record = heap_->read(storage::RecordId::unpack(rids.front()));
@@ -170,7 +170,7 @@ bool Table::has_index(const std::string& column_name) const {
   return indexes_.contains(to_lower(column_name));
 }
 
-storage::BPlusTree& Table::index_for(const std::string& column_name) {
+const storage::BPlusTree& Table::index_for(const std::string& column_name) const {
   auto it = indexes_.find(to_lower(column_name));
   if (it == indexes_.end()) {
     throw SqlError("no index on column " + column_name);
@@ -178,8 +178,13 @@ storage::BPlusTree& Table::index_for(const std::string& column_name) {
   return *it->second;
 }
 
+storage::BPlusTree& Table::index_for(const std::string& column_name) {
+  return const_cast<storage::BPlusTree&>(
+      static_cast<const Table*>(this)->index_for(column_name));
+}
+
 std::vector<int64_t> Table::probe_index(const std::string& column_name,
-                                        const Value& v) {
+                                        const Value& v) const {
   if (v.is_null()) return {};
   auto pks = index_for(column_name).find(index_key_for(v));
   std::vector<int64_t> out;
@@ -188,7 +193,7 @@ std::vector<int64_t> Table::probe_index(const std::string& column_name,
   return out;
 }
 
-void Table::scan(const std::function<void(int64_t, const Row&)>& fn) {
+void Table::scan(const std::function<void(int64_t, const Row&)>& fn) const {
   auto pk_col = schema_.primary_key_index();
   int64_t hidden_pk = 0;
   heap_->scan([&](storage::RecordId, ByteView record) {

@@ -54,8 +54,9 @@ class Table {
   /// key space.
   std::vector<int64_t> insert_batch(const std::vector<Row>& rows);
 
-  /// Fetches the row with the given primary key.
-  std::optional<Row> find_by_pk(int64_t pk);
+  /// Fetches the row with the given primary key. Thread-safe against other
+  /// readers (index probes, scans); writers require exclusion.
+  std::optional<Row> find_by_pk(int64_t pk) const;
 
   /// Creates (and backfills) a secondary index on `column_name`.
   /// Throws SqlError if the column is unknown or already indexed.
@@ -68,12 +69,14 @@ class Table {
 
   /// Primary keys of rows whose `column_name` equals `v` according to the
   /// index (text keys may, with probability ~2^-64, include a hash-collision
-  /// false positive; callers that fetch rows recheck).
+  /// false positive; callers that fetch rows recheck). Thread-safe against
+  /// other readers — the executor fans probes of one query across threads.
   std::vector<int64_t> probe_index(const std::string& column_name,
-                                   const Value& v);
+                                   const Value& v) const;
 
-  /// Full scan in heap order: fn(primary_key, row).
-  void scan(const std::function<void(int64_t, const Row&)>& fn);
+  /// Full scan in heap order: fn(primary_key, row). Thread-safe against
+  /// other readers.
+  void scan(const std::function<void(int64_t, const Row&)>& fn) const;
 
   uint64_t row_count() const { return heap_->record_count(); }
 
@@ -86,6 +89,7 @@ class Table {
 
  private:
   std::string index_path(const std::string& column_name) const;
+  const storage::BPlusTree& index_for(const std::string& column_name) const;
   storage::BPlusTree& index_for(const std::string& column_name);
 
   storage::BufferPool& pool_;

@@ -283,21 +283,21 @@ void BPlusTree::insert(uint64_t key, uint64_t value) {
   save_meta();
 }
 
-PageNumber BPlusTree::find_leaf(uint64_t key) {
+PageNumber BPlusTree::find_leaf(uint64_t key) const {
   PageNumber page_no = root_;
   for (;;) {
-    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    PageGuard page = pool_.fetch(PageId{file_, page_no}, LatchMode::kShared);
     if (page.data()[0] == kLeaf) return page_no;
     size_t idx = child_index(page.data(), key, 0);
     page_no = child_at(page.data(), idx);
   }
 }
 
-std::vector<uint64_t> BPlusTree::find(uint64_t key) {
+std::vector<uint64_t> BPlusTree::find(uint64_t key) const {
   std::vector<uint64_t> out;
   PageNumber page_no = find_leaf(key);
   while (page_no != kInvalidPage) {
-    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    PageGuard page = pool_.fetch(PageId{file_, page_no}, LatchMode::kShared);
     const uint8_t* p = page.data();
     uint16_t count = node_count(p);
 
@@ -321,16 +321,16 @@ std::vector<uint64_t> BPlusTree::find(uint64_t key) {
   return out;
 }
 
-void BPlusTree::scan_all(const std::function<void(uint64_t, uint64_t)>& fn) {
+void BPlusTree::scan_all(const std::function<void(uint64_t, uint64_t)>& fn) const {
   // Walk down the leftmost spine, then follow leaf links.
   PageNumber page_no = root_;
   for (;;) {
-    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    PageGuard page = pool_.fetch(PageId{file_, page_no}, LatchMode::kShared);
     if (page.data()[0] == kLeaf) break;
     page_no = child_at(page.data(), 0);
   }
   while (page_no != kInvalidPage) {
-    PageGuard page = pool_.fetch(PageId{file_, page_no});
+    PageGuard page = pool_.fetch(PageId{file_, page_no}, LatchMode::kShared);
     const uint8_t* p = page.data();
     uint16_t count = node_count(p);
     for (size_t i = 0; i < count; ++i) {

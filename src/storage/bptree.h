@@ -6,6 +6,12 @@
 // Entries are ordered by the composite (key, value), which makes every entry
 // unique and lets equal keys span leaf boundaries without special cases.
 // The tree is insert+lookup only, matching the append-only engine.
+//
+// Concurrency: find()/scan_all() traverse with shared page latches and never
+// hold more than one at a time, so any number of reader threads may probe
+// one tree (or many trees over one buffer pool) concurrently. insert()
+// requires exclusion from all other access to the same tree — the engine's
+// single-writer rule.
 #pragma once
 
 #include <cstdint>
@@ -29,11 +35,12 @@ class BPlusTree {
   void insert(uint64_t key, uint64_t value);
 
   /// Returns all values stored under `key`, in insertion-independent
-  /// (value-sorted) order.
-  std::vector<uint64_t> find(uint64_t key);
+  /// (value-sorted) order. Thread-safe against other readers.
+  std::vector<uint64_t> find(uint64_t key) const;
 
   /// Invokes fn(key, value) for every entry in (key, value) order.
-  void scan_all(const std::function<void(uint64_t, uint64_t)>& fn);
+  /// Thread-safe against other readers.
+  void scan_all(const std::function<void(uint64_t, uint64_t)>& fn) const;
 
   /// Total number of entries.
   uint64_t size() const { return entry_count_; }
@@ -63,7 +70,7 @@ class BPlusTree {
                    SplitResult* split);
 
   /// Descends to the first leaf that may contain (key, 0).
-  PageNumber find_leaf(uint64_t key);
+  PageNumber find_leaf(uint64_t key) const;
 
   BufferPool& pool_;
   FileId file_;

@@ -7,7 +7,7 @@
 namespace wre::storage {
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
-    : pool_(other.pool_), frame_(other.frame_) {
+    : pool_(other.pool_), frame_(other.frame_), mode_(other.mode_) {
   other.pool_ = nullptr;
   other.frame_ = nullptr;
 }
@@ -17,6 +17,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     release();
     pool_ = other.pool_;
     frame_ = other.frame_;
+    mode_ = other.mode_;
     other.pool_ = nullptr;
     other.frame_ = nullptr;
   }
@@ -27,7 +28,7 @@ PageGuard::~PageGuard() { release(); }
 
 void PageGuard::release() {
   if (frame_ != nullptr) {
-    pool_->unpin(frame_);
+    pool_->unpin(frame_, mode_);
     frame_ = nullptr;
     pool_ = nullptr;
   }
@@ -38,6 +39,9 @@ PageId PageGuard::id() const { return frame_->id; }
 const uint8_t* PageGuard::data() const { return frame_->data.data(); }
 
 uint8_t* PageGuard::mutable_data() {
+  if (mode_ != LatchMode::kExclusive) {
+    throw StorageError("PageGuard: mutable_data on a shared latch");
+  }
   frame_->dirty = true;
   return frame_->data.data();
 }
@@ -64,7 +68,7 @@ void BufferPool::touch(PageGuard::Frame* frame) {
 }
 
 void BufferPool::flush_frame(PageGuard::Frame& frame) {
-  if (frame.dirty) {
+  if (frame.dirty && !frame.io_failed.load(std::memory_order_relaxed)) {
     disk_.write_page(frame.id, frame.data.data());
     frame.dirty = false;
   }
@@ -72,12 +76,15 @@ void BufferPool::flush_frame(PageGuard::Frame& frame) {
 
 void BufferPool::evict_if_needed() {
   while (frames_.size() >= capacity_) {
-    // Scan from least-recently-used; skip pinned frames.
+    // Scan from least-recently-used; skip pinned frames. The acquire load
+    // pairs with the release decrement in unpin(): observing pins == 0
+    // means every prior latch holder has fully released, so the frame's
+    // data and dirty flag are safe to read without its latch.
     auto it = lru_.end();
     PageGuard::Frame* victim = nullptr;
     while (it != lru_.begin()) {
       --it;
-      if ((*it)->pins == 0) {
+      if ((*it)->pins.load(std::memory_order_acquire) == 0) {
         victim = *it;
         break;
       }
@@ -90,57 +97,159 @@ void BufferPool::evict_if_needed() {
   }
 }
 
-PageGuard BufferPool::fetch(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
-    PageGuard::Frame* frame = it->second.get();
-    touch(frame);
-    ++frame->pins;
-    return PageGuard(this, frame);
+PageGuard BufferPool::fetch(PageId id, LatchMode mode) {
+  // Lock-order discipline: frame latches are never *blocking-acquired* while
+  // mu_ is held (callers legitimately hold page latches when they re-enter
+  // the pool, so mu_-then-latch would be an inversion). Fresh frames are
+  // latched while still private, before mu_; the io-retry path uses
+  // try_lock, which by the pin invariant (unpin releases the latch before
+  // dropping the pin) always succeeds when pins == 0 was observed.
+  PageGuard::Frame* frame = nullptr;
+  bool need_io = false;
+  std::unique_ptr<PageGuard::Frame> fresh;
+  while (frame == nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = frames_.find(id);
+      if (it != frames_.end() &&
+          !(it->second->io_failed.load(std::memory_order_relaxed) &&
+            it->second->pins.load(std::memory_order_acquire) == 0)) {
+        ++stats_.hits;
+        frame = it->second.get();
+        frame->pins.fetch_add(1, std::memory_order_relaxed);
+        touch(frame);
+      } else if (it != frames_.end()) {
+        // A previous read of this page failed and nobody holds it: retry
+        // the I/O in place, reusing the frame.
+        if (it->second->latch.try_lock()) {
+          ++stats_.misses;
+          frame = it->second.get();
+          frame->pins.store(1, std::memory_order_relaxed);
+          frame->io_failed.store(false, std::memory_order_relaxed);
+          touch(frame);
+          need_io = true;
+        }
+        // try_lock failure is a transient impossibility; loop and retry.
+      } else if (fresh != nullptr) {
+        ++stats_.misses;
+        evict_if_needed();
+        fresh->id = id;
+        frame = fresh.get();
+        // The frame enters the map already exclusively latched, so
+        // concurrent fetchers of the same page block until the read lands.
+        frames_.emplace(id, std::move(fresh));
+        touch(frame);
+        need_io = true;
+      }
+      // else: miss with no prepared frame — build one below, then retry.
+    }
+    if (frame == nullptr && fresh == nullptr) {
+      fresh = std::make_unique<PageGuard::Frame>();
+      fresh->pins.store(1, std::memory_order_relaxed);
+      fresh->latch.lock();  // private frame: uncontended by construction
+    }
+  }
+  if (fresh != nullptr) {
+    // Raced with another fetcher who inserted first; discard our spare.
+    fresh->latch.unlock();
+    fresh.reset();
   }
 
-  ++stats_.misses;
-  evict_if_needed();
-  auto frame = std::make_unique<PageGuard::Frame>();
-  frame->id = id;
-  disk_.read_page(id, frame->data.data());
-  PageGuard::Frame* raw = frame.get();
-  frames_.emplace(id, std::move(frame));
-  touch(raw);
-  ++raw->pins;
-  return PageGuard(this, raw);
+  if (need_io) {
+    try {
+      disk_.read_page(id, frame->data.data());
+    } catch (...) {
+      // Leave the frame resident but flagged: waiters and later fetches
+      // see io_failed and either throw or retry the read.
+      frame->io_failed.store(true, std::memory_order_release);
+      frame->latch.unlock();
+      frame->pins.fetch_sub(1, std::memory_order_release);
+      throw;
+    }
+    if (mode == LatchMode::kShared) {
+      // Downgrade: safe because the pin keeps the frame resident, and an
+      // intervening exclusive locker is indistinguishable from one that
+      // arrives after our shared lock.
+      frame->latch.unlock();
+      frame->latch.lock_shared();
+    }
+    return PageGuard(this, frame, mode);
+  }
+
+  if (mode == LatchMode::kShared) {
+    frame->latch.lock_shared();
+  } else {
+    frame->latch.lock();
+  }
+  if (frame->io_failed.load(std::memory_order_relaxed)) {
+    // We pinned a frame whose concurrent disk read failed.
+    unpin(frame, mode);
+    throw StorageError("BufferPool: page read failed");
+  }
+  return PageGuard(this, frame, mode);
 }
 
 PageGuard BufferPool::allocate(FileId file) {
-  PageNumber page = disk_.allocate_page(file);
-  evict_if_needed();
-  auto frame = std::make_unique<PageGuard::Frame>();
-  frame->id = PageId{file, page};
-  frame->data.fill(0);
-  frame->dirty = true;
-  PageGuard::Frame* raw = frame.get();
-  frames_.emplace(raw->id, std::move(frame));
-  touch(raw);
-  ++raw->pins;
-  return PageGuard(this, raw);
+  auto owned = std::make_unique<PageGuard::Frame>();
+  owned->data.fill(0);
+  owned->dirty = true;
+  PageGuard::Frame* frame = owned.get();
+  frame->pins.store(1, std::memory_order_relaxed);
+  // Latch while the frame is still private — see the lock-order note in
+  // fetch(): blocking latch acquisition under mu_ is forbidden.
+  frame->latch.lock();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    PageNumber page = disk_.allocate_page(file);
+    frame->id = PageId{file, page};
+    evict_if_needed();
+    frames_.emplace(frame->id, std::move(owned));
+    touch(frame);
+  }
+  return PageGuard(this, frame, LatchMode::kExclusive);
 }
 
-void BufferPool::unpin(PageGuard::Frame* frame) { --frame->pins; }
+void BufferPool::unpin(PageGuard::Frame* frame, LatchMode mode) {
+  if (mode == LatchMode::kShared) {
+    frame->latch.unlock_shared();
+  } else {
+    frame->latch.unlock();
+  }
+  // Release ordering publishes any page writes made under the exclusive
+  // latch to whoever observes pins == 0 with an acquire load (eviction).
+  frame->pins.fetch_sub(1, std::memory_order_release);
+}
 
 void BufferPool::flush_all() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [id, frame] : frames_) flush_frame(*frame);
 }
 
 void BufferPool::clear_cache() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [id, frame] : frames_) {
-    if (frame->pins > 0) {
+    if (frame->pins.load(std::memory_order_acquire) > 0) {
       throw StorageError("BufferPool::clear_cache: page still pinned");
     }
   }
-  flush_all();
+  for (auto& [id, frame] : frames_) flush_frame(*frame);
   lru_.clear();
   frames_.clear();
+}
+
+size_t BufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return frames_.size();
+}
+
+BufferStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = BufferStats{};
 }
 
 }  // namespace wre::storage

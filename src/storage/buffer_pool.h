@@ -4,15 +4,29 @@
 // dirty pages and drops every frame, reproducing the paper's
 // `echo 3 > /proc/sys/vm/drop_caches` + Postgres restart between queries.
 //
-// Pages are pinned through RAII PageGuards. The engine is single-threaded;
-// pins exist to keep parent/child page references valid across nested
-// fetches (e.g. during B+-tree splits), not for concurrency.
+// Concurrency model (single-writer / multi-reader, like the rest of the
+// engine):
+//  * The pool's bookkeeping (frame map, LRU list, stats) is guarded by one
+//    pool mutex, held only for map/list manipulation — never across disk
+//    I/O for reads, so cold misses from different threads overlap.
+//  * Each frame carries a reader-writer latch. fetch(id, LatchMode::kShared)
+//    returns a guard holding the latch shared; the default kExclusive mode
+//    holds it exclusively and is required for mutable_data(). Any number of
+//    shared guards on a page may coexist across threads.
+//  * Pins are atomic; a pinned frame is never evicted, so a guard's data
+//    pointer stays valid for its lifetime.
+//  * Writers (inserts, flush_all, clear_cache) assume no concurrent writer:
+//    the storage engine is single-writer by design. Readers are safe
+//    against each other and against eviction at any time.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "src/storage/disk_manager.h"
@@ -29,8 +43,13 @@ struct BufferStats {
   uint64_t evictions = 0;
 };
 
-/// RAII pin on a cached page. Movable, not copyable. The underlying frame
-/// stays resident (and its data pointer valid) until the guard is destroyed.
+/// Latch mode requested from fetch(): shared for read-only access,
+/// exclusive for mutation through mutable_data().
+enum class LatchMode { kShared, kExclusive };
+
+/// RAII pin + latch on a cached page. Movable, not copyable. The underlying
+/// frame stays resident (and its data pointer valid) until the guard is
+/// destroyed; the latch is held in the mode requested at fetch time.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -48,19 +67,22 @@ class PageGuard {
   /// Read-only page bytes.
   const uint8_t* data() const;
 
-  /// Mutable page bytes; automatically marks the page dirty.
+  /// Mutable page bytes; automatically marks the page dirty. Throws
+  /// StorageError if the guard holds only a shared latch.
   uint8_t* mutable_data();
 
-  /// Releases the pin early (the destructor is then a no-op).
+  /// Releases the pin and latch early (the destructor is then a no-op).
   void release();
 
  private:
   friend class BufferPool;
   struct Frame;
-  PageGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+  PageGuard(BufferPool* pool, Frame* frame, LatchMode mode)
+      : pool_(pool), frame_(frame), mode_(mode) {}
 
   BufferPool* pool_ = nullptr;
   Frame* frame_ = nullptr;
+  LatchMode mode_ = LatchMode::kExclusive;
 };
 
 /// Fixed-capacity page cache with LRU eviction over unpinned frames.
@@ -68,43 +90,49 @@ class BufferPool {
  public:
   /// `capacity_pages` bounds resident frames; pinned frames may push the
   /// pool temporarily above capacity (bounded by the engine's nesting
-  /// depth, which is small).
+  /// depth times the number of concurrent readers, both small).
   BufferPool(DiskManager& disk, size_t capacity_pages);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns a pinned guard on the page, reading it from disk on a miss.
-  PageGuard fetch(PageId id);
+  /// Returns a pinned, latched guard on the page, reading it from disk on a
+  /// miss. Concurrent fetches of the same missing page block until the one
+  /// performing the read finishes; the disk read itself runs outside the
+  /// pool mutex so distinct cold pages load in parallel.
+  PageGuard fetch(PageId id, LatchMode mode = LatchMode::kExclusive);
 
-  /// Allocates a fresh page in `file` and returns it pinned (zeroed, dirty).
+  /// Allocates a fresh page in `file` and returns it pinned exclusively
+  /// (zeroed, dirty).
   PageGuard allocate(FileId file);
 
-  /// Writes all dirty frames back to disk (frames stay cached).
+  /// Writes all dirty frames back to disk (frames stay cached). Requires no
+  /// concurrent writer (readers are fine: they never dirty pages).
   void flush_all();
 
   /// Flushes then drops every frame: the next access to any page is a cold
   /// read. Throws StorageError if any page is still pinned.
   void clear_cache();
 
-  size_t resident_pages() const { return frames_.size(); }
+  size_t resident_pages() const;
   size_t capacity() const { return capacity_; }
-  const BufferStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = BufferStats{}; }
+  BufferStats stats() const;
+  void reset_stats();
 
   DiskManager& disk() { return disk_; }
 
  private:
   friend class PageGuard;
 
-  void unpin(PageGuard::Frame* frame);
-  void touch(PageGuard::Frame* frame);
-  void evict_if_needed();
+  void unpin(PageGuard::Frame* frame, LatchMode mode);
+  void touch(PageGuard::Frame* frame);    // requires mu_
+  void evict_if_needed();                 // requires mu_
   void flush_frame(PageGuard::Frame& frame);
 
   DiskManager& disk_;
   size_t capacity_;
+  mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<PageGuard::Frame>> frames_;
   // LRU order: front = most recently used. Only unpinned frames are
   // eviction candidates, found by scanning from the back.
@@ -117,8 +145,10 @@ class BufferPool {
 struct PageGuard::Frame {
   PageId id;
   std::array<uint8_t, kPageSize> data;
-  bool dirty = false;
-  int pins = 0;
+  bool dirty = false;               // written under the exclusive latch
+  std::atomic<int> pins{0};
+  std::atomic<bool> io_failed{false};  // disk read threw; contents invalid
+  std::shared_mutex latch;
   std::list<Frame*>::iterator lru_pos;
   bool in_lru = false;
 };

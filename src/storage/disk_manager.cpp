@@ -1,5 +1,8 @@
 #include "src/storage/disk_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -18,47 +21,65 @@ void synthetic_delay(uint32_t micros) {
   std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
+/// Full-page positioned read/write; retries short transfers (signals,
+/// pipe-ish filesystems) until the page is complete.
+bool pread_page(int fd, uint8_t* out, uint64_t offset) {
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd, out + done, kPageSize - done,
+                        static_cast<off_t>(offset + done));
+    if (n <= 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool pwrite_page(int fd, const uint8_t* data, uint64_t offset) {
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd, data + done, kPageSize - done,
+                         static_cast<off_t>(offset + done));
+    if (n <= 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 DiskManager::~DiskManager() {
   for (auto& f : files_) {
-    if (f.handle != nullptr) std::fclose(f.handle);
+    if (f->fd >= 0) ::close(f->fd);
   }
 }
 
 DiskManager::File& DiskManager::file_at(FileId id) {
   if (id >= files_.size()) throw StorageError("DiskManager: bad file id");
-  return files_[id];
+  return *files_[id];
 }
 
 const DiskManager::File& DiskManager::file_at(FileId id) const {
   if (id >= files_.size()) throw StorageError("DiskManager: bad file id");
-  return files_[id];
+  return *files_[id];
 }
 
 FileId DiskManager::open_file(const std::string& path) {
-  File f;
-  f.path = path;
-  // Open for read/update; create if missing.
-  f.handle = std::fopen(path.c_str(), "rb+");
-  if (f.handle == nullptr) {
-    f.handle = std::fopen(path.c_str(), "wb+");
-  }
-  if (f.handle == nullptr) {
+  auto f = std::make_unique<File>();
+  f->path = path;
+  f->fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (f->fd < 0) {
     throw StorageError("DiskManager: cannot open " + path);
   }
+  off_t size = ::lseek(f->fd, 0, SEEK_END);
+  if (size < 0) throw StorageError("DiskManager: seek failed on " + path);
+  f->pages.store(static_cast<PageNumber>(size / kPageSize),
+                 std::memory_order_relaxed);
 
-  if (std::fseek(f.handle, 0, SEEK_END) != 0) {
-    throw StorageError("DiskManager: seek failed on " + path);
-  }
-  long size = std::ftell(f.handle);
-  if (size < 0) throw StorageError("DiskManager: ftell failed on " + path);
-  f.pages = static_cast<PageNumber>(size / kPageSize);
-
-  files_.push_back(f);
+  bool fresh = f->pages.load(std::memory_order_relaxed) == 0;
+  files_.push_back(std::move(f));
   FileId id = static_cast<FileId>(files_.size() - 1);
 
-  if (f.pages == 0) {
+  if (fresh) {
     // Reserve page 0 as the metadata page.
     allocate_page(id);
   }
@@ -66,53 +87,61 @@ FileId DiskManager::open_file(const std::string& path) {
 }
 
 PageNumber DiskManager::page_count(FileId file) const {
-  return file_at(file).pages;
+  return file_at(file).pages.load(std::memory_order_acquire);
 }
 
 PageNumber DiskManager::allocate_page(FileId file) {
   File& f = file_at(file);
-  PageNumber page = f.pages;
+  PageNumber page = f.pages.load(std::memory_order_relaxed);
   uint8_t zeros[kPageSize] = {0};
-  if (std::fseek(f.handle, static_cast<long>(page) * kPageSize, SEEK_SET) != 0 ||
-      std::fwrite(zeros, 1, kPageSize, f.handle) != kPageSize) {
+  if (!pwrite_page(f.fd, zeros, static_cast<uint64_t>(page) * kPageSize)) {
     throw StorageError("DiskManager: allocate failed on " + f.path);
   }
-  ++f.pages;
-  ++stats_.pages_allocated;
+  f.pages.store(page + 1, std::memory_order_release);
+  pages_allocated_.fetch_add(1, std::memory_order_relaxed);
   return page;
 }
 
 void DiskManager::read_page(PageId id, uint8_t* out) {
   File& f = file_at(id.file);
-  if (id.page >= f.pages) {
+  if (id.page >= f.pages.load(std::memory_order_acquire)) {
     throw StorageError("DiskManager: read past end of " + f.path);
   }
-  if (std::fseek(f.handle, static_cast<long>(id.page) * kPageSize, SEEK_SET) !=
-          0 ||
-      std::fread(out, 1, kPageSize, f.handle) != kPageSize) {
+  if (!pread_page(f.fd, out, static_cast<uint64_t>(id.page) * kPageSize)) {
     throw StorageError("DiskManager: read failed on " + f.path);
   }
-  ++stats_.page_reads;
-  synthetic_delay(read_latency_us_);
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  synthetic_delay(read_latency_us_.load(std::memory_order_relaxed));
 }
 
 void DiskManager::write_page(PageId id, const uint8_t* data) {
   File& f = file_at(id.file);
-  if (id.page >= f.pages) {
+  if (id.page >= f.pages.load(std::memory_order_acquire)) {
     throw StorageError("DiskManager: write past end of " + f.path);
   }
-  if (std::fseek(f.handle, static_cast<long>(id.page) * kPageSize, SEEK_SET) !=
-          0 ||
-      std::fwrite(data, 1, kPageSize, f.handle) != kPageSize) {
+  if (!pwrite_page(f.fd, data, static_cast<uint64_t>(id.page) * kPageSize)) {
     throw StorageError("DiskManager: write failed on " + f.path);
   }
-  std::fflush(f.handle);
-  ++stats_.page_writes;
-  synthetic_delay(write_latency_us_);
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
+  synthetic_delay(write_latency_us_.load(std::memory_order_relaxed));
 }
 
 uint64_t DiskManager::file_size_bytes(FileId file) const {
-  return static_cast<uint64_t>(file_at(file).pages) * kPageSize;
+  return static_cast<uint64_t>(page_count(file)) * kPageSize;
+}
+
+DiskStats DiskManager::stats() const {
+  DiskStats s;
+  s.page_reads = page_reads_.load(std::memory_order_relaxed);
+  s.page_writes = page_writes_.load(std::memory_order_relaxed);
+  s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DiskManager::reset_stats() {
+  page_reads_.store(0, std::memory_order_relaxed);
+  page_writes_.store(0, std::memory_order_relaxed);
+  pages_allocated_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace wre::storage

@@ -6,9 +6,15 @@
 // DiskManager therefore supports an optional synthetic per-page read/write
 // latency that models seek+transfer cost. Benches enable it; unit tests
 // leave it at zero.
+//
+// I/O uses positioned reads/writes (pread/pwrite) on raw file descriptors,
+// so any number of threads may read pages concurrently — there is no shared
+// file cursor and no lock on the read path. Writes and page allocation
+// follow the engine's single-writer discipline; open_file() must not race
+// with I/O on the same manager.
 #pragma once
 
-#include <cstdio>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,7 +31,8 @@ struct DiskStats {
   uint64_t pages_allocated = 0;
 };
 
-/// Manages a set of page files. Single-threaded (matching the engine).
+/// Manages a set of page files. Reads are thread-safe; writes/opens are
+/// single-writer (matching the engine).
 class DiskManager {
  public:
   DiskManager() = default;
@@ -45,7 +52,8 @@ class DiskManager {
   PageNumber allocate_page(FileId file);
 
   /// Reads/writes one full page. Throws StorageError on I/O failure or
-  /// out-of-range page numbers.
+  /// out-of-range page numbers. read_page is safe to call from any number
+  /// of threads concurrently.
   void read_page(PageId id, uint8_t* out);
   void write_page(PageId id, const uint8_t* data);
 
@@ -54,26 +62,33 @@ class DiskManager {
 
   /// Synthetic latency, applied once per physical page read/write. Zero
   /// disables it.
-  void set_read_latency_micros(uint32_t us) { read_latency_us_ = us; }
-  void set_write_latency_micros(uint32_t us) { write_latency_us_ = us; }
+  void set_read_latency_micros(uint32_t us) {
+    read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  void set_write_latency_micros(uint32_t us) {
+    write_latency_us_.store(us, std::memory_order_relaxed);
+  }
 
-  const DiskStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DiskStats{}; }
+  /// Snapshot of the cumulative I/O counters.
+  DiskStats stats() const;
+  void reset_stats();
 
  private:
   struct File {
     std::string path;
-    std::FILE* handle = nullptr;
-    PageNumber pages = 0;
+    int fd = -1;
+    std::atomic<PageNumber> pages{0};
   };
 
   File& file_at(FileId id);
   const File& file_at(FileId id) const;
 
-  std::vector<File> files_;
-  DiskStats stats_;
-  uint32_t read_latency_us_ = 0;
-  uint32_t write_latency_us_ = 0;
+  std::vector<std::unique_ptr<File>> files_;
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+  std::atomic<uint64_t> pages_allocated_{0};
+  std::atomic<uint32_t> read_latency_us_{0};
+  std::atomic<uint32_t> write_latency_us_{0};
 };
 
 }  // namespace wre::storage

@@ -55,6 +55,7 @@ void HeapFile::load_or_init_meta() {
   store_be32(mp, kMagic);
   record_count_ = 0;
   tail_page_ = kInvalidPage;
+  meta.release();  // save_meta re-latches page 0; never hold it twice
   save_meta();
 }
 
@@ -123,9 +124,9 @@ RecordId HeapFile::append_record(ByteView record) {
   return rid;
 }
 
-Bytes HeapFile::read(const RecordId& rid) {
+Bytes HeapFile::read(const RecordId& rid) const {
   if (rid.page == kInvalidPage) throw StorageError("HeapFile: invalid record id");
-  PageGuard page = pool_.fetch(PageId{file_, rid.page});
+  PageGuard page = pool_.fetch(PageId{file_, rid.page}, LatchMode::kShared);
   const uint8_t* p = page.data();
   uint16_t count = load_u16(p);
   if (rid.slot >= count) throw StorageError("HeapFile: slot out of range");
@@ -135,10 +136,10 @@ Bytes HeapFile::read(const RecordId& rid) {
   return Bytes(p + offset, p + offset + length);
 }
 
-void HeapFile::scan(const std::function<void(RecordId, ByteView)>& fn) {
+void HeapFile::scan(const std::function<void(RecordId, ByteView)>& fn) const {
   PageNumber pages = pool_.disk().page_count(file_);
   for (PageNumber pn = 1; pn < pages; ++pn) {
-    PageGuard page = pool_.fetch(PageId{file_, pn});
+    PageGuard page = pool_.fetch(PageId{file_, pn}, LatchMode::kShared);
     const uint8_t* p = page.data();
     uint16_t count = load_u16(p);
     for (uint16_t s = 0; s < count; ++s) {

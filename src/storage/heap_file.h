@@ -54,10 +54,12 @@ class HeapFile {
   std::vector<RecordId> append_batch(const std::vector<Bytes>& records);
 
   /// Reads the record at `rid`. Throws StorageError for invalid ids.
-  Bytes read(const RecordId& rid);
+  /// Thread-safe against other readers (shared page latches).
+  Bytes read(const RecordId& rid) const;
 
   /// Invokes fn(rid, record_bytes) for every record in file order.
-  void scan(const std::function<void(RecordId, ByteView)>& fn);
+  /// Thread-safe against other readers.
+  void scan(const std::function<void(RecordId, ByteView)>& fn) const;
 
   uint64_t record_count() const { return record_count_; }
 

@@ -225,5 +225,63 @@ TEST(IngestStress, TableInsertBatchManyRaggedBatches) {
   EXPECT_EQ(db.table("t").row_count(), static_cast<uint64_t>(next_id));
 }
 
+// --------------------------------------------------- concurrent read path
+
+// Many reader threads hammer one shared connection with mixed SELECT id /
+// SELECT * while a tiny buffer pool keeps pages evicting underneath them,
+// and the executor itself fans probes across its own worker pool (nested
+// parallelism). Run under WRE_SANITIZE=thread this is the data-race proof
+// for the latched read path; functionally every query must see exactly the
+// loaded rows.
+TEST(ReadStress, ManyReadersSharedConnectionUnderEviction) {
+  TempDir dir("read_stress");
+  sql::DatabaseOptions options;
+  options.buffer_pool_pages = 8;  // way below the working set
+  sql::Database db(dir.str(), options);
+  EncryptedConnection conn(db, Bytes(32, 0x33));
+
+  Schema schema({Column{"id", ValueType::kInt64, true},
+                 Column{"name", ValueType::kText},
+                 Column{"note", ValueType::kText}});
+  std::vector<EncryptedColumnSpec> specs{{"name", SaltMethod::kPoisson, 60}};
+  std::map<std::string, PlaintextDistribution> dists;
+  dists.emplace("name", stress_dist());
+  conn.create_table("t", schema, specs, dists);
+
+  std::unordered_map<std::string, size_t> expected;
+  constexpr int64_t kRows = 600;
+  for (int64_t id = 0; id < kRows; ++id) {
+    std::string name = "v" + std::to_string((id * 7) % 12);
+    conn.insert("t", {Value::int64(id), Value::text(name),
+                      Value::text("note" + std::to_string(id))});
+    ++expected[name];
+  }
+  db.checkpoint();
+  db.set_query_threads(2);
+
+  constexpr int kReaders = 8;
+  constexpr int kQueriesPerReader = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        std::string value = "v" + std::to_string((r * 5 + i) % 12);
+        size_t n;
+        if ((r + i) % 2 == 0) {
+          n = conn.select_ids("t", "name", value).ids.size();
+        } else {
+          n = conn.select_star("t", "name", value).rows.size();
+        }
+        if (n != expected[value]) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  db.set_query_threads(1);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(db.buffer_pool().stats().evictions, 0u);
+}
+
 }  // namespace
 }  // namespace wre

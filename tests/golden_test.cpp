@@ -4,10 +4,15 @@
 // derivation labels, e.g. "wre-key-derivation-v1" -> v2, and migrate).
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "src/core/encrypted_client.h"
 #include "src/core/salts.h"
 #include "src/crypto/keys.h"
 #include "src/crypto/prf.h"
 #include "src/crypto/prs.h"
+#include "src/sql/database.h"
+#include "tests/test_util.h"
 
 namespace wre {
 namespace {
@@ -57,6 +62,62 @@ TEST(Golden, PseudoRandomShufflePermutation) {
   crypto::PseudoRandomShuffle prs(golden_keys().shuffle_key, to_bytes("ctx"));
   EXPECT_EQ(prs.permutation(8),
             (std::vector<size_t>{4, 5, 6, 0, 7, 3, 2, 1}));
+}
+
+// End-to-end rewrite snapshot: the exact `WHERE <col>_tag IN (...)` SQL each
+// salt method emits for a fixed secret and distribution. This pins the full
+// client pipeline — per-table key derivation, salt layout, tag PRF, and the
+// IN-list ordering the rewriter produces — so a change to any of them (or to
+// the tag cache in front of them) shows up as a diff here, not as silently
+// unreachable rows in an existing database.
+TEST(Golden, RewriteSelectSqlPerScheme) {
+  using core::EncryptedColumnSpec;
+  using core::SaltMethod;
+  using sql::ValueType;
+  wre::testing::TempDir dir("golden_rewrite");
+  sql::Database db(dir.str());
+  core::EncryptedConnection conn(db, Bytes(32, 0x42));
+
+  sql::Schema schema({sql::Column{"id", ValueType::kInt64, true},
+                      sql::Column{"name", ValueType::kText}});
+  std::map<std::string, core::PlaintextDistribution> dists;
+  dists.emplace("name", core::PlaintextDistribution::from_probabilities(
+                            {{"a", 0.5}, {"b", 0.3}, {"c", 0.2}}));
+
+  struct Case {
+    SaltMethod method;
+    double param;
+    const char* table;
+    const char* expected_ids;
+  };
+  const Case cases[] = {
+      {SaltMethod::kDeterministic, 0, "det",
+       "SELECT id FROM det WHERE name_tag IN (-9156791295657862633)"},
+      {SaltMethod::kFixed, 3, "fixed",
+       "SELECT id FROM fixed WHERE name_tag IN (-7771228759616087980, "
+       "-7502808811393092612, -5219006709707121277)"},
+      {SaltMethod::kProportional, 8, "prop",
+       "SELECT id FROM prop WHERE name_tag IN (-8407996975896820941, "
+       "-7648467024850612320, -2942226087745297077, -3767863325021056)"},
+      {SaltMethod::kPoisson, 8, "poisson",
+       "SELECT id FROM poisson WHERE name_tag IN (403427692260244646, "
+       "2929349728771908421, 3085616558559896958, 5857787028225945054, "
+       "-7722191679127353761, -4960886274851977751, -3761296989002391861, "
+       "-3224398783151240524)"},
+      {SaltMethod::kBucketizedPoisson, 8, "bucket",
+       "SELECT id FROM bucket WHERE name_tag IN (7288838754885498471, "
+       "-9222182742932684102, -2534173032511802391)"},
+  };
+  for (const Case& c : cases) {
+    conn.create_table(c.table, schema, {{"name", c.method, c.param}}, dists);
+    EXPECT_EQ(conn.rewrite_select(c.table, "name", "a", false), c.expected_ids)
+        << c.table;
+    // SELECT * uses the same tag expansion, so only the projection differs.
+    std::string star(c.expected_ids);
+    star.replace(star.find("SELECT id"), 9, "SELECT *");
+    EXPECT_EQ(conn.rewrite_select(c.table, "name", "a", true), star)
+        << c.table;
+  }
 }
 
 }  // namespace

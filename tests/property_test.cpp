@@ -224,6 +224,90 @@ TEST_P(SchemeCompletenessFuzz, EveryEncryptionIsSearchable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SchemeCompletenessFuzz,
                          ::testing::Range<uint64_t>(1, 9));
 
+// Completeness across qualitatively different distribution *shapes*: the
+// random_distribution draw above rarely produces the extremes (flat ties,
+// one dominating message, long geometric tails) where salt-interval
+// rounding bugs would hide. For every shape x lambda x allocator, every tag
+// Enc can emit must be covered by Search's expansion — no false negatives.
+PlaintextDistribution shaped_distribution(const std::string& shape, int n,
+                                          uint64_t seed) {
+  std::map<std::string, double> probs;
+  auto name = [](int i) { return "msg" + std::to_string(i); };
+  double total = 0;
+  std::vector<double> raw(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double r;
+    if (shape == "uniform") {
+      r = 1.0;
+    } else if (shape == "zipf") {
+      r = 1.0 / (i + 1);
+    } else if (shape == "geometric") {
+      r = std::pow(0.5, i);
+    } else if (shape == "heavy-head") {
+      r = i == 0 ? static_cast<double>(10 * n) : 1.0;
+    } else {  // near-degenerate: one message carries ~all the mass
+      r = i == 0 ? 1e6 : 1e-6;
+    }
+    raw[static_cast<size_t>(i)] = r;
+    total += r;
+  }
+  double assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    double p = raw[static_cast<size_t>(i)] / total;
+    if (i == n - 1) p = 1.0 - assigned;
+    probs[name(i)] = p;
+    assigned += p;
+  }
+  (void)seed;
+  return PlaintextDistribution::from_probabilities(probs);
+}
+
+class SchemeCompletenessShapes
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeCompletenessShapes, SearchCoversEncForEveryAllocator) {
+  std::string shape = GetParam();
+  for (uint64_t seed : {11u, 29u}) {
+    for (int support : {2, 17}) {
+      auto dist = shaped_distribution(shape, support, seed);
+      auto keygen = crypto::SecureRandom::for_testing(seed);
+      auto keys = crypto::KeyBundle::generate(keygen);
+
+      for (double lambda : {3.0, 47.0, 800.0}) {
+        std::vector<std::unique_ptr<core::SaltAllocator>> allocators;
+        allocators.push_back(std::make_unique<FixedSaltAllocator>(
+            1 + static_cast<uint32_t>(lambda / 10)));
+        allocators.push_back(std::make_unique<ProportionalSaltAllocator>(
+            dist, static_cast<uint32_t>(lambda)));
+        allocators.push_back(std::make_unique<PoissonSaltAllocator>(
+            dist, lambda, keys.shuffle_key));
+        allocators.push_back(std::make_unique<BucketizedPoissonAllocator>(
+            dist, lambda, keys.shuffle_key, to_bytes("shape:" + shape)));
+
+        for (auto& alloc : allocators) {
+          std::string name = alloc->name();
+          core::WreScheme scheme(keys, std::move(alloc));
+          auto rng = crypto::SecureRandom::for_testing(seed * 17 + 5);
+          for (const auto& m : dist.messages()) {
+            auto tags = scheme.search_tags(m);
+            ASSERT_FALSE(tags.empty())
+                << shape << " " << name << " lambda=" << lambda << " " << m;
+            std::set<crypto::Tag> tag_set(tags.begin(), tags.end());
+            for (int i = 0; i < 8; ++i) {
+              EXPECT_TRUE(tag_set.contains(scheme.encrypt(m, rng).tag))
+                  << shape << " " << name << " lambda=" << lambda << " " << m;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SchemeCompletenessShapes,
+                         ::testing::Values("uniform", "zipf", "geometric",
+                                           "heavy-head", "near-degenerate"));
+
 // -------------------------------------------------- frequency smoothing
 
 TEST(FrequencySmoothing, PoissonTagFrequenciesIndependentOfPlaintext) {
