@@ -56,9 +56,9 @@ IngestPipeline::IngestPipeline(EncryptedConnection& conn, std::string table,
   // — never on which worker ran it or how rows were batched. That is the
   // whole determinism argument: together with salt sets being pseudorandom
   // in (key, m), parallel ingest is bit-identical to serial ingest.
-  record_key_ =
+  record_key_ = std::make_unique<crypto::HmacSha256::Key>(
       crypto::hkdf(to_bytes("wre-ingest-rng-v1"), conn_.master_secret_,
-                   to_bytes("ingest:" + sql::to_lower(table_)), 32);
+                   to_bytes("ingest:" + sql::to_lower(table_)), 32));
   nonce_ = options_.stream_nonce.empty() ? conn_.rng_.bytes(16)
                                          : options_.stream_nonce;
 
@@ -110,12 +110,14 @@ std::vector<sql::Row> IngestPipeline::encrypt_batch(
     uint64_t base_index) const {
   std::vector<sql::Row> out;
   out.reserve(end - begin);
-  Bytes seed_input;
+  uint8_t index_le[8];
   for (size_t r = begin; r < end; ++r) {
     const sql::Row& row = rows[r];
-    seed_input.assign(nonce_.begin(), nonce_.end());
-    store_le64(seed_input, base_index + (r - begin));
-    auto seed = crypto::HmacSha256::mac(record_key_, seed_input);
+    store_le64(index_le, base_index + (r - begin));
+    crypto::HmacSha256 h(*record_key_);
+    h.update(nonce_);
+    h.update(ByteView(index_le, sizeof(index_le)));
+    auto seed = h.finish();
     crypto::SecureRandom rng{ByteView(seed.data(), seed.size())};
 
     sql::Row physical;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/crypto/hmac_sha256.h"
 #include "src/sql/schema.h"
 #include "src/util/bytes.h"
 #include "src/util/thread_pool.h"
@@ -113,8 +114,11 @@ class IngestPipeline {
   std::string table_;
   IngestOptions options_;
   unsigned threads_ = 1;
-  Bytes record_key_;  // keys the per-record randomness PRF
-  Bytes nonce_;       // stream nonce mixed into every record seed
+  /// Midstate-cached key of the per-record randomness PRF: every record seed
+  /// is an HMAC under the same derived key, so the key-block compressions
+  /// are paid once at pipeline construction.
+  std::unique_ptr<crypto::HmacSha256::Key> record_key_;
+  Bytes nonce_;  // stream nonce mixed into every record seed
   uint64_t next_index_ = 0;
 
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -80,7 +80,7 @@ std::string ProportionalSaltAllocator::name() const {
 
 PoissonSaltAllocator::PoissonSaltAllocator(const PlaintextDistribution& dist,
                                            double lambda, ByteView key)
-    : dist_(dist), lambda_(lambda), key_(key.begin(), key.end()) {
+    : dist_(dist), lambda_(lambda), seed_key_(key) {
   if (lambda_ <= 0) throw WreError("PoissonSaltAllocator: lambda must be > 0");
 }
 
@@ -89,10 +89,12 @@ SaltSet PoissonSaltAllocator::salts_for(const std::string& m) const {
 
   // Algorithm 1: sample Exponential(lambda) inter-arrivals until the
   // interval [0, P_M(m)] is covered; the last weight is capped at the
-  // interval end. Randomness is pseudorandom in (key, m).
-  Bytes seed_input = to_bytes("wre-poisson-salts-v1:");
-  append(seed_input, to_bytes(m));
-  auto seed = crypto::HmacSha256::mac(key_, seed_input);
+  // interval end. Randomness is pseudorandom in (key, m); the HMAC resumes
+  // from the key's cached midstates.
+  crypto::HmacSha256 h(seed_key_);
+  h.update(to_bytes("wre-poisson-salts-v1:"));
+  h.update(to_bytes(m));
+  auto seed = h.finish();
   crypto::SecureRandom rng{ByteView(seed.data(), seed.size())};
 
   SaltSet out;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/distribution.h"
+#include "src/crypto/hmac_sha256.h"
 #include "src/crypto/secure_random.h"
 #include "src/util/bytes.h"
 
@@ -107,7 +108,10 @@ class PoissonSaltAllocator final : public SaltAllocator {
  private:
   PlaintextDistribution dist_;  // owned copy: allocators outlive callers' maps
   double lambda_;
-  Bytes key_;
+  // Precomputed HMAC midstates for the salt-seed PRF: every salts_for() call
+  // MACs the message under the same key, so the ipad/opad compressions are
+  // paid once here instead of per call.
+  crypto::HmacSha256::Key seed_key_;
 };
 
 /// Section V-C1, bucketized Poisson (Algorithm 2): one rate-lambda Poisson

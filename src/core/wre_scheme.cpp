@@ -61,9 +61,18 @@ std::string WreScheme::decrypt(ByteView ciphertext) const {
 
 std::vector<crypto::Tag> WreScheme::search_tags(const std::string& m) const {
   SaltSet salts = salts_with_policy(m);
-  std::vector<crypto::Tag> tags;
-  tags.reserve(salts.salts.size());
-  for (uint64_t s : salts.salts) tags.push_back(tag_for(s, m));
+  std::vector<crypto::Tag> tags(salts.salts.size());
+  // The unseen-value fallback is a single message-bound tag even for the
+  // bucketized scheme (see tag_for); everything else goes through the
+  // batched PRF so per-call overhead amortizes across the salt set.
+  if (salts.salts.size() == 1 && salts.salts[0] == kUnseenSalt) {
+    tags[0] = tag_for(kUnseenSalt, m);
+  } else if (allocator_->bucketized()) {
+    prf_.bucket_tags(salts.salts.data(), salts.salts.size(), tags.data());
+  } else {
+    prf_.tags(salts.salts.data(), salts.salts.size(), to_bytes(m),
+              tags.data());
+  }
   std::sort(tags.begin(), tags.end());
   tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
   return tags;

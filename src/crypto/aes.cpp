@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/crypto/cpu_features.h"
+#include "src/crypto/hw_kernels.h"
 #include "src/util/error.h"
 
 namespace wre::crypto {
@@ -73,6 +75,13 @@ inline uint32_t sub_word(uint32_t w) {
 
 inline uint32_t rot_word(uint32_t w) { return (w << 8) | (w >> 24); }
 
+#ifdef WRE_HAVE_AESNI
+inline bool use_aesni() {
+  static const bool kHasAesNi = CpuFeatures::get().aes_ni;
+  return kHasAesNi && hwcrypto_enabled();
+}
+#endif
+
 }  // namespace
 
 Aes::Aes(ByteView key) {
@@ -124,10 +133,56 @@ Aes::Aes(ByteView key) {
                                  static_cast<uint32_t>(n3);
     }
   }
+
+  // Serialize both schedules to the byte layout the AES-NI kernels load
+  // (columns in memory order). Cheap and unconditional, so flipping the
+  // hardware-crypto switch at runtime needs no per-key rework.
+  for (int i = 0; i < total_words; ++i) {
+    store_be32(enc_key_bytes_.data() + 4 * i, enc_keys_[i]);
+    store_be32(dec_key_bytes_.data() + 4 * i, dec_keys_[i]);
+  }
 }
 
 void Aes::encrypt_block(const uint8_t in[kBlockSize],
                         uint8_t out[kBlockSize]) const {
+  encrypt_blocks(in, out, 1);
+}
+
+void Aes::decrypt_block(const uint8_t in[kBlockSize],
+                        uint8_t out[kBlockSize]) const {
+  decrypt_blocks(in, out, 1);
+}
+
+void Aes::encrypt_blocks(const uint8_t* in, uint8_t* out,
+                         size_t nblocks) const {
+#ifdef WRE_HAVE_AESNI
+  if (use_aesni()) {
+    detail::aes_encrypt_blocks_aesni(enc_key_bytes_.data(), rounds_, in, out,
+                                     nblocks);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < nblocks; ++b) {
+    encrypt_block_scalar(in + b * kBlockSize, out + b * kBlockSize);
+  }
+}
+
+void Aes::decrypt_blocks(const uint8_t* in, uint8_t* out,
+                         size_t nblocks) const {
+#ifdef WRE_HAVE_AESNI
+  if (use_aesni()) {
+    detail::aes_decrypt_blocks_aesni(dec_key_bytes_.data(), rounds_, in, out,
+                                     nblocks);
+    return;
+  }
+#endif
+  for (size_t b = 0; b < nblocks; ++b) {
+    decrypt_block_scalar(in + b * kBlockSize, out + b * kBlockSize);
+  }
+}
+
+void Aes::encrypt_block_scalar(const uint8_t in[kBlockSize],
+                               uint8_t out[kBlockSize]) const {
   const auto& t = tables();
   uint8_t state[16];
   std::memcpy(state, in, 16);
@@ -171,8 +226,8 @@ void Aes::encrypt_block(const uint8_t in[kBlockSize],
   std::memcpy(out, state, 16);
 }
 
-void Aes::decrypt_block(const uint8_t in[kBlockSize],
-                        uint8_t out[kBlockSize]) const {
+void Aes::decrypt_block_scalar(const uint8_t in[kBlockSize],
+                               uint8_t out[kBlockSize]) const {
   const auto& t = tables();
   uint8_t state[16];
   std::memcpy(state, in, 16);

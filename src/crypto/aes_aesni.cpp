@@ -1,0 +1,102 @@
+// AES block encryption/decryption via AES-NI. Compiled with -maes; only
+// called after CpuFeatures reports aes_ni. The kernels consume the
+// byte-serialized round-key schedules that Aes computes once per key: the
+// encryption schedule verbatim, and the equivalent-inverse-cipher schedule
+// (reversed, InvMixColumns folded into the middle keys) for decryption —
+// exactly the form aesdec/aesdeclast expect.
+//
+// Blocks in one call are independent (ECB over the caller's counter or data
+// blocks), so eight are kept in flight to cover the aesenc latency; AES-CTR
+// builds its keystream through this path.
+#include "src/crypto/hw_kernels.h"
+
+#ifdef WRE_HAVE_AESNI
+
+#include <immintrin.h>
+
+namespace wre::crypto::detail {
+
+namespace {
+
+constexpr size_t kLanes = 8;
+
+inline __m128i load_key(const uint8_t* round_keys, int r) {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(round_keys + 16 * r));
+}
+
+}  // namespace
+
+void aes_encrypt_blocks_aesni(const uint8_t* round_keys, int rounds,
+                              const uint8_t* in, uint8_t* out,
+                              size_t nblocks) {
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+
+  while (nblocks >= kLanes) {
+    __m128i b[kLanes];
+    const __m128i k0 = load_key(round_keys, 0);
+    for (size_t i = 0; i < kLanes; ++i) {
+      b[i] = _mm_xor_si128(_mm_loadu_si128(src + i), k0);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      const __m128i k = load_key(round_keys, r);
+      for (size_t i = 0; i < kLanes; ++i) b[i] = _mm_aesenc_si128(b[i], k);
+    }
+    const __m128i klast = load_key(round_keys, rounds);
+    for (size_t i = 0; i < kLanes; ++i) {
+      _mm_storeu_si128(dst + i, _mm_aesenclast_si128(b[i], klast));
+    }
+    src += kLanes;
+    dst += kLanes;
+    nblocks -= kLanes;
+  }
+
+  while (nblocks--) {
+    __m128i b = _mm_xor_si128(_mm_loadu_si128(src++), load_key(round_keys, 0));
+    for (int r = 1; r < rounds; ++r) {
+      b = _mm_aesenc_si128(b, load_key(round_keys, r));
+    }
+    _mm_storeu_si128(dst++, _mm_aesenclast_si128(b, load_key(round_keys,
+                                                             rounds)));
+  }
+}
+
+void aes_decrypt_blocks_aesni(const uint8_t* round_keys, int rounds,
+                              const uint8_t* in, uint8_t* out,
+                              size_t nblocks) {
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+
+  while (nblocks >= kLanes) {
+    __m128i b[kLanes];
+    const __m128i k0 = load_key(round_keys, 0);
+    for (size_t i = 0; i < kLanes; ++i) {
+      b[i] = _mm_xor_si128(_mm_loadu_si128(src + i), k0);
+    }
+    for (int r = 1; r < rounds; ++r) {
+      const __m128i k = load_key(round_keys, r);
+      for (size_t i = 0; i < kLanes; ++i) b[i] = _mm_aesdec_si128(b[i], k);
+    }
+    const __m128i klast = load_key(round_keys, rounds);
+    for (size_t i = 0; i < kLanes; ++i) {
+      _mm_storeu_si128(dst + i, _mm_aesdeclast_si128(b[i], klast));
+    }
+    src += kLanes;
+    dst += kLanes;
+    nblocks -= kLanes;
+  }
+
+  while (nblocks--) {
+    __m128i b = _mm_xor_si128(_mm_loadu_si128(src++), load_key(round_keys, 0));
+    for (int r = 1; r < rounds; ++r) {
+      b = _mm_aesdec_si128(b, load_key(round_keys, r));
+    }
+    _mm_storeu_si128(dst++, _mm_aesdeclast_si128(b, load_key(round_keys,
+                                                             rounds)));
+  }
+}
+
+}  // namespace wre::crypto::detail
+
+#endif  // WRE_HAVE_AESNI

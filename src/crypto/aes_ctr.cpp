@@ -11,19 +11,30 @@ Bytes AesCtr::transform(ByteView data, const uint8_t nonce[kNonceSize]) const {
   std::memcpy(counter, nonce, kNonceSize);
 
   Bytes out(data.size());
-  uint8_t keystream[Aes::kBlockSize];
+  // Counter blocks are generated in batches and encrypted through the
+  // multi-block path, which pipelines them under AES-NI; the scalar
+  // fallback degrades to the same block-at-a-time loop as before.
+  constexpr size_t kBatchBlocks = 8;
+  uint8_t counters[kBatchBlocks * Aes::kBlockSize];
+  uint8_t keystream[kBatchBlocks * Aes::kBlockSize];
   size_t offset = 0;
   while (offset < data.size()) {
-    cipher_.encrypt_block(counter, keystream);
-    size_t n = std::min(data.size() - offset, Aes::kBlockSize);
+    const size_t remaining = data.size() - offset;
+    const size_t blocks = std::min(
+        kBatchBlocks, (remaining + Aes::kBlockSize - 1) / Aes::kBlockSize);
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + b * Aes::kBlockSize, counter, kNonceSize);
+      // Increment the counter block as a 128-bit big-endian integer.
+      for (int i = kNonceSize - 1; i >= 0; --i) {
+        if (++counter[i] != 0) break;
+      }
+    }
+    cipher_.encrypt_blocks(counters, keystream, blocks);
+    const size_t n = std::min(remaining, blocks * Aes::kBlockSize);
     for (size_t i = 0; i < n; ++i) {
       out[offset + i] = data[offset + i] ^ keystream[i];
     }
     offset += n;
-    // Increment the counter block as a 128-bit big-endian integer.
-    for (int i = kNonceSize - 1; i >= 0; --i) {
-      if (++counter[i] != 0) break;
-    }
   }
   return out;
 }

@@ -2,7 +2,9 @@
 // the WRE construction (Figure 1). Each cell ciphertext is
 //   nonce(16 bytes) || AES-CTR(key, nonce, plaintext)
 // with a fresh random nonce per encryption, so equal plaintexts encrypt to
-// independent-looking ciphertexts.
+// independent-looking ciphertexts. Keystream blocks are independent, so they
+// are generated through Aes::encrypt_blocks, which keeps multiple blocks in
+// flight on AES-NI hardware.
 #pragma once
 
 #include "src/crypto/aes.h"

@@ -1,0 +1,87 @@
+#include "src/crypto/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define WRE_CPUID_AVAILABLE 1
+#endif
+
+namespace wre::crypto {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#ifdef WRE_CPUID_AVAILABLE
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.ssse3 = (ecx >> 9) & 1;
+    f.sse41 = (ecx >> 19) & 1;
+    f.aes_ni = (ecx >> 25) & 1;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1;
+    f.sha_ni = (ebx >> 29) & 1;
+  }
+#endif
+  return f;
+}
+
+std::atomic<bool>& switch_flag() {
+  // First use reads the environment; later set_hwcrypto_enabled() calls
+  // override it for the rest of the process.
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("WRE_DISABLE_HWCRYPTO");
+    bool disabled = env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !disabled;
+  }();
+  return flag;
+}
+
+}  // namespace
+
+const CpuFeatures& CpuFeatures::get() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+bool hwcrypto_enabled() {
+  return switch_flag().load(std::memory_order_relaxed);
+}
+
+bool set_hwcrypto_enabled(bool on) {
+  return switch_flag().exchange(on, std::memory_order_relaxed);
+}
+
+bool hwcrypto_compiled_in() {
+#if defined(WRE_HAVE_SHANI) || defined(WRE_HAVE_AESNI)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string hwcrypto_summary() {
+  const CpuFeatures& f = CpuFeatures::get();
+  auto bit = [](bool b) { return b ? "1" : "0"; };
+  std::string out;
+  out += "sha_ni=";
+  out += bit(f.sha_ni);
+  out += " aes_ni=";
+  out += bit(f.aes_ni);
+  out += " ssse3=";
+  out += bit(f.ssse3);
+  out += " sse41=";
+  out += bit(f.sse41);
+  out += " avx2=";
+  out += bit(f.avx2);
+  out += " compiled=";
+  out += bit(hwcrypto_compiled_in());
+  out += " enabled=";
+  out += bit(hwcrypto_enabled());
+  return out;
+}
+
+}  // namespace wre::crypto

@@ -1,0 +1,49 @@
+// Runtime CPU-feature detection and the hardware-crypto dispatch switch.
+//
+// The accelerated SHA-256 (SHA-NI) and AES (AES-NI) kernels are compiled
+// into separate translation units with the matching -m flags and selected at
+// runtime: a kernel runs only when (a) it was compiled in, (b) CPUID reports
+// the extension, and (c) the process-wide switch is on. The switch starts
+// from the WRE_DISABLE_HWCRYPTO environment variable (any non-empty value
+// other than "0" forces the portable scalar code) and can be flipped at
+// runtime by tests and benchmarks to exercise both paths in one process.
+//
+// Hard invariant: every kernel pair is bit-identical. Dispatch must never be
+// observable through tags, ciphertexts or digests — only through throughput.
+#pragma once
+
+#include <string>
+
+namespace wre::crypto {
+
+/// CPUID-derived feature bits, probed once per process.
+struct CpuFeatures {
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool aes_ni = false;
+  bool sha_ni = false;
+  bool avx2 = false;
+
+  /// The cached probe result for this CPU.
+  static const CpuFeatures& get();
+};
+
+/// Whether the process-wide hardware-crypto switch is on. Defaults to on
+/// unless WRE_DISABLE_HWCRYPTO is set (to anything but "0") at first use.
+/// A kernel additionally requires its CPUID bit, so this returning true on
+/// a machine without SHA-NI/AES-NI still yields the scalar code.
+bool hwcrypto_enabled();
+
+/// Flips the switch; returns the previous value. Thread-safe. Used by tests
+/// and benchmarks to compare the accelerated and scalar paths in-process.
+bool set_hwcrypto_enabled(bool on);
+
+/// True if this binary contains any accelerated kernels at all (x86-64 build
+/// with a compiler that accepts -msha/-maes).
+bool hwcrypto_compiled_in();
+
+/// One-line human-readable summary, e.g.
+/// "sha_ni=1 aes_ni=1 ssse3=1 sse41=1 avx2=1 compiled=1 enabled=1".
+std::string hwcrypto_summary();
+
+}  // namespace wre::crypto

@@ -4,7 +4,7 @@
 
 namespace wre::crypto {
 
-HmacSha256::HmacSha256(ByteView key) {
+HmacSha256::Key::Key(ByteView key) {
   std::array<uint8_t, Sha256::kBlockSize> block{};
   if (key.size() > Sha256::kBlockSize) {
     auto digest = Sha256::digest(key);
@@ -13,25 +13,39 @@ HmacSha256::HmacSha256(ByteView key) {
     std::memcpy(block.data(), key.data(), key.size());
   }
 
-  std::array<uint8_t, Sha256::kBlockSize> ipad_key;
+  std::array<uint8_t, Sha256::kBlockSize> ipad_key, opad_key;
   for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
     ipad_key[i] = block[i] ^ 0x36;
-    opad_key_[i] = block[i] ^ 0x5c;
+    opad_key[i] = block[i] ^ 0x5c;
   }
-  inner_.update(ipad_key);
+  Sha256 inner;
+  inner.update(ipad_key);
+  inner_ = inner.midstate();
+  Sha256 outer;
+  outer.update(opad_key);
+  outer_ = outer.midstate();
 }
+
+HmacSha256::HmacSha256(const Key& key)
+    : inner_(key.inner_), outer_mid_(key.outer_) {}
 
 void HmacSha256::update(ByteView data) { inner_.update(data); }
 
 std::array<uint8_t, HmacSha256::kDigestSize> HmacSha256::finish() {
   auto inner_digest = inner_.finish();
-  Sha256 outer;
-  outer.update(opad_key_);
+  Sha256 outer(outer_mid_);
   outer.update(inner_digest);
   return outer.finish();
 }
 
 std::array<uint8_t, HmacSha256::kDigestSize> HmacSha256::mac(ByteView key,
+                                                             ByteView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+std::array<uint8_t, HmacSha256::kDigestSize> HmacSha256::mac(const Key& key,
                                                              ByteView data) {
   HmacSha256 h(key);
   h.update(data);

@@ -1,6 +1,12 @@
 // HMAC-SHA-256 (RFC 2104 / FIPS 198-1). This is the PRF used to derive WRE
 // search tags (Figure 1 of the paper) and the keystream for the
 // pseudo-random shuffle.
+//
+// Keys can be precomputed into a Key object holding the ipad/opad SHA-256
+// midstates. A textbook HMAC of a short message costs four compressions
+// (ipad block, inner finalization, opad block, outer finalization); resuming
+// from cached midstates drops the two key-block compressions, halving the
+// cost for the sub-block messages that dominate tag derivation.
 #pragma once
 
 #include <array>
@@ -16,17 +22,31 @@ class HmacSha256 {
  public:
   static constexpr size_t kDigestSize = Sha256::kDigestSize;
 
-  explicit HmacSha256(ByteView key);
+  /// Precomputed ipad/opad midstates for one key. Cheap to copy (two
+  /// 40-byte states, no allocation); construct once per key, reuse per MAC.
+  class Key {
+   public:
+    explicit Key(ByteView key);
+
+   private:
+    friend class HmacSha256;
+    Sha256::State inner_;
+    Sha256::State outer_;
+  };
+
+  explicit HmacSha256(ByteView key) : HmacSha256(Key(key)) {}
+  explicit HmacSha256(const Key& key);
 
   void update(ByteView data);
   std::array<uint8_t, kDigestSize> finish();
 
   /// One-shot convenience: HMAC(key, data).
   static std::array<uint8_t, kDigestSize> mac(ByteView key, ByteView data);
+  static std::array<uint8_t, kDigestSize> mac(const Key& key, ByteView data);
 
  private:
   Sha256 inner_;
-  std::array<uint8_t, Sha256::kBlockSize> opad_key_;
+  Sha256::State outer_mid_;
 };
 
 }  // namespace wre::crypto

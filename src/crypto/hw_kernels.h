@@ -1,0 +1,38 @@
+// Internal declarations of the hardware-accelerated kernel entry points.
+// Each kernel lives in its own translation unit compiled with the matching
+// ISA flags (see src/crypto/CMakeLists.txt); the WRE_HAVE_* macros are
+// defined only when that unit is part of the build, so dispatch sites guard
+// every reference. Callers must additionally check CpuFeatures at runtime —
+// these functions execute illegal-instruction faults on CPUs without the
+// extension.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wre::crypto::detail {
+
+#ifdef WRE_HAVE_SHANI
+/// SHA-256 compression of `nblocks` consecutive 64-byte blocks via SHA-NI.
+/// `state` is the 8-word working state in the FIPS 180-4 word order.
+void sha256_compress_shani(uint32_t state[8], const uint8_t* blocks,
+                           size_t nblocks);
+#endif
+
+#ifdef WRE_HAVE_AESNI
+/// AES encryption of `nblocks` independent 16-byte blocks via AES-NI,
+/// pipelined 8 blocks at a time. `round_keys` is the byte-serialized
+/// encryption schedule, 16 bytes per round key, rounds+1 keys.
+/// in/out may alias exactly (in == out).
+void aes_encrypt_blocks_aesni(const uint8_t* round_keys, int rounds,
+                              const uint8_t* in, uint8_t* out, size_t nblocks);
+
+/// AES decryption counterpart. `round_keys` is the byte-serialized
+/// equivalent-inverse-cipher schedule (reversed order, InvMixColumns applied
+/// to the middle round keys) — the layout Aes already computes for the
+/// scalar path.
+void aes_decrypt_blocks_aesni(const uint8_t* round_keys, int rounds,
+                              const uint8_t* in, uint8_t* out, size_t nblocks);
+#endif
+
+}  // namespace wre::crypto::detail

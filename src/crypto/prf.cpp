@@ -1,35 +1,72 @@
 #include "src/crypto/prf.h"
 
-#include "src/crypto/hmac_sha256.h"
+#include <cstring>
 
 namespace wre::crypto {
 
-Tag TagPrf::tag(uint64_t salt, ByteView message) const {
-  Bytes input;
-  input.reserve(12 + message.size());
-  store_le64(input, salt);
-  store_le32(input, static_cast<uint32_t>(message.size()));
-  append(input, message);
-  auto mac = HmacSha256::mac(key_, input);
+namespace {
+
+inline Tag first_tag_bytes(const std::array<uint8_t, 32>& mac) {
   return load_le64(mac.data());
+}
+
+}  // namespace
+
+Tag TagPrf::tag(uint64_t salt, ByteView message) const {
+  uint8_t prefix[12];
+  store_le64(prefix, salt);
+  store_le32(prefix + 8, static_cast<uint32_t>(message.size()));
+  HmacSha256 h(key_);
+  h.update(ByteView(prefix, sizeof(prefix)));
+  h.update(message);
+  return first_tag_bytes(h.finish());
 }
 
 Tag TagPrf::range_tag(uint32_t bucket) const {
-  Bytes input;
-  input.reserve(7);
-  append(input, to_bytes("rng"));
-  store_le32(input, bucket);
-  auto mac = HmacSha256::mac(key_, input);
-  return load_le64(mac.data());
+  uint8_t input[7] = {'r', 'n', 'g'};
+  store_le32(input + 3, bucket);
+  return first_tag_bytes(HmacSha256::mac(key_, ByteView(input, sizeof(input))));
 }
 
 Tag TagPrf::bucket_tag(uint64_t salt) const {
-  Bytes input;
-  input.reserve(11);
-  append(input, to_bytes("bkt"));
-  store_le64(input, salt);
-  auto mac = HmacSha256::mac(key_, input);
-  return load_le64(mac.data());
+  uint8_t input[11] = {'b', 'k', 't'};
+  store_le64(input + 3, salt);
+  return first_tag_bytes(HmacSha256::mac(key_, ByteView(input, sizeof(input))));
+}
+
+void TagPrf::tags(const uint64_t* salts, size_t count, ByteView message,
+                  Tag* out) const {
+  uint8_t prefix[12];
+  store_le32(prefix + 8, static_cast<uint32_t>(message.size()));
+  for (size_t i = 0; i < count; ++i) {
+    store_le64(prefix, salts[i]);
+    HmacSha256 h(key_);
+    h.update(ByteView(prefix, sizeof(prefix)));
+    h.update(message);
+    out[i] = first_tag_bytes(h.finish());
+  }
+}
+
+std::vector<Tag> TagPrf::tags(const std::vector<uint64_t>& salts,
+                              ByteView message) const {
+  std::vector<Tag> out(salts.size());
+  tags(salts.data(), salts.size(), message, out.data());
+  return out;
+}
+
+void TagPrf::bucket_tags(const uint64_t* salts, size_t count, Tag* out) const {
+  uint8_t input[11] = {'b', 'k', 't'};
+  for (size_t i = 0; i < count; ++i) {
+    store_le64(input + 3, salts[i]);
+    out[i] =
+        first_tag_bytes(HmacSha256::mac(key_, ByteView(input, sizeof(input))));
+  }
+}
+
+std::vector<Tag> TagPrf::bucket_tags(const std::vector<uint64_t>& salts) const {
+  std::vector<Tag> out(salts.size());
+  bucket_tags(salts.data(), salts.size(), out.data());
+  return out;
 }
 
 }  // namespace wre::crypto

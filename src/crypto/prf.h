@@ -8,10 +8,19 @@
 // lengths — map to the same PRF input. The bucketized construction instead
 // tags the salt alone (Section V-C1): first 8 bytes of
 //   HMAC-SHA-256(k1, "bkt" || le64(salt)).
+//
+// The key is held as precomputed HMAC midstates, so each tag costs two
+// SHA-256 compressions (down from four with per-call key scheduling) and
+// copying a TagPrf — which parallel-ingest workers do per clone — is a small
+// allocation-free memcpy. The batched tags()/bucket_tags() entry points
+// amortize input assembly across a whole salt set during search-tag
+// expansion.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "src/crypto/hmac_sha256.h"
 #include "src/util/bytes.h"
 
 namespace wre::crypto {
@@ -19,10 +28,10 @@ namespace wre::crypto {
 /// 64-bit search tag.
 using Tag = uint64_t;
 
-/// Keyed tag PRF. Copyable; holds only the key.
+/// Keyed tag PRF. Copyable; holds only the precomputed HMAC midstates.
 class TagPrf {
  public:
-  explicit TagPrf(ByteView key) : key_(key.begin(), key.end()) {}
+  explicit TagPrf(ByteView key) : key_(key) {}
 
   /// Tag for salt||message (plain WRE: fixed, proportional, Poisson).
   Tag tag(uint64_t salt, ByteView message) const;
@@ -34,8 +43,19 @@ class TagPrf {
   /// Domain-separated from both other tag kinds.
   Tag range_tag(uint32_t bucket) const;
 
+  /// Batched tag derivation over a salt set: out[i] = tag(salts[i], message).
+  /// `out` must hold `count` tags.
+  void tags(const uint64_t* salts, size_t count, ByteView message,
+            Tag* out) const;
+  std::vector<Tag> tags(const std::vector<uint64_t>& salts,
+                        ByteView message) const;
+
+  /// Batched bucket-tag derivation: out[i] = bucket_tag(salts[i]).
+  void bucket_tags(const uint64_t* salts, size_t count, Tag* out) const;
+  std::vector<Tag> bucket_tags(const std::vector<uint64_t>& salts) const;
+
  private:
-  Bytes key_;
+  HmacSha256::Key key_;
 };
 
 }  // namespace wre::crypto

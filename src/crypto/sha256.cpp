@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "src/crypto/cpu_features.h"
+#include "src/crypto/hw_kernels.h"
+#include "src/util/error.h"
+
 namespace wre::crypto {
 
 namespace {
@@ -21,6 +25,49 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+void compress_scalar(uint32_t state[8], const uint8_t* blocks,
+                     size_t nblocks) {
+  while (nblocks--) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(blocks + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+    blocks += Sha256::kBlockSize;
+  }
+}
+
 }  // namespace
 
 Sha256::Sha256() {
@@ -30,43 +77,29 @@ Sha256::Sha256() {
   std::memcpy(state_, kInit, sizeof(state_));
 }
 
-void Sha256::process_block(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+Sha256::Sha256(const State& midstate) : total_len_(midstate.bytes) {
+  std::memcpy(state_, midstate.h, sizeof(state_));
+}
+
+Sha256::State Sha256::midstate() const {
+  if (buffer_len_ != 0) {
+    throw CryptoError("Sha256::midstate: not at a block boundary");
   }
+  State s;
+  std::memcpy(s.h, state_, sizeof(state_));
+  s.bytes = total_len_;
+  return s;
+}
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+void Sha256::process_blocks(const uint8_t* blocks, size_t nblocks) {
+#ifdef WRE_HAVE_SHANI
+  static const bool kHasShaNi = CpuFeatures::get().sha_ni;
+  if (kHasShaNi && hwcrypto_enabled()) {
+    detail::sha256_compress_shani(state_, blocks, nblocks);
+    return;
   }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+#endif
+  compress_scalar(state_, blocks, nblocks);
 }
 
 void Sha256::update(ByteView data) {
@@ -79,14 +112,16 @@ void Sha256::update(ByteView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_);
+      process_blocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
 
-  while (offset + kBlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kBlockSize;
+  // Compress the whole block-aligned middle in one dispatched call so the
+  // accelerated kernel amortizes its state repacking across blocks.
+  if (size_t full = (data.size() - offset) / kBlockSize; full > 0) {
+    process_blocks(data.data() + offset, full);
+    offset += full * kBlockSize;
   }
 
   if (offset < data.size()) {

@@ -1,4 +1,9 @@
 // SHA-256 (FIPS 180-4). Streaming interface plus a one-shot helper.
+//
+// The compression function is dispatched at runtime: an x86 SHA-NI kernel
+// when the CPU supports it (and hardware crypto is not disabled, see
+// cpu_features.h), otherwise the portable scalar code. Both produce
+// identical digests; dispatch is a throughput decision only.
 #pragma once
 
 #include <array>
@@ -16,10 +21,27 @@ class Sha256 {
   static constexpr size_t kDigestSize = 32;
   static constexpr size_t kBlockSize = 64;
 
+  /// A captured chaining state at a block boundary. Cloning a hash from a
+  /// State replays all absorbed blocks for the cost of a memcpy — the basis
+  /// of HMAC midstate caching (the ipad/opad blocks are absorbed once per
+  /// key, then every MAC resumes from the saved states).
+  struct State {
+    uint32_t h[8];
+    uint64_t bytes;  // total bytes absorbed; must be a kBlockSize multiple
+  };
+
   Sha256();
+
+  /// Resumes hashing from a captured block-boundary state.
+  explicit Sha256(const State& midstate);
 
   /// Absorbs `data` into the hash state.
   void update(ByteView data);
+
+  /// Captures the current chaining state. Precondition: the total absorbed
+  /// length is a multiple of kBlockSize (no buffered partial block); throws
+  /// CryptoError otherwise.
+  State midstate() const;
 
   /// Finalizes padding and returns the 32-byte digest.
   std::array<uint8_t, kDigestSize> finish();
@@ -28,7 +50,9 @@ class Sha256 {
   static std::array<uint8_t, kDigestSize> digest(ByteView data);
 
  private:
-  void process_block(const uint8_t* block);
+  /// Compresses `nblocks` consecutive blocks into state_, dispatching to the
+  /// accelerated kernel when available.
+  void process_blocks(const uint8_t* blocks, size_t nblocks);
 
   uint32_t state_[8];
   uint64_t total_len_ = 0;

@@ -1,0 +1,155 @@
+// SHA-256 compression via the x86 SHA extensions (SHA-NI). Compiled with
+// -msha -msse4.1 -mssse3; only ever called after CpuFeatures reports sha_ni.
+// The round structure follows the canonical two-lane formulation: the state
+// is split into the (A,B,E,F) and (C,D,G,H) halves that sha256rnds2
+// advances, and the message schedule is maintained four words at a time with
+// sha256msg1/sha256msg2.
+#include "src/crypto/hw_kernels.h"
+
+#ifdef WRE_HAVE_SHANI
+
+#include <immintrin.h>
+
+namespace wre::crypto::detail {
+
+namespace {
+
+// One fully-scheduled four-round group (rounds 12 through 51): consume Ma,
+// extend Mb via msg2, pre-mix Md via msg1.
+#define WRE_SHA256_QROUND(Ma, Mb, Md, k_hi, k_lo)                   \
+  do {                                                              \
+    msg = _mm_add_epi32(Ma, _mm_set_epi64x(k_hi, k_lo));            \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);            \
+    tmp = _mm_alignr_epi8(Ma, Md, 4);                               \
+    Mb = _mm_add_epi32(Mb, tmp);                                    \
+    Mb = _mm_sha256msg2_epu32(Mb, Ma);                              \
+    msg = _mm_shuffle_epi32(msg, 0x0E);                             \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);            \
+    Md = _mm_sha256msg1_epu32(Md, Ma);                              \
+  } while (0)
+
+}  // namespace
+
+void sha256_compress_shani(uint32_t state[8], const uint8_t* blocks,
+                           size_t nblocks) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack the linear state words into the rnds2 lane layout.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                 // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);           // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  __m128i msg, msg0, msg1, msg2, msg3;
+
+  while (nblocks--) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    // Rounds 0-3
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 0)),
+        kByteSwap);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)),
+        kByteSwap);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)),
+        kByteSwap);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-51: the steady-state schedule.
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)),
+        kByteSwap);
+    WRE_SHA256_QROUND(msg3, msg0, msg2, 0xC19BF1749BDC06A7ULL,
+                      0x80DEB1FE72BE5D74ULL);
+    WRE_SHA256_QROUND(msg0, msg1, msg3, 0x240CA1CC0FC19DC6ULL,
+                      0xEFBE4786E49B69C1ULL);
+    WRE_SHA256_QROUND(msg1, msg2, msg0, 0x76F988DA5CB0A9DCULL,
+                      0x4A7484AA2DE92C6FULL);
+    WRE_SHA256_QROUND(msg2, msg3, msg1, 0xBF597FC7B00327C8ULL,
+                      0xA831C66D983E5152ULL);
+    WRE_SHA256_QROUND(msg3, msg0, msg2, 0x1429296706CA6351ULL,
+                      0xD5A79147C6E00BF3ULL);
+    WRE_SHA256_QROUND(msg0, msg1, msg3, 0x53380D134D2C6DFCULL,
+                      0x2E1B213827B70A85ULL);
+    WRE_SHA256_QROUND(msg1, msg2, msg0, 0x92722C8581C2C92EULL,
+                      0x766A0ABB650A7354ULL);
+    WRE_SHA256_QROUND(msg2, msg3, msg1, 0xC76C51A3C24B8B70ULL,
+                      0xA81A664BA2BFE8A1ULL);
+    WRE_SHA256_QROUND(msg3, msg0, msg2, 0x106AA070F40E3585ULL,
+                      0xD6990624D192E819ULL);
+    WRE_SHA256_QROUND(msg0, msg1, msg3, 0x34B0BCB52748774CULL,
+                      0x1E376C0819A4C116ULL);
+
+    // Rounds 52-55 (msg1 pre-mix no longer needed)
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    blocks += 64;
+  }
+
+  // Repack back to the linear word order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#undef WRE_SHA256_QROUND
+
+}  // namespace wre::crypto::detail
+
+#endif  // WRE_HAVE_SHANI

@@ -36,6 +36,10 @@ void append(Bytes& out, ByteView data);
 void store_le32(Bytes& out, uint32_t v);
 void store_le64(Bytes& out, uint64_t v);
 
+/// Raw-buffer variants for allocation-free hot paths (tag PRF inputs).
+void store_le32(uint8_t* out, uint32_t v);
+void store_le64(uint8_t* out, uint64_t v);
+
 /// Little-endian unpacking. Preconditions: `data` holds at least the width.
 uint32_t load_le32(const uint8_t* data);
 uint64_t load_le64(const uint8_t* data);

@@ -1,0 +1,210 @@
+// Cross-path equivalence for the hardware-crypto dispatch layer: randomized
+// property tests asserting the scalar and accelerated kernels produce
+// identical digests, MACs, tags and keystreams over lengths straddling every
+// block/pipeline boundary. These tests are only meaningful on hardware where
+// the accelerated path actually exists; elsewhere they skip.
+#include <gtest/gtest.h>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/aes_ctr.h"
+#include "src/crypto/cpu_features.h"
+#include "src/crypto/hmac_sha256.h"
+#include "src/crypto/prf.h"
+#include "src/crypto/secure_random.h"
+#include "src/crypto/sha256.h"
+
+namespace wre::crypto {
+namespace {
+
+// Evaluates `fn` with hardware kernels enabled and again forced-scalar,
+// returning the pair of results. Restores the prior dispatch setting.
+template <typename Fn>
+auto both_paths(Fn&& fn) {
+  bool prev = set_hwcrypto_enabled(true);
+  auto hw = fn();
+  set_hwcrypto_enabled(false);
+  auto scalar = fn();
+  set_hwcrypto_enabled(prev);
+  return std::pair(hw, scalar);
+}
+
+bool sha_path_exists() {
+  return hwcrypto_compiled_in() && CpuFeatures::get().sha_ni;
+}
+
+bool aes_path_exists() {
+  return hwcrypto_compiled_in() && CpuFeatures::get().aes_ni;
+}
+
+// Lengths covering the SHA-256 padding boundaries (55/56/64), multi-block
+// runs, and the AES-CTR 8-block pipeline boundary (128 bytes).
+const size_t kLengths[] = {0,  1,  15,  16,  17,  31,  55,  56,  57,
+                           63, 64, 65,  111, 119, 120, 127, 128, 129,
+                           200, 255, 256, 257, 1000};
+
+TEST(CryptoDispatch, Sha256HwMatchesScalar) {
+  if (!sha_path_exists()) GTEST_SKIP() << "no SHA-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(101);
+  for (size_t len : kLengths) {
+    Bytes data = rng.bytes(len);
+    auto [hw, scalar] = both_paths([&] { return Sha256::digest(data); });
+    EXPECT_EQ(hw, scalar) << "len=" << len;
+  }
+}
+
+TEST(CryptoDispatch, Sha256IncrementalHwMatchesScalar) {
+  if (!sha_path_exists()) GTEST_SKIP() << "no SHA-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(102);
+  Bytes data = rng.bytes(300);
+  for (size_t split : {1u, 55u, 64u, 65u, 128u, 299u}) {
+    auto [hw, scalar] = both_paths([&] {
+      Sha256 h;
+      h.update(ByteView(data.data(), split));
+      h.update(ByteView(data.data() + split, data.size() - split));
+      return h.finish();
+    });
+    EXPECT_EQ(hw, scalar) << "split=" << split;
+  }
+}
+
+TEST(CryptoDispatch, Sha256MidstateTransfersAcrossPaths) {
+  if (!sha_path_exists()) GTEST_SKIP() << "no SHA-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(103);
+  Bytes head = rng.bytes(128);
+  Bytes tail = rng.bytes(77);
+  // Capture the midstate under one path, resume under the other: the
+  // chaining state is a shared format, not a per-kernel one.
+  bool prev = set_hwcrypto_enabled(true);
+  Sha256 hw_head;
+  hw_head.update(head);
+  Sha256::State mid = hw_head.midstate();
+  set_hwcrypto_enabled(false);
+  Sha256 resumed(mid);
+  resumed.update(tail);
+  auto cross = resumed.finish();
+  Sha256 straight;
+  straight.update(head);
+  straight.update(tail);
+  auto scalar_only = straight.finish();
+  set_hwcrypto_enabled(prev);
+  EXPECT_EQ(cross, scalar_only);
+}
+
+TEST(CryptoDispatch, HmacSha256HwMatchesScalar) {
+  if (!sha_path_exists()) GTEST_SKIP() << "no SHA-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(104);
+  for (size_t key_len : {0u, 16u, 32u, 64u, 65u, 131u}) {
+    Bytes key = rng.bytes(key_len);
+    for (size_t len : kLengths) {
+      Bytes msg = rng.bytes(len);
+      auto [hw, scalar] = both_paths([&] { return HmacSha256::mac(key, msg); });
+      EXPECT_EQ(hw, scalar) << "key_len=" << key_len << " len=" << len;
+    }
+  }
+}
+
+TEST(CryptoDispatch, AesBlockRoundTripsAcrossPaths) {
+  if (!aes_path_exists()) GTEST_SKIP() << "no AES-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(105);
+  const bool prev = hwcrypto_enabled();
+  for (size_t key_len : {16u, 24u, 32u}) {
+    Aes aes(rng.bytes(key_len));
+    for (int i = 0; i < 20; ++i) {
+      Bytes pt = rng.bytes(16);
+      uint8_t hw_ct[16], scalar_ct[16], back[16];
+      set_hwcrypto_enabled(true);
+      aes.encrypt_block(pt.data(), hw_ct);
+      set_hwcrypto_enabled(false);
+      aes.encrypt_block(pt.data(), scalar_ct);
+      EXPECT_EQ(Bytes(hw_ct, hw_ct + 16), Bytes(scalar_ct, scalar_ct + 16));
+      // Encrypt on one path, decrypt on the other.
+      aes.decrypt_block(hw_ct, back);
+      EXPECT_EQ(Bytes(back, back + 16), pt);
+      set_hwcrypto_enabled(true);
+      aes.decrypt_block(scalar_ct, back);
+      EXPECT_EQ(Bytes(back, back + 16), pt);
+    }
+  }
+  set_hwcrypto_enabled(prev);
+}
+
+TEST(CryptoDispatch, AesMultiBlockMatchesSingles) {
+  if (!aes_path_exists()) GTEST_SKIP() << "no AES-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(106);
+  Aes aes(rng.bytes(32));
+  // Block counts straddling the 8-wide pipeline: remainder lanes and
+  // multiple full groups.
+  for (size_t nblocks : {1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 64u}) {
+    Bytes pt = rng.bytes(nblocks * Aes::kBlockSize);
+    auto [hw, scalar] = both_paths([&] {
+      Bytes out(pt.size());
+      aes.encrypt_blocks(pt.data(), out.data(), nblocks);
+      return out;
+    });
+    EXPECT_EQ(hw, scalar) << "nblocks=" << nblocks;
+    // And against the single-block path.
+    Bytes singles(pt.size());
+    for (size_t b = 0; b < nblocks; ++b) {
+      aes.encrypt_block(pt.data() + b * 16, singles.data() + b * 16);
+    }
+    EXPECT_EQ(hw, singles) << "nblocks=" << nblocks;
+  }
+}
+
+TEST(CryptoDispatch, AesCtrKeystreamHwMatchesScalar) {
+  if (!aes_path_exists()) GTEST_SKIP() << "no AES-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(107);
+  for (size_t key_len : {16u, 24u, 32u}) {
+    AesCtr ctr(rng.bytes(key_len));
+    Bytes nonce = rng.bytes(AesCtr::kNonceSize);
+    for (size_t len : kLengths) {
+      Bytes pt = rng.bytes(len);
+      auto [hw, scalar] =
+          both_paths([&] { return ctr.transform(pt, nonce.data()); });
+      EXPECT_EQ(hw, scalar) << "key_len=" << key_len << " len=" << len;
+    }
+  }
+}
+
+TEST(CryptoDispatch, AesCtrCounterWrapMatchesAcrossPaths) {
+  if (!aes_path_exists()) GTEST_SKIP() << "no AES-NI path on this machine";
+  SecureRandom rng = SecureRandom::for_testing(108);
+  AesCtr ctr(rng.bytes(32));
+  // All-0xff nonce: the 128-bit counter wraps inside the first pipelined
+  // batch — the hardware path must carry it identically.
+  Bytes nonce(AesCtr::kNonceSize, 0xff);
+  Bytes pt = rng.bytes(200);
+  auto [hw, scalar] = both_paths([&] { return ctr.transform(pt, nonce.data()); });
+  EXPECT_EQ(hw, scalar);
+}
+
+TEST(CryptoDispatch, TagPrfHwMatchesScalar) {
+  if (!sha_path_exists()) GTEST_SKIP() << "no SHA-NI path on this machine";
+  TagPrf prf(to_bytes("dispatch-key"));
+  Bytes msg = to_bytes("some plaintext value");
+  std::vector<uint64_t> salts;
+  for (uint64_t s = 0; s < 64; ++s) salts.push_back(s);
+  auto [hw, scalar] = both_paths([&] {
+    std::vector<Tag> out = prf.tags(salts, msg);
+    out.push_back(prf.bucket_tag(5));
+    out.push_back(prf.range_tag(9));
+    return out;
+  });
+  EXPECT_EQ(hw, scalar);
+}
+
+TEST(CryptoDispatch, SummaryMentionsEveryFeatureBit) {
+  std::string s = hwcrypto_summary();
+  for (const char* token : {"sha_ni=", "aes_ni=", "compiled=", "enabled="}) {
+    EXPECT_NE(s.find(token), std::string::npos) << s;
+  }
+}
+
+TEST(CryptoDispatch, SetHwcryptoEnabledReturnsPrevious) {
+  bool prev = set_hwcrypto_enabled(true);
+  EXPECT_TRUE(set_hwcrypto_enabled(false));
+  EXPECT_FALSE(set_hwcrypto_enabled(prev));
+}
+
+}  // namespace
+}  // namespace wre::crypto

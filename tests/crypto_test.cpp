@@ -6,6 +6,7 @@
 #include "src/crypto/aes.h"
 #include "src/crypto/aes_ctr.h"
 #include "src/crypto/chacha20.h"
+#include "src/crypto/cpu_features.h"
 #include "src/crypto/hkdf.h"
 #include "src/crypto/hmac_sha256.h"
 #include "src/crypto/keys.h"
@@ -23,6 +24,120 @@ std::string hex_of(ByteView data) { return to_hex(data); }
 template <size_t N>
 std::string hex_of(const std::array<uint8_t, N>& a) {
   return to_hex(ByteView(a.data(), a.size()));
+}
+
+// Runs every known-answer test under both dispatch settings: hardware
+// kernels allowed (param true — falls back to scalar on CPUs without the
+// extensions) and scalar forced (param false — what WRE_DISABLE_HWCRYPTO=1
+// selects at startup). Either way the answers must be bit-identical.
+class CryptoKatBothPaths : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { prev_ = set_hwcrypto_enabled(GetParam()); }
+  void TearDown() override { set_hwcrypto_enabled(prev_); }
+
+ private:
+  bool prev_ = true;
+};
+
+INSTANTIATE_TEST_SUITE_P(Dispatch, CryptoKatBothPaths, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Hardware" : "ForcedScalar";
+                         });
+
+// NIST CAVP vectors (SHA256ShortMsg.rsp, HMAC.rsp L=32, SP 800-38A CTR),
+// pinned against both kernel paths.
+
+TEST_P(CryptoKatBothPaths, Sha256CavpShortMsgLen8) {
+  EXPECT_EQ(hex_of(Sha256::digest(from_hex("d3"))),
+            "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1");
+}
+
+TEST_P(CryptoKatBothPaths, Sha256CavpShortMsgLen512) {
+  Bytes msg = from_hex(
+      "5a86b737eaea8ee976a0a24da63e7ed7eefad18a101c1211e2b3650c5187c2a8"
+      "a650547208251f6d4237e661c7bf4c77f335390394c37fa1a9f9be836ac28509");
+  EXPECT_EQ(hex_of(Sha256::digest(msg)),
+            "42e61e174fbb3897d6dd6cef3dd2802fe67b331953b06114a65c772859dfc1aa");
+}
+
+TEST_P(CryptoKatBothPaths, Sha256Fips180Abc) {
+  EXPECT_EQ(hex_of(Sha256::digest(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST_P(CryptoKatBothPaths, HmacSha256CavpCount30) {
+  Bytes key = from_hex(
+      "9779d9120642797f1747025d5b22b7ac607cab08e1758f2f3a46c8be1e25c53b"
+      "8c6a8f58ffefa176");
+  Bytes msg = from_hex(
+      "b1689c2591eaf3c9e66070f8a77954ffb81749f1b00346f9dfe0b2ee905dcc28"
+      "8baf4a92de3f4001dd9f44c468c3d07d6c6ee82faceafc97c2fc0fc0601719d2"
+      "dcd0aa2aec92d1b0ae933c65eb06a03c9c935c2bad0459810241347ab87e9f11"
+      "adb30415424c6c7f5f22a003b8ab8de54f6ded0e3ab9245fa79568451dfa258e");
+  EXPECT_EQ(hex_of(HmacSha256::mac(key, msg)),
+            "769f00d3e6a6cc1fb426a14a4f76c6462e6149726e0dee0ec0cf97a16605ac8b");
+}
+
+TEST_P(CryptoKatBothPaths, HmacSha256Rfc4231Case2) {
+  EXPECT_EQ(hex_of(HmacSha256::mac(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST_P(CryptoKatBothPaths, AesCtrSp80038aF51Aes128) {
+  AesCtr ctr(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(ctr.transform(pt, nonce.data())),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST_P(CryptoKatBothPaths, AesCtrSp80038aF53Aes192) {
+  AesCtr ctr(from_hex("8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b"));
+  Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(ctr.transform(pt, nonce.data())),
+            "1abc932417521ca24f2b0459fe7e6e0b"
+            "090339ec0aa6faefd5ccc2c6f4ce8e94"
+            "1e36b26bd1ebc670d1bd1d665620abf7"
+            "4f78a7f6d29809585a97daec58c6b050");
+}
+
+TEST_P(CryptoKatBothPaths, AesCtrSp80038aF55Aes256) {
+  AesCtr ctr(from_hex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"));
+  Bytes nonce = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(ctr.transform(pt, nonce.data())),
+            "601ec313775789a5b7a7f504bbf3d228"
+            "f443e3ca4d62b59aca84e990cacaf5c5"
+            "2b0930daa23de94ce87017ba2d84988d"
+            "dfc9c58db67aada613c2dd08457941a6");
+}
+
+TEST_P(CryptoKatBothPaths, Aes128Fips197Block) {
+  Aes aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  uint8_t ct[16], back[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_of(ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.decrypt_block(ct, back);
+  EXPECT_EQ(hex_of(ByteView(back, 16)), to_hex(pt));
 }
 
 // ---------------------------------------------------------------- SHA-256
@@ -314,6 +429,59 @@ TEST(TagPrf, LengthAmbiguityResolved) {
 TEST(TagPrf, BucketTagIndependentOfMessageTag) {
   TagPrf prf(to_bytes("key-1"));
   EXPECT_NE(prf.bucket_tag(7), prf.tag(7, {}));
+}
+
+TEST(Sha256, MidstateResumeMatchesStraightThrough) {
+  Bytes prefix(64, 0x36);
+  Bytes tail = to_bytes("suffix data of arbitrary length");
+  Sha256 a;
+  a.update(prefix);
+  Sha256 b(a.midstate());
+  a.update(tail);
+  b.update(tail);
+  EXPECT_EQ(hex_of(a.finish()), hex_of(b.finish()));
+}
+
+TEST(Sha256, MidstateRejectsPartialBlock) {
+  Sha256 h;
+  h.update(to_bytes("short"));
+  EXPECT_THROW(h.midstate(), CryptoError);
+}
+
+TEST(HmacSha256, PrecomputedKeyMatchesRawKey) {
+  SecureRandom rng = SecureRandom::for_testing(31);
+  for (size_t key_len : {0u, 1u, 32u, 64u, 65u, 131u}) {
+    Bytes key = rng.bytes(key_len);
+    HmacSha256::Key mid(key);
+    for (size_t msg_len : {0u, 17u, 64u, 200u}) {
+      Bytes msg = rng.bytes(msg_len);
+      EXPECT_EQ(hex_of(HmacSha256::mac(mid, msg)),
+                hex_of(HmacSha256::mac(key, msg)))
+          << "key_len=" << key_len << " msg_len=" << msg_len;
+    }
+  }
+}
+
+TEST(TagPrf, BatchedTagsMatchSingles) {
+  TagPrf prf(to_bytes("batch-key"));
+  Bytes msg = to_bytes("alice");
+  std::vector<uint64_t> salts;
+  for (uint64_t s = 0; s < 100; ++s) salts.push_back(s * 31 + 7);
+  std::vector<Tag> batch = prf.tags(salts, msg);
+  ASSERT_EQ(batch.size(), salts.size());
+  for (size_t i = 0; i < salts.size(); ++i) {
+    EXPECT_EQ(batch[i], prf.tag(salts[i], msg)) << "i=" << i;
+  }
+}
+
+TEST(TagPrf, BatchedBucketTagsMatchSingles) {
+  TagPrf prf(to_bytes("batch-key"));
+  std::vector<uint64_t> salts = {0, 1, 2, 1000, ~uint64_t{0}};
+  std::vector<Tag> batch = prf.bucket_tags(salts);
+  ASSERT_EQ(batch.size(), salts.size());
+  for (size_t i = 0; i < salts.size(); ++i) {
+    EXPECT_EQ(batch[i], prf.bucket_tag(salts[i])) << "i=" << i;
+  }
 }
 
 TEST(TagPrf, TagsLookUniform) {
