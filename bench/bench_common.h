@@ -7,12 +7,17 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/encrypted_client.h"
@@ -24,7 +29,10 @@
 
 namespace wre::bench {
 
-/// Minimal --key value / --flag argument parser.
+/// Minimal argument parser. Accepts `--key value`, `--key=value`, and bare
+/// `--flag` (stored as "1"). Numeric getters validate their input and exit
+/// with a usage message instead of letting std::stoll/std::stod throw an
+/// uncaught exception at the user.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -32,7 +40,10 @@ class Args {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) continue;
       std::string key = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (size_t eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "1";
@@ -42,17 +53,44 @@ class Args {
 
   int64_t get_int(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t end = 0;
+      int64_t v = std::stoll(it->second, &end);
+      if (end != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      fail("--" + key + " expects an integer, got '" + it->second + "'");
+    }
   }
 
   double get_double(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t end = 0;
+      double v = std::stod(it->second, &end);
+      if (end != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      fail("--" + key + " expects a number, got '" + it->second + "'");
+    }
+  }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
   }
 
   bool has(const std::string& key) const { return values_.contains(key); }
 
  private:
+  [[noreturn]] static void fail(const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -248,11 +286,132 @@ inline double median(std::vector<double> xs) {
   return xs[xs.size() / 2];
 }
 
+/// Nearest-rank percentile, p in [0, 100].
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  double rank = p / 100.0 * static_cast<double>(xs.size());
+  size_t idx = rank <= 1 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
 /// Buckets a result size into the paper's decade bands (1, 10, ..., 10000).
 inline uint64_t result_band(uint64_t n) {
   uint64_t band = 1;
   while (band < n && band < 10000) band *= 10;
   return band;
 }
+
+/// Machine-readable BENCH_*.json emission for the bespoke (non
+/// google-benchmark) harnesses, shaped like google-benchmark's JSON output —
+/// a "context" object plus a "benchmarks" array — so one consumer script can
+/// parse every BENCH_*.json in the repo.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void set_context(const std::string& key, const std::string& value) {
+    context_.emplace_back(key, value);
+  }
+
+  /// One benchmark row: a name plus flat numeric metrics.
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back(Row{name, std::move(metrics)});
+  }
+
+  /// Writes the file; reports the path on stdout so bench logs say where the
+  /// machine-readable copy went.
+  void write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "error: cannot write " << path_ << "\n";
+      return;
+    }
+    out << "{\n  \"context\": {";
+    for (size_t i = 0; i < context_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ") << escaped(context_[i].first) << ": "
+          << escaped(context_[i].second);
+    }
+    out << "\n  },\n  \"benchmarks\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << (i ? ",\n    {" : "\n    {") << "\"name\": "
+          << escaped(rows_[i].name);
+      for (const auto& [key, value] : rows_[i].metrics) {
+        out << ", " << escaped(key) << ": " << format_number(value);
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "wrote " << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string format_number(double v) {
+    char buf[32];
+    // %.17g round-trips doubles; integers render without a trailing ".0".
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<Row> rows_;
+};
+
+/// Injects `--benchmark_out=<default_path>` (JSON format) into a
+/// google-benchmark binary's argv unless the caller passed --benchmark_out
+/// themselves — the shared "always emit BENCH_*.json" policy.
+///
+///   bench::GBenchArgs gargs(argc, argv, "BENCH_crypto.json");
+///   benchmark::Initialize(gargs.argc(), gargs.argv());
+class GBenchArgs {
+ public:
+  GBenchArgs(int argc, char** argv, const std::string& default_out) {
+    for (int i = 0; i < argc; ++i) storage_.emplace_back(argv[i]);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+      if (storage_[static_cast<size_t>(i)].rfind("--benchmark_out=", 0) == 0) {
+        has_out = true;
+      }
+    }
+    if (!has_out) {
+      storage_.push_back("--benchmark_out=" + default_out);
+      storage_.push_back("--benchmark_out_format=json");
+    }
+    for (std::string& s : storage_) ptrs_.push_back(s.data());
+    argc_ = static_cast<int>(ptrs_.size());
+  }
+
+  int* argc() { return &argc_; }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+  int argc_ = 0;
+};
 
 }  // namespace wre::bench

@@ -15,8 +15,9 @@
 #include <cstring>
 #include <iostream>
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "bench/bench_common.h"
 
 #include "src/core/salts.h"
 #include "src/core/wre_scheme.h"
@@ -182,22 +183,11 @@ int main(int argc, char** argv) {
 
   // Default to emitting machine-readable results next to the console report;
   // an explicit --benchmark_out wins.
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_crypto.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
-      has_out = true;
-    }
+  bench::GBenchArgs gargs(argc, argv, "BENCH_crypto.json");
+  benchmark::Initialize(gargs.argc(), gargs.argv());
+  if (benchmark::ReportUnrecognizedArguments(*gargs.argc(), gargs.argv())) {
+    return 1;
   }
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int argc_adj = static_cast<int>(args.size());
-  benchmark::Initialize(&argc_adj, args.data());
-  if (benchmark::ReportUnrecognizedArguments(argc_adj, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

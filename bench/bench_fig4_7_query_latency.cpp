@@ -37,10 +37,10 @@ struct Cell {
 
 void run_regime(std::vector<bench::LoadedDb>& dbs,
                 const std::vector<datagen::EqualityQuery>& queries, bool cold,
-                bool star, uint32_t io_us) {
+                bool star, uint32_t io_us, bench::JsonReport& report) {
+  int fig = cold ? (star ? 5 : 4) : (star ? 7 : 6);
   std::cout << "\n# " << (cold ? "cold cache" : "warm cache") << ", SELECT "
-            << (star ? "*" : "id") << "  (Fig. "
-            << (cold ? (star ? 5 : 4) : (star ? 7 : 6)) << ")\n";
+            << (star ? "*" : "id") << "  (Fig. " << fig << ")\n";
 
   // band -> per-config mean latency.
   std::map<uint64_t, std::map<std::string, Cell>> table;
@@ -76,9 +76,18 @@ void run_regime(std::vector<bench::LoadedDb>& dbs,
     std::cout << std::left << std::setw(14) << band;
     for (const auto& db : dbs) {
       auto it = row.find(db.config.label);
+      double ms =
+          it == row.end() ? 0.0 : bench::mean(it->second.latencies_ms);
       std::cout << std::right << std::setw(15) << std::fixed
-                << std::setprecision(2)
-                << (it == row.end() ? 0.0 : bench::mean(it->second.latencies_ms));
+                << std::setprecision(2) << ms;
+      if (it != row.end()) {
+        report.add("fig" + std::to_string(fig) + "/" + db.config.label +
+                       "/band_" + std::to_string(band),
+                   {{"mean_ms", ms},
+                    {"p99_ms", bench::percentile(it->second.latencies_ms, 99)},
+                    {"queries",
+                     static_cast<double>(it->second.latencies_ms.size())}});
+      }
     }
     std::cout << "\n";
   }
@@ -193,13 +202,22 @@ int main(int argc, char** argv) {
   auto query_threads =
       static_cast<unsigned>(args.get_int("query-threads", 1));
 
-  if (do_cold && do_id) run_regime(dbs, queries, /*cold=*/true, false, io_us);
-  if (do_cold && do_star) run_regime(dbs, queries, true, true, io_us);
-  if (do_warm && do_id) run_regime(dbs, queries, false, false, io_us);
-  if (do_warm && do_star) run_regime(dbs, queries, false, true, io_us);
+  bench::JsonReport report(
+      args.get_string("out", "BENCH_fig4_7.json"));
+  report.set_context("bench", "fig4_7_query_latency");
+  report.set_context("records", std::to_string(records));
+  report.set_context("io_us", std::to_string(io_us));
+
+  if (do_cold && do_id) {
+    run_regime(dbs, queries, /*cold=*/true, false, io_us, report);
+  }
+  if (do_cold && do_star) run_regime(dbs, queries, true, true, io_us, report);
+  if (do_warm && do_id) run_regime(dbs, queries, false, false, io_us, report);
+  if (do_warm && do_star) run_regime(dbs, queries, false, true, io_us, report);
 
   if (query_threads > 1) run_scaling(dbs, queries, query_threads, io_us);
 
+  report.write();
   std::cout << "\n# paper shape: fixed-1000 slowest; poisson-1000 slightly "
                "slower than poisson-100; Poisson close to plaintext; cold > "
                "warm; SELECT * > SELECT id\n";

@@ -1,0 +1,158 @@
+// Loopback benchmark of the network service layer: the full WRE query path
+// with a real TCP hop between client and server.
+//
+// The harness starts a net::Server over a scratch database in this process,
+// connects a net::RemoteConnection to it over 127.0.0.1, and drives an
+// EncryptedConnection through that transport — so ingest and every query
+// pay the complete remote cost: client-side crypto, wire encoding, TCP,
+// server-side execution, and result decoding. As a correctness gate, every
+// remote query is replayed through an in-process EncryptedConnection that
+// open_table()s the same manifest; the id sets must be identical.
+//
+// Emits BENCH_net.json (via bench::JsonReport): loopback queries/s plus
+// p50/p99 per-query latency for SELECT id and SELECT *, and the remote
+// ingest rate.
+//
+//   $ ./bench_remote_query [--records N] [--queries Q] [--lambda L]
+//       [--server-threads N] [--out BENCH_net.json]
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/net/remote_connection.h"
+#include "src/net/server.h"
+
+using namespace wre;
+
+namespace {
+
+std::vector<int64_t> sorted(std::vector<int64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  int64_t records = args.get_int("records", 5000);
+  int64_t n_queries = args.get_int("queries", 200);
+  double lambda = args.get_double("lambda", 1000);
+  auto server_threads =
+      static_cast<unsigned>(args.get_int("server-threads", 2));
+  std::string out_path = args.get_string("out", "BENCH_net.json");
+
+  std::cout << "# remote query bench: records=" << records
+            << " queries=" << n_queries << " lambda=" << lambda << "\n";
+
+  // Server side: a scratch database behind a loopback TCP server.
+  bench::ScratchDir dir("remote");
+  sql::Database db(dir.str());
+  net::ServerOptions server_options;
+  server_options.worker_threads = server_threads;
+  net::Server server(db, server_options);
+  server.start();
+  std::cout << "wre_server listening on 127.0.0.1:" << server.port() << "\n";
+
+  // Client side: RemoteConnection transport under an EncryptedConnection.
+  net::RemoteConnection remote("127.0.0.1", server.port());
+  remote.ping();
+  crypto::SecureRandom entropy;
+  Bytes secret = entropy.bytes(32);
+  core::EncryptedConnection conn(remote, secret);
+
+  datagen::RecordGenerator gen;
+  auto hist = bench::collect_histogram(gen, records);
+  auto schema = datagen::RecordGenerator::schema();
+  const auto& enc_cols = datagen::RecordGenerator::encrypted_columns();
+  std::map<std::string, core::PlaintextDistribution> dists;
+  std::vector<core::EncryptedColumnSpec> specs;
+  for (const auto& col : enc_cols) {
+    dists.emplace(col,
+                  core::PlaintextDistribution::from_counts(hist.counts(col)));
+    specs.push_back(
+        core::EncryptedColumnSpec{col, core::SaltMethod::kPoisson, lambda});
+  }
+  conn.create_table("main", schema, specs, dists);
+
+  // Remote bulk ingest: tags and ciphertext are computed client-side, then
+  // cross the wire as kInsertBatch frames.
+  Timer ingest;
+  {
+    std::vector<sql::Row> rows;
+    rows.reserve(static_cast<size_t>(records));
+    for (int64_t id = 0; id < records; ++id) rows.push_back(gen.record(id));
+    conn.insert_bulk("main", rows);
+  }
+  double ingest_s = ingest.elapsed_seconds();
+  std::cout << "remote ingest: " << std::fixed << std::setprecision(1)
+            << static_cast<double>(records) / ingest_s << " rows/s\n";
+
+  datagen::QueryGenerator qgen(hist,
+                               datagen::RecordGenerator::encrypted_columns());
+  auto queries = qgen.generate(static_cast<size_t>(n_queries));
+
+  // Parity gate: an independent in-process client over the same database,
+  // rebuilt purely from the encrypted manifest + the shared master secret.
+  core::EncryptedConnection local(db, secret);
+  local.open_table("main");
+  size_t mismatches = 0;
+  for (const auto& q : queries) {
+    auto remote_ids = sorted(conn.select_ids("main", q.column, q.value).ids);
+    auto local_ids = sorted(local.select_ids("main", q.column, q.value).ids);
+    if (remote_ids != local_ids) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::cout << "ERROR: " << mismatches << "/" << queries.size()
+              << " queries returned different ids remotely vs in-process\n";
+  } else {
+    std::cout << "parity: remote ids identical to in-process for "
+              << queries.size() << " queries\n";
+  }
+
+  // Latency/throughput passes (warm: the parity pass primed all caches).
+  bench::JsonReport report(out_path);
+  report.set_context("bench", "remote_query");
+  report.set_context("transport", "tcp-loopback");
+  auto run_pass = [&](const std::string& name, bool star) {
+    std::vector<double> lat_ms;
+    lat_ms.reserve(queries.size());
+    Timer total;
+    for (const auto& q : queries) {
+      Timer t;
+      if (star) {
+        conn.select_star("main", q.column, q.value);
+      } else {
+        conn.select_ids("main", q.column, q.value);
+      }
+      lat_ms.push_back(t.elapsed_millis());
+    }
+    double qps = static_cast<double>(queries.size()) / total.elapsed_seconds();
+    double p50 = bench::percentile(lat_ms, 50);
+    double p99 = bench::percentile(lat_ms, 99);
+    std::cout << name << ": " << std::fixed << std::setprecision(1) << qps
+              << " q/s, p50 " << std::setprecision(3) << p50 << " ms, p99 "
+              << p99 << " ms\n";
+    report.add(name, {{"queries_per_sec", qps},
+                      {"p50_ms", p50},
+                      {"p99_ms", p99},
+                      {"mean_ms", bench::mean(lat_ms)}});
+  };
+  run_pass("remote/select_id", /*star=*/false);
+  run_pass("remote/select_star", /*star=*/true);
+
+  report.add("remote/ingest",
+             {{"rows_per_sec", static_cast<double>(records) / ingest_s},
+              {"seconds", ingest_s},
+              {"records", static_cast<double>(records)}});
+  report.add("remote/parity",
+             {{"queries", static_cast<double>(queries.size())},
+              {"mismatches", static_cast<double>(mismatches)}});
+  report.write();
+
+  server.stop();
+  std::cout << "server drained: " << server.frames_served()
+            << " frames over " << server.sessions_accepted() << " sessions\n";
+  return mismatches == 0 ? 0 : 1;
+}

@@ -28,7 +28,14 @@ const char* salt_method_name(SaltMethod m) {
 
 EncryptedConnection::EncryptedConnection(sql::Database& db,
                                          ByteView master_secret)
-    : db_(db), master_secret_(master_secret.begin(), master_secret.end()) {}
+    : owned_transport_(std::make_unique<LocalTransport>(db)),
+      transport_(owned_transport_.get()),
+      master_secret_(master_secret.begin(), master_secret.end()) {}
+
+EncryptedConnection::EncryptedConnection(DbTransport& transport,
+                                         ByteView master_secret)
+    : transport_(&transport),
+      master_secret_(master_secret.begin(), master_secret.end()) {}
 
 std::unique_ptr<WreScheme> EncryptedConnection::build_scheme(
     const std::string& table, const EncryptedColumnSpec& spec,
@@ -92,12 +99,12 @@ void EncryptedConnection::create_table(
     const std::vector<RangeColumnSpec>& range_specs) {
   build_table_state(table, logical_schema, specs, distributions, range_specs);
   const TableState& ts = tables_.at(sql::to_lower(table));
-  db_.create_table(table, ts.physical);
+  transport_->create_table(table, ts.physical);
   for (const auto& [col, cs] : ts.encrypted) {
-    db_.create_index(table, col + "_tag");
+    transport_->create_index(table, col + "_tag");
   }
   for (const auto& [col, rs] : ts.ranges) {
-    db_.create_index(table, col + "_tag");
+    transport_->create_index(table, col + "_tag");
   }
   save_manifest(table);
 }
@@ -112,40 +119,42 @@ void EncryptedConnection::save_manifest(const std::string& table) {
   crypto::AesCtr cipher(key);
   Bytes blob = cipher.encrypt(serialize_manifest(manifest), rng_);
 
-  if (!db_.has_table(kManifestTable)) {
-    db_.create_table(kManifestTable,
-                     Schema({Column{"id", ValueType::kInt64, true},
-                             Column{"tname", ValueType::kText},
-                             Column{"gen", ValueType::kInt64},
-                             Column{"seq", ValueType::kInt64},
-                             Column{"nchunks", ValueType::kInt64},
-                             Column{"data", ValueType::kBlob}}));
+  if (!transport_->has_table(kManifestTable)) {
+    transport_->create_table(
+        kManifestTable, Schema({Column{"id", ValueType::kInt64, true},
+                                Column{"tname", ValueType::kText},
+                                Column{"gen", ValueType::kInt64},
+                                Column{"seq", ValueType::kInt64},
+                                Column{"nchunks", ValueType::kInt64},
+                                Column{"data", ValueType::kBlob}}));
   }
-  sql::Table& mt = db_.table(kManifestTable);
-  int64_t gen = static_cast<int64_t>(mt.row_count());
+  int64_t gen = static_cast<int64_t>(transport_->row_count(kManifestTable));
   auto nchunks = static_cast<int64_t>(
       (blob.size() + kManifestChunkBytes - 1) / kManifestChunkBytes);
   if (nchunks == 0) nchunks = 1;
+  std::vector<Row> chunks;
+  chunks.reserve(static_cast<size_t>(nchunks));
   for (int64_t seq = 0; seq < nchunks; ++seq) {
     size_t begin = static_cast<size_t>(seq) * kManifestChunkBytes;
     size_t end = std::min(blob.size(), begin + kManifestChunkBytes);
-    mt.insert({Value::int64(static_cast<int64_t>(mt.row_count())),
-               Value::text(sql::to_lower(table)), Value::int64(gen),
-               Value::int64(seq), Value::int64(nchunks),
-               Value::blob(Bytes(blob.begin() + static_cast<ptrdiff_t>(begin),
-                                 blob.begin() + static_cast<ptrdiff_t>(end)))});
+    chunks.push_back(
+        {Value::int64(gen + seq), Value::text(sql::to_lower(table)),
+         Value::int64(gen), Value::int64(seq), Value::int64(nchunks),
+         Value::blob(Bytes(blob.begin() + static_cast<ptrdiff_t>(begin),
+                           blob.begin() + static_cast<ptrdiff_t>(end)))});
   }
+  transport_->insert_batch(kManifestTable, chunks);
 }
 
 void EncryptedConnection::open_table(const std::string& table) {
-  if (!db_.has_table(kManifestTable)) {
+  if (!transport_->has_table(kManifestTable)) {
     throw WreError("open_table: no manifest table in this database");
   }
   std::string lowered = sql::to_lower(table);
   // Collect chunks of the highest generation for this table.
   std::map<int64_t, std::map<int64_t, Bytes>> generations;  // gen -> seq -> chunk
   std::map<int64_t, int64_t> expected_chunks;
-  db_.table(kManifestTable).scan([&](int64_t, const Row& row) {
+  transport_->scan(kManifestTable, [&](const Row& row) {
     if (row[1].is_null() || row[1].as_text() != lowered) return;
     int64_t gen = row[2].as_int64();
     generations[gen][row[3].as_int64()] = row[5].as_blob();
@@ -192,13 +201,13 @@ void EncryptedConnection::attach_table(
     const std::vector<EncryptedColumnSpec>& specs,
     const std::map<std::string, PlaintextDistribution>& distributions,
     const std::vector<RangeColumnSpec>& range_specs) {
-  if (!db_.has_table(table)) {
+  if (!transport_->has_table(table)) {
     throw WreError("attach_table: no such table on the server: " + table);
   }
   build_table_state(table, logical_schema, specs, distributions, range_specs);
   // Sanity check the physical layout against the server's catalog.
   const TableState& ts = tables_.at(sql::to_lower(table));
-  const Schema& server = db_.table(table).schema();
+  const Schema server = transport_->table_schema(table);
   if (server.column_count() != ts.physical.column_count()) {
     throw WreError("attach_table: schema mismatch with server table " + table);
   }
@@ -406,7 +415,7 @@ void EncryptedConnection::insert(const std::string& table, const Row& row) {
     physical.push_back(Value::tag(cell.tag));
     physical.push_back(Value::blob(std::move(cell.ciphertext)));
   }
-  db_.table(table).insert(physical);
+  transport_->insert_batch(table, {std::move(physical)});
 }
 
 IngestStats EncryptedConnection::insert_bulk(const std::string& table,
@@ -432,10 +441,7 @@ std::string tag_in_clause(const std::string& column,
 
 std::string tag_select_sql(const std::string& table, const std::string& column,
                            const std::vector<crypto::Tag>& tags, bool star) {
-  std::string sql = star ? "SELECT * FROM " : "SELECT id FROM ";
-  sql += sql::to_lower(table);
-  sql += " WHERE " + tag_in_clause(column, tags);
-  return sql;
+  return tag_scan_sql(table, sql::to_lower(column) + "_tag", tags, star);
 }
 
 }  // namespace
@@ -496,7 +502,8 @@ EncryptedQueryResult EncryptedConnection::select_ids(
   result.sql = tag_select_sql(table, column, *tags, /*star=*/false);
   result.tags_in_query = tags->size();
 
-  sql::ResultSet rs = db_.execute(result.sql);
+  sql::ResultSet rs = transport_->tag_scan(
+      table, sql::to_lower(column) + "_tag", *tags, /*star=*/false);
   result.server_rows_returned = rs.rows.size();
   result.ids.reserve(rs.rows.size());
   for (const Row& row : rs.rows) result.ids.push_back(row[0].as_int64());
@@ -530,7 +537,7 @@ EncryptedQueryResult EncryptedConnection::select_star_and(
   }
   result.sql = sql;
 
-  sql::ResultSet rs = db_.execute(sql);
+  sql::ResultSet rs = transport_->execute(sql);
   result.server_rows_returned = rs.rows.size();
 
   for (const Row& physical : rs.rows) {
@@ -580,7 +587,7 @@ EncryptedQueryResult EncryptedConnection::select_star_range(
   result.sql = sql;
   if (result.tags_in_query == 0) return result;  // empty range
 
-  sql::ResultSet server = db_.execute(sql);
+  sql::ResultSet server = transport_->execute(sql);
   result.server_rows_returned = server.rows.size();
 
   size_t col_idx = rs.logical_index;
@@ -606,7 +613,8 @@ EncryptedQueryResult EncryptedConnection::select_star(
   result.sql = tag_select_sql(table, column, *tags, /*star=*/true);
   result.tags_in_query = tags->size();
 
-  sql::ResultSet rs = db_.execute(result.sql);
+  sql::ResultSet rs = transport_->tag_scan(
+      table, sql::to_lower(column) + "_tag", *tags, /*star=*/true);
   result.server_rows_returned = rs.rows.size();
 
   size_t col_idx = *ts.logical.index_of(column);
@@ -672,15 +680,15 @@ void EncryptedConnection::migrate_table(
     std::map<std::string, PlaintextDistribution> distributions,
     const std::vector<RangeColumnSpec>& range_specs) {
   const TableState& src = state(source);
-  if (db_.has_table(destination)) {
+  if (transport_->has_table(destination)) {
     throw WreError("migrate_table: destination exists: " + destination);
   }
 
   // Pass 1: decrypt every row (the whole point of migration is that only
   // the key holder can re-encrypt).
   std::vector<Row> rows;
-  rows.reserve(db_.table(source).row_count());
-  db_.table(source).scan([&](int64_t, const Row& physical) {
+  rows.reserve(transport_->row_count(source));
+  transport_->scan(source, [&](const Row& physical) {
     rows.push_back(decrypt_row(src, physical));
   });
 

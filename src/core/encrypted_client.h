@@ -20,6 +20,7 @@
 
 #include "src/core/ingest_pipeline.h"
 #include "src/core/range.h"
+#include "src/core/transport.h"
 #include "src/core/wre_scheme.h"
 #include "src/sql/database.h"
 
@@ -100,7 +101,15 @@ struct EncryptedQueryResult {
 /// save_manifest) requires exclusion from all other calls.
 class EncryptedConnection {
  public:
+  /// In-process form: wraps `db` in a LocalTransport it owns.
   EncryptedConnection(sql::Database& db, ByteView master_secret);
+
+  /// Transport form: the server may be anywhere (net::RemoteConnection runs
+  /// it over TCP). The transport must outlive the connection.
+  EncryptedConnection(DbTransport& transport, ByteView master_secret);
+
+  /// The server transport this connection issues its rewritten SQL through.
+  DbTransport& transport() { return *transport_; }
 
   /// Creates the server-side table and tag indexes. Encrypted columns must
   /// be TEXT in the logical schema; every encrypted column needs an entry
@@ -285,7 +294,8 @@ class EncryptedConnection {
       const PlaintextDistribution* dist) const;
   sql::Row decrypt_row(const TableState& ts, const sql::Row& physical) const;
 
-  sql::Database& db_;
+  std::unique_ptr<DbTransport> owned_transport_;  // only the Database& ctor
+  DbTransport* transport_;
   Bytes master_secret_;
   crypto::SecureRandom rng_;
   std::map<std::string, TableState> tables_;

@@ -179,7 +179,7 @@ IngestStats IngestPipeline::ingest(const std::vector<sql::Row>& rows) {
     const EncryptedConnection::TableState& ts = conn_.state(table_);
     for (const sql::Row& row : rows) ts.logical.check_row(row);
   }
-  sql::Table& out = conn_.db_.table(table_);
+  DbTransport& out = conn_.transport();
 
   const size_t batch = options_.batch_rows;
   const size_t nbatches = (rows.size() + batch - 1) / batch;
@@ -196,7 +196,7 @@ IngestStats IngestPipeline::ingest(const std::vector<sql::Row>& rows) {
           encrypt_batch(w, rows, begin, end, base + begin);
       stats.encrypt_seconds += enc_timer.elapsed_seconds();
       Timer write_timer;
-      out.insert_batch(physical);
+      out.insert_batch(table_, physical);
       stats.write_seconds += write_timer.elapsed_seconds();
       record_drift(rows, begin, end);
       next_index_ += end - begin;
@@ -265,7 +265,7 @@ IngestStats IngestPipeline::ingest(const std::vector<sql::Row>& rows) {
       const size_t begin = b * batch;
       const size_t end = std::min(rows.size(), begin + batch);
       Timer write_timer;
-      out.insert_batch(physical);
+      out.insert_batch(table_, physical);
       stats.write_seconds += write_timer.elapsed_seconds();
       record_drift(rows, begin, end);
       next_index_ += end - begin;

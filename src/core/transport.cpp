@@ -1,0 +1,62 @@
+#include "src/core/transport.h"
+
+namespace wre::core {
+
+std::string tag_scan_sql(const std::string& table,
+                         const std::string& tag_column,
+                         const std::vector<uint64_t>& tags, bool star) {
+  std::string sql = star ? "SELECT * FROM " : "SELECT id FROM ";
+  sql += sql::to_lower(table);
+  sql += " WHERE " + sql::to_lower(tag_column) + " IN (";
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += sql::Value::tag(tags[i]).to_sql_literal();
+  }
+  sql += ")";
+  return sql;
+}
+
+sql::ResultSet DbTransport::tag_scan(const std::string& table,
+                                     const std::string& tag_column,
+                                     const std::vector<uint64_t>& tags,
+                                     bool star) {
+  return execute(tag_scan_sql(table, tag_column, tags, star));
+}
+
+sql::ResultSet LocalTransport::execute(const std::string& sql) {
+  return db_.execute(sql);
+}
+
+void LocalTransport::create_table(const std::string& table,
+                                  const sql::Schema& schema) {
+  db_.create_table(table, schema);
+}
+
+void LocalTransport::create_index(const std::string& table,
+                                  const std::string& column) {
+  db_.create_index(table, column);
+}
+
+bool LocalTransport::has_table(const std::string& table) {
+  return db_.has_table(table);
+}
+
+uint64_t LocalTransport::row_count(const std::string& table) {
+  return db_.table(table).row_count();
+}
+
+sql::Schema LocalTransport::table_schema(const std::string& table) {
+  return db_.table(table).schema();
+}
+
+std::vector<int64_t> LocalTransport::insert_batch(
+    const std::string& table, const std::vector<sql::Row>& rows) {
+  return db_.insert_batch(table, rows);
+}
+
+void LocalTransport::scan(const std::string& table,
+                          const std::function<void(const sql::Row&)>& fn) {
+  db_.table(table).scan([&](int64_t, const sql::Row& row) { fn(row); });
+}
+
+}  // namespace wre::core

@@ -1,0 +1,183 @@
+#include "src/net/remote_connection.h"
+
+namespace wre::net {
+
+RemoteConnection::RemoteConnection(std::string host, uint16_t port,
+                                   RemoteOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+void RemoteConnection::ping() {
+  roundtrip(Opcode::kPing, {}, Opcode::kOkPong, /*idempotent=*/true);
+}
+
+void RemoteConnection::disconnect() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sock_.reset();
+}
+
+Socket& RemoteConnection::socket_locked() {
+  if (!sock_) {
+    Socket s = Socket::connect(host_, port_);
+    if (options_.response_timeout_ms > 0) {
+      s.set_recv_timeout_ms(options_.response_timeout_ms);
+    }
+    sock_.emplace(std::move(s));
+  }
+  return *sock_;
+}
+
+Bytes RemoteConnection::roundtrip_once(Opcode request, ByteView payload,
+                                       Opcode expected) {
+  Socket& sock = socket_locked();
+  sock.send_all(encode_frame(request, payload));
+
+  uint8_t header[kFrameHeaderBytes];
+  sock.recv_all(header, sizeof(header));
+  FrameHeader fh = decode_frame_header(header, options_.max_frame_bytes);
+  Bytes body(fh.payload_length);
+  if (fh.payload_length > 0) sock.recv_all(body.data(), body.size());
+
+  if (fh.opcode == Opcode::kError) {
+    // A server-side error leaves the stream aligned; keep the connection.
+    WireReader r(body);
+    StatusCode code = static_cast<StatusCode>(r.u16());
+    std::string message = r.string();
+    r.expect_end();
+    rethrow_status(code, message);
+  }
+  if (fh.opcode != expected) {
+    throw NetworkError(std::string("wire: expected ") + opcode_name(expected) +
+                       " response to " + opcode_name(request) + ", got " +
+                       opcode_name(fh.opcode));
+  }
+  return body;
+}
+
+Bytes RemoteConnection::roundtrip(Opcode request, ByteView payload,
+                                  Opcode expected, bool idempotent) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool had_connection = sock_.has_value();
+  try {
+    return roundtrip_once(request, payload, expected);
+  } catch (const NetworkError&) {
+    // The socket state is unknowable after a transport error; always drop it.
+    sock_.reset();
+    // Retry only when the failure can be a stale pooled connection (the
+    // server idle-closed it between requests) and replaying cannot
+    // double-apply anything. A failure on a fresh connection is real.
+    if (!idempotent || !had_connection) throw;
+  }
+  return roundtrip_once(request, payload, expected);
+}
+
+sql::ResultSet RemoteConnection::execute(const std::string& sql) {
+  WireWriter w;
+  w.string(sql);
+  // SQL text may mutate (INSERT): never auto-retry it.
+  Bytes body = roundtrip(Opcode::kExecSql, w.bytes(), Opcode::kOkResult,
+                         /*idempotent=*/false);
+  WireReader r(body);
+  sql::ResultSet rs = decode_result_set(r);
+  r.expect_end();
+  return rs;
+}
+
+void RemoteConnection::create_table(const std::string& table,
+                                    const sql::Schema& schema) {
+  WireWriter w;
+  w.string(table);
+  w.schema(schema);
+  roundtrip(Opcode::kCreateTable, w.bytes(), Opcode::kOkUnit,
+            /*idempotent=*/false);
+}
+
+void RemoteConnection::create_index(const std::string& table,
+                                    const std::string& column) {
+  WireWriter w;
+  w.string(table);
+  w.string(column);
+  roundtrip(Opcode::kCreateIndex, w.bytes(), Opcode::kOkUnit,
+            /*idempotent=*/false);
+}
+
+bool RemoteConnection::has_table(const std::string& table) {
+  WireWriter w;
+  w.string(table);
+  Bytes body = roundtrip(Opcode::kHasTable, w.bytes(), Opcode::kOkBool,
+                         /*idempotent=*/true);
+  WireReader r(body);
+  bool present = r.u8() != 0;
+  r.expect_end();
+  return present;
+}
+
+uint64_t RemoteConnection::row_count(const std::string& table) {
+  WireWriter w;
+  w.string(table);
+  Bytes body = roundtrip(Opcode::kRowCount, w.bytes(), Opcode::kOkCount,
+                         /*idempotent=*/true);
+  WireReader r(body);
+  uint64_t n = r.u64();
+  r.expect_end();
+  return n;
+}
+
+sql::Schema RemoteConnection::table_schema(const std::string& table) {
+  WireWriter w;
+  w.string(table);
+  Bytes body = roundtrip(Opcode::kTableSchema, w.bytes(), Opcode::kOkSchema,
+                         /*idempotent=*/true);
+  WireReader r(body);
+  sql::Schema schema = r.schema();
+  r.expect_end();
+  return schema;
+}
+
+std::vector<int64_t> RemoteConnection::insert_batch(
+    const std::string& table, const std::vector<sql::Row>& rows) {
+  WireWriter w;
+  w.string(table);
+  w.u32(static_cast<uint32_t>(rows.size()));
+  for (const sql::Row& row : rows) w.row(row);
+  Bytes body = roundtrip(Opcode::kInsertBatch, w.bytes(), Opcode::kOkIds,
+                         /*idempotent=*/false);
+  WireReader r(body);
+  uint32_t n = r.u32();
+  std::vector<int64_t> ids;
+  ids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) ids.push_back(r.i64());
+  r.expect_end();
+  return ids;
+}
+
+void RemoteConnection::scan(const std::string& table,
+                            const std::function<void(const sql::Row&)>& fn) {
+  WireWriter w;
+  w.string(table);
+  Bytes body = roundtrip(Opcode::kScanTable, w.bytes(), Opcode::kOkResult,
+                         /*idempotent=*/true);
+  WireReader r(body);
+  sql::ResultSet rs = decode_result_set(r);
+  r.expect_end();
+  for (const sql::Row& row : rs.rows) fn(row);
+}
+
+sql::ResultSet RemoteConnection::tag_scan(const std::string& table,
+                                          const std::string& tag_column,
+                                          const std::vector<uint64_t>& tags,
+                                          bool star) {
+  WireWriter w;
+  w.string(table);
+  w.string(tag_column);
+  w.u8(star ? 1 : 0);
+  w.u32(static_cast<uint32_t>(tags.size()));
+  for (uint64_t t : tags) w.u64(t);
+  Bytes body = roundtrip(Opcode::kTagScan, w.bytes(), Opcode::kOkResult,
+                         /*idempotent=*/true);
+  WireReader r(body);
+  sql::ResultSet rs = decode_result_set(r);
+  r.expect_end();
+  return rs;
+}
+
+}  // namespace wre::net

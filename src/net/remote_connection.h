@@ -1,0 +1,84 @@
+// Client-side transport that speaks the wire protocol to a wre_server.
+//
+// RemoteConnection implements core::DbTransport, so the entire WRE layer
+// (EncryptedConnection, IngestPipeline) runs unchanged on the client: salts,
+// tags and AES-CTR payloads are produced locally and only the physical rows
+// — c_tag integers and c_enc ciphertext — ever cross the wire. The server
+// never sees a key, a plaintext, or a query term; its view is exactly the
+// honest-but-curious adversary's view from the paper.
+//
+// Transport behaviour:
+//   - lazy connect: the TCP session is established on first use and reused
+//     across requests (one socket, serialized by a mutex — clone the
+//     RemoteConnection per thread for parallelism);
+//   - retry-on-transient-error: if the connection drops between requests
+//     (server restart, idle-timeout close), idempotent requests reconnect
+//     and retry once; mutating requests surface the NetworkError instead,
+//     because a retry could double-apply the write;
+//   - kError responses re-throw as the same wre::Error subclass the server
+//     caught, so remote and in-process error handling are interchangeable.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/core/transport.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+
+namespace wre::net {
+
+struct RemoteOptions {
+  /// Per-response payload ceiling (mirrors ServerOptions::max_frame_bytes).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Bounds how long one response may take (0 = wait forever).
+  int response_timeout_ms = 60000;
+};
+
+class RemoteConnection final : public core::DbTransport {
+ public:
+  RemoteConnection(std::string host, uint16_t port, RemoteOptions options = {});
+
+  /// Round-trips a kPing; throws NetworkError if the server is unreachable.
+  void ping();
+
+  /// Drops the cached socket; the next request reconnects.
+  void disconnect();
+
+  // core::DbTransport
+  sql::ResultSet execute(const std::string& sql) override;
+  void create_table(const std::string& table,
+                    const sql::Schema& schema) override;
+  void create_index(const std::string& table,
+                    const std::string& column) override;
+  bool has_table(const std::string& table) override;
+  uint64_t row_count(const std::string& table) override;
+  sql::Schema table_schema(const std::string& table) override;
+  std::vector<int64_t> insert_batch(const std::string& table,
+                                    const std::vector<sql::Row>& rows) override;
+  void scan(const std::string& table,
+            const std::function<void(const sql::Row&)>& fn) override;
+  sql::ResultSet tag_scan(const std::string& table,
+                          const std::string& tag_column,
+                          const std::vector<uint64_t>& tags,
+                          bool star) override;
+
+ private:
+  /// Sends one request frame and returns the response payload after
+  /// verifying the response opcode. `idempotent` requests are retried once
+  /// over a fresh connection if the old one turns out to be dead.
+  Bytes roundtrip(Opcode request, ByteView payload, Opcode expected,
+                  bool idempotent);
+  Bytes roundtrip_once(Opcode request, ByteView payload, Opcode expected);
+  Socket& socket_locked();
+
+  std::string host_;
+  uint16_t port_;
+  RemoteOptions options_;
+
+  std::mutex mu_;  // serializes the request/response cycle on sock_
+  std::optional<Socket> sock_;
+};
+
+}  // namespace wre::net

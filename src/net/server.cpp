@@ -1,0 +1,294 @@
+#include "src/net/server.h"
+
+#include <memory>
+
+#include "src/sql/ast.h"
+
+namespace wre::net {
+
+namespace {
+
+/// Conservative write detection for ExecSql: only statements that are
+/// syntactically reads take the shared lock; everything else (INSERT,
+/// CREATE, and any future statement kind) is treated as a write.
+bool is_read_sql(std::string_view sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  auto starts_with_kw = [&](std::string_view kw) {
+    if (sql.size() - i < kw.size()) return false;
+    for (size_t k = 0; k < kw.size(); ++k) {
+      if (std::tolower(static_cast<unsigned char>(sql[i + k])) != kw[k]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return starts_with_kw("select") || starts_with_kw("explain");
+}
+
+}  // namespace
+
+Server::Server(sql::Database& db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      listener_(options_.host, options_.port) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  draining_.store(false);
+  // A session occupies its worker for the connection's whole lifetime
+  // (blocking reads), so the auto-sized pool is floored at 4: on a 1-core
+  // host "one per hardware thread" would let a single idle client starve
+  // every later connection until the read timeout fires.
+  unsigned workers = options_.worker_threads;
+  if (workers == 0) {
+    workers = std::max(4u, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<util::ThreadPool>(workers);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.load()) return;
+  draining_.store(true);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Wake sessions blocked in recv. Only the read side is shut down: a
+    // session mid-request still flushes its response before exiting.
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, sock] : sessions_) sock->shutdown_read();
+  }
+  // The pool destructor finishes every queued/in-flight session task.
+  pool_.reset();
+  running_.store(false);
+}
+
+void Server::accept_loop() {
+  while (auto sock = listener_.accept()) {
+    sessions_accepted_.fetch_add(1);
+    uint64_t id = next_session_id_.fetch_add(1);
+    // shared_ptr: std::function requires copyable captures.
+    auto owned = std::make_shared<Socket>(std::move(*sock));
+    pool_->submit([this, owned, id] { serve_session(std::move(*owned), id); });
+  }
+}
+
+void Server::serve_session(Socket sock, uint64_t session_id) {
+  if (draining_.load()) return;  // accepted but never served: drain fast
+  if (options_.read_timeout_ms > 0) {
+    try {
+      sock.set_recv_timeout_ms(options_.read_timeout_ms);
+    } catch (const NetworkError&) {
+      return;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    // Re-checked under the registry lock: stop() sets draining_ before it
+    // sweeps the registry, so a session registering after the sweep is
+    // guaranteed to see the flag here and exit instead of blocking in
+    // recv until the read timeout — which would stall the pool drain.
+    if (draining_.load()) return;
+    sessions_.emplace(session_id, &sock);
+  }
+
+  while (!draining_.load()) {
+    Frame response;
+    bool fatal = false;
+
+    uint8_t header[kFrameHeaderBytes];
+    try {
+      if (!sock.recv_all_or_eof(header, sizeof(header))) break;
+    } catch (const NetworkError&) {
+      break;  // read timeout or mid-header disconnect: nothing to answer
+    }
+
+    FrameHeader fh{};
+    try {
+      fh = decode_frame_header(header, options_.max_frame_bytes);
+    } catch (const std::exception& e) {
+      // Bad magic / version / oversized length: the payload cannot be
+      // skipped, so the stream position is unrecoverable. Answer with an
+      // error frame, then drop the session.
+      protocol_errors_.fetch_add(1);
+      response = error_frame(e);
+      fatal = true;
+    }
+
+    if (!fatal) {
+      Bytes payload(fh.payload_length);
+      try {
+        if (fh.payload_length > 0) {
+          sock.recv_all(payload.data(), payload.size());
+        }
+      } catch (const NetworkError&) {
+        break;  // disconnected mid-payload
+      }
+      // From here the frame boundary is intact: any failure — unknown
+      // opcode, a payload that flunks bounds checks, SQL/storage errors
+      // from execution — gets an error response and the session continues.
+      try {
+        if (!is_request_opcode(static_cast<uint8_t>(fh.opcode))) {
+          throw NetworkError("wire: unknown request opcode " +
+                             std::to_string(static_cast<int>(fh.opcode)));
+        }
+        response = handle_request(fh.opcode, payload);
+      } catch (const NetworkError& e) {
+        protocol_errors_.fetch_add(1);
+        response = error_frame(e);
+      } catch (const std::exception& e) {
+        response = error_frame(e);
+      }
+    }
+
+    try {
+      sock.send_all(encode_frame(response.opcode, response.payload));
+    } catch (const NetworkError&) {
+      break;  // peer is gone; nothing to flush
+    }
+    if (fatal) break;
+    frames_served_.fetch_add(1);
+  }
+
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  sessions_.erase(session_id);
+}
+
+Frame Server::error_frame(const std::exception& e) {
+  WireWriter w;
+  w.u16(static_cast<uint16_t>(status_code_for(e)));
+  w.string(e.what());
+  return Frame{Opcode::kError, std::move(w.bytes())};
+}
+
+Frame Server::handle_request(Opcode op, ByteView payload) {
+  WireReader r(payload);
+  WireWriter w;
+  switch (op) {
+    case Opcode::kPing: {
+      r.expect_end();
+      return Frame{Opcode::kOkPong, {}};
+    }
+    case Opcode::kExecSql: {
+      std::string sql = r.string();
+      r.expect_end();
+      sql::ResultSet rs;
+      if (is_read_sql(sql)) {
+        std::shared_lock lock(db_mu_);
+        rs = db_.execute(sql);
+      } else {
+        std::unique_lock lock(db_mu_);
+        rs = db_.execute(sql);
+      }
+      encode_result_set(rs, w);
+      return Frame{Opcode::kOkResult, std::move(w.bytes())};
+    }
+    case Opcode::kInsertBatch: {
+      std::string table = r.string();
+      uint32_t nrows = r.u32();
+      if (nrows > r.remaining() / 4) {  // each row carries a u32 arity
+        throw NetworkError("wire: insert row count overruns frame");
+      }
+      std::vector<sql::Row> rows;
+      rows.reserve(nrows);
+      for (uint32_t i = 0; i < nrows; ++i) rows.push_back(r.row());
+      r.expect_end();
+      std::vector<int64_t> ids;
+      {
+        std::unique_lock lock(db_mu_);
+        ids = db_.insert_batch(table, rows);
+      }
+      w.u32(static_cast<uint32_t>(ids.size()));
+      for (int64_t id : ids) w.i64(id);
+      return Frame{Opcode::kOkIds, std::move(w.bytes())};
+    }
+    case Opcode::kCreateTable: {
+      std::string table = r.string();
+      sql::Schema schema = r.schema();
+      r.expect_end();
+      std::unique_lock lock(db_mu_);
+      db_.create_table(table, std::move(schema));
+      return Frame{Opcode::kOkUnit, {}};
+    }
+    case Opcode::kCreateIndex: {
+      std::string table = r.string();
+      std::string column = r.string();
+      r.expect_end();
+      std::unique_lock lock(db_mu_);
+      db_.create_index(table, column);
+      return Frame{Opcode::kOkUnit, {}};
+    }
+    case Opcode::kHasTable: {
+      std::string table = r.string();
+      r.expect_end();
+      std::shared_lock lock(db_mu_);
+      w.u8(db_.has_table(table) ? 1 : 0);
+      return Frame{Opcode::kOkBool, std::move(w.bytes())};
+    }
+    case Opcode::kRowCount: {
+      std::string table = r.string();
+      r.expect_end();
+      std::shared_lock lock(db_mu_);
+      w.u64(db_.table(table).row_count());
+      return Frame{Opcode::kOkCount, std::move(w.bytes())};
+    }
+    case Opcode::kTableSchema: {
+      std::string table = r.string();
+      r.expect_end();
+      std::shared_lock lock(db_mu_);
+      w.schema(db_.table(table).schema());
+      return Frame{Opcode::kOkSchema, std::move(w.bytes())};
+    }
+    case Opcode::kTagScan: {
+      // The prepared multi-probe path: the tag list becomes an IN predicate
+      // AST directly — a 10k-tag WRE search never round-trips through SQL
+      // text on the server.
+      std::string table = sql::to_lower(r.string());
+      std::string tag_column = sql::to_lower(r.string());
+      bool star = r.u8() != 0;
+      uint32_t ntags = r.u32();
+      if (ntags > r.remaining() / 8) {
+        throw NetworkError("wire: tag count overruns frame");
+      }
+      std::vector<sql::Value> tags;
+      tags.reserve(ntags);
+      for (uint32_t i = 0; i < ntags; ++i) tags.push_back(sql::Value::tag(r.u64()));
+      r.expect_end();
+
+      sql::SelectStmt stmt;
+      stmt.star = star;
+      if (!star) stmt.columns = {"id"};
+      stmt.table = table;
+      stmt.where = sql::Expr::in_list(tag_column, std::move(tags));
+      std::shared_lock lock(db_mu_);
+      sql::ResultSet rs = db_.execute_select(stmt);
+      encode_result_set(rs, w);
+      return Frame{Opcode::kOkResult, std::move(w.bytes())};
+    }
+    case Opcode::kScanTable: {
+      std::string table = r.string();
+      r.expect_end();
+      std::shared_lock lock(db_mu_);
+      sql::Table& t = db_.table(table);
+      sql::ResultSet rs;
+      for (const sql::Column& c : t.schema().columns()) {
+        rs.columns.push_back(c.name);
+      }
+      rs.rows.reserve(t.row_count());
+      t.scan([&](int64_t, const sql::Row& row) { rs.rows.push_back(row); });
+      encode_result_set(rs, w);
+      return Frame{Opcode::kOkResult, std::move(w.bytes())};
+    }
+    default:
+      throw NetworkError("wire: opcode " +
+                         std::string(opcode_name(op)) +
+                         " is not a request");
+  }
+}
+
+}  // namespace wre::net

@@ -1,0 +1,110 @@
+// wre_server's serving core: hosts one sql::Database behind a TCP accept
+// loop speaking the binary wire protocol (src/net/wire.h).
+//
+// Threading model:
+//   - a dedicated accept thread pulls connections off the Listener and
+//     dispatches each session onto the shared util::ThreadPool, so the
+//     number of concurrently *served* sessions is bounded by the pool size
+//     (excess connections queue — FIFO — until a worker frees up);
+//   - each session worker loops read-frame -> dispatch -> write-response
+//     until the client hangs up, a read times out, a frame is malformed, or
+//     the server drains;
+//   - the engine's single-writer rule is enforced with a shared_mutex:
+//     statements that mutate (INSERT / CREATE / batched inserts) hold it
+//     exclusively, everything else shares it, so concurrent WRE searches
+//     from many clients proceed in parallel exactly like the in-process
+//     concurrent read path (DESIGN.md §5.2).
+//
+// Shutdown (stop(), also wired to SIGTERM in wre_server): the listener
+// stops accepting, idle sessions are woken and closed, in-flight requests
+// run to completion and their responses are flushed, then the workers join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/sql/database.h"
+#include "src/util/thread_pool.h"
+
+namespace wre::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with Server::port().
+  uint16_t port = 0;
+  /// Session worker threads (0 = one per hardware thread, floored at 4: an
+  /// idle connection occupies its worker, so the pool bounds the number of
+  /// concurrently *connected* clients, not just in-flight requests).
+  unsigned worker_threads = 0;
+  /// Per-request payload ceiling; oversized frames are refused before their
+  /// payload is read (the client gets a kNetwork error, then the session
+  /// closes — the stream offset is unrecoverable past a bad header).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Idle/read timeout per connection in milliseconds (0 = no timeout): a
+  /// session that sends nothing for this long is closed.
+  int read_timeout_ms = 60000;
+};
+
+class Server {
+ public:
+  /// Binds immediately (so an ephemeral port is known) but serves nothing
+  /// until start(). The database must outlive the server.
+  Server(sql::Database& db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launches the accept loop. Idempotent.
+  void start();
+
+  /// Graceful drain; see the header comment. Idempotent, thread-safe with
+  /// respect to sessions (but call from one controlling thread).
+  void stop();
+
+  uint16_t port() const { return listener_.port(); }
+  bool running() const { return running_.load(); }
+
+  /// Monotonic counters, for tests and the server's exit report.
+  uint64_t sessions_accepted() const { return sessions_accepted_.load(); }
+  uint64_t frames_served() const { return frames_served_.load(); }
+  uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_session(Socket sock, uint64_t session_id);
+  /// Decodes and executes one request frame; returns the response frame.
+  Frame handle_request(Opcode op, ByteView payload);
+  static Frame error_frame(const std::exception& e);
+
+  sql::Database& db_;
+  ServerOptions options_;
+  Listener listener_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  /// Single-writer exclusion over db_ (see the threading model above).
+  std::shared_mutex db_mu_;
+
+  /// Live session sockets, so stop() can wake blocked reads. Sessions own
+  /// their Socket; this maps session id -> raw fd wrapper for shutdown only.
+  std::mutex sessions_mu_;
+  std::map<uint64_t, Socket*> sessions_;
+
+  std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> next_session_id_{0};
+};
+
+}  // namespace wre::net

@@ -1,0 +1,205 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace wre::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetworkError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetworkError("Socket::connect: not an IPv4 address: " + host);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("Socket::connect: socket()");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("Socket::connect: connect to " + host + ":" +
+                std::to_string(port));
+  }
+  // Request/response round-trips are latency-bound; never Nagle-delay them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void Socket::send_all(ByteView data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("Socket::send_all");
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+bool Socket::recv_all_or_eof(uint8_t* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetworkError("Socket::recv: timed out");
+      }
+      throw_errno("Socket::recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw NetworkError("Socket::recv: connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void Socket::recv_all(uint8_t* out, size_t n) {
+  if (!recv_all_or_eof(out, n)) {
+    throw NetworkError("Socket::recv: connection closed by peer");
+  }
+}
+
+void Socket::set_recv_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("Socket::set_recv_timeout_ms");
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(const std::string& host, uint16_t port, int backlog) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetworkError("Listener: not an IPv4 address: " + host);
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("Listener: socket()");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("Listener: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, backlog) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("Listener: listen()");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw_errno("Listener: getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) throw_errno("Listener: pipe()");
+}
+
+Listener::~Listener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+std::optional<Socket> Listener::accept() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("Listener::accept: poll()");
+    }
+    if (stopping_.load(std::memory_order_acquire) || fds[1].revents != 0) {
+      return std::nullopt;
+    }
+    if (!(fds[0].revents & POLLIN)) continue;
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EBADF || errno == EINVAL) return std::nullopt;
+      throw_errno("Listener::accept");
+    }
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(client);
+  }
+  return std::nullopt;
+}
+
+void Listener::close() {
+  // Signal first, then kick both wake-up channels: the kernel stops
+  // accepting at shutdown(), and the pipe write covers the window where
+  // accept() is already past its stopping_ check.
+  stopping_.store(true, std::memory_order_release);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (wake_pipe_[1] >= 0) {
+    uint8_t byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+}  // namespace wre::net

@@ -1,0 +1,163 @@
+// The length-prefixed binary wire protocol between a WRE client and
+// wre_server. One message = one frame:
+//
+//   offset  size  field
+//   0       2     magic "WR"
+//   2       1     protocol version (kWireVersion)
+//   3       1     opcode (request 0x01-0x7F, response 0x80-0xFF)
+//   4       4     payload length, little-endian
+//   8       n     payload (opcode-specific; see the Opcode table)
+//
+// Integers are little-endian; strings and blobs are a u32 length followed by
+// raw bytes; sql::Value / sql::Schema use their own wire_encode hooks. All
+// decoding is strictly bounds-checked: a malformed frame (bad magic, unknown
+// version, oversized length, truncated payload, inflated element count)
+// raises NetworkError before any out-of-bounds read or unbounded allocation
+// can happen — the server answers with an error frame and drops the session.
+//
+// Security note (the paper's trust boundary, Section I-A): frames carry SQL
+// text over tag columns, search-tag lists and AES-CTR ciphertext blobs.
+// Nothing in this protocol can transport keys, salts or plaintexts of
+// encrypted columns — those never leave the client process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sql/database.h"
+#include "src/util/bytes.h"
+#include "src/util/error.h"
+
+namespace wre::net {
+
+inline constexpr uint8_t kMagic0 = 'W';
+inline constexpr uint8_t kMagic1 = 'R';
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Default ceiling on one frame's payload. Requests above it are rejected
+/// without being read — the server's backpressure limit against hostile or
+/// buggy clients allocating unbounded memory server-side.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Message types. Requests pair with the response listed next to them; any
+/// request may instead receive kError.
+enum class Opcode : uint8_t {
+  // Requests.
+  kPing = 0x01,         // -> kOkPong; liveness / version handshake
+  kExecSql = 0x02,      // -> kOkResult; payload: string sql
+  kInsertBatch = 0x03,  // -> kOkIds; payload: table, u32 nrows, rows
+  kCreateTable = 0x04,  // -> kOkUnit; payload: table, schema
+  kCreateIndex = 0x05,  // -> kOkUnit; payload: table, column
+  kHasTable = 0x06,     // -> kOkBool; payload: table
+  kRowCount = 0x07,     // -> kOkCount; payload: table
+  kTableSchema = 0x08,  // -> kOkSchema; payload: table
+  kTagScan = 0x09,      // -> kOkResult; payload: table, tag column, u8 star,
+                        //    u32 ntags, u64 tags — the prepared multi-probe
+                        //    path: no SQL rendering/parsing for WRE searches
+  kScanTable = 0x0A,    // -> kOkResult; payload: table (heap-order full scan)
+
+  // Responses.
+  kOkResult = 0x80,  // result set (columns, rows, counters)
+  kOkBool = 0x81,    // u8
+  kOkIds = 0x82,     // u32 n, n * i64
+  kOkSchema = 0x83,  // schema
+  kOkUnit = 0x84,    // empty
+  kOkCount = 0x85,   // u64
+  kOkPong = 0x86,    // empty
+  kError = 0xFF,     // u16 status code, string message
+};
+
+const char* opcode_name(Opcode op);
+bool is_request_opcode(uint8_t op);
+
+/// Stable wire encodings of the wre::Error hierarchy. The server maps a
+/// thrown exception to a code with status_code_for(); the client re-throws
+/// the *same* subclass via rethrow_status(), so `catch (SqlError&)` works
+/// identically against a local database and a remote server.
+enum class StatusCode : uint16_t {
+  kGeneric = 1,  // wre::Error or any non-wre std::exception
+  kStorage = 2,
+  kSql = 3,
+  kCrypto = 4,
+  kWre = 5,
+  kNetwork = 6,
+};
+
+StatusCode status_code_for(const std::exception& e);
+[[noreturn]] void rethrow_status(StatusCode code, const std::string& message);
+
+/// One decoded message.
+struct Frame {
+  Opcode opcode = Opcode::kPing;
+  Bytes payload;
+};
+
+/// Renders header + payload, ready for send().
+Bytes encode_frame(Opcode opcode, ByteView payload);
+
+/// Parsed and validated frame header.
+struct FrameHeader {
+  Opcode opcode;
+  uint32_t payload_length = 0;
+};
+
+/// Validates magic, version and length (<= max_frame_bytes). Throws
+/// NetworkError describing exactly what was malformed.
+FrameHeader decode_frame_header(const uint8_t (&header)[kFrameHeaderBytes],
+                                size_t max_frame_bytes);
+
+/// Bounds-checked sequential reader over one frame's payload. Every
+/// accessor throws NetworkError on overrun; element counts are validated
+/// against the bytes actually present before any allocation.
+class WireReader {
+ public:
+  explicit WireReader(ByteView data) : data_(data) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  std::string string();
+  Bytes blob();
+  sql::Value value();
+  sql::Row row();
+  sql::Schema schema();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  /// Rejects trailing garbage after the last expected field.
+  void expect_end() const;
+
+ private:
+  void need(size_t n) const;
+
+  ByteView data_;
+  size_t pos_ = 0;
+};
+
+/// Payload builder; thin appending wrapper so encode sites read like the
+/// format spec.
+class WireWriter {
+ public:
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u16(uint16_t v);
+  void u32(uint32_t v) { store_le32(out_, v); }
+  void u64(uint64_t v) { store_le64(out_, v); }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void string(std::string_view s);
+  void value(const sql::Value& v) { v.wire_encode(out_); }
+  void row(const sql::Row& r);
+  void schema(const sql::Schema& s) { s.wire_encode(out_); }
+
+  Bytes& bytes() { return out_; }
+
+ private:
+  Bytes out_;
+};
+
+/// ResultSet payload codec (the kOkResult body).
+void encode_result_set(const sql::ResultSet& rs, WireWriter& w);
+sql::ResultSet decode_result_set(WireReader& r);
+
+}  // namespace wre::net

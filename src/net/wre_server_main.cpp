@@ -1,0 +1,158 @@
+// wre_server: hosts one sql::Database over TCP, speaking the binary wire
+// protocol. This is the deployable split of the paper's model — the server
+// process is an ordinary database that stores tag integers and ciphertext
+// blobs; every cryptographic operation stays in the client process
+// (RemoteConnection + EncryptedConnection).
+//
+// Usage:
+//   wre_server --dir=/path/to/db [--host=127.0.0.1] [--port=7433]
+//              [--threads=0] [--read-timeout-ms=60000] [--max-frame-mb=64]
+//              [--query-threads=1]
+//
+// The bound port is printed as "LISTENING <port>" on stdout once the server
+// is ready (useful with --port=0 for tests). SIGTERM or SIGINT triggers a
+// graceful drain: in-flight requests finish, sessions close, the database
+// checkpoints, and the process exits 0.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/net/server.h"
+#include "src/sql/database.h"
+
+namespace {
+
+// Self-pipe so the signal handler stays async-signal-safe: the handler only
+// write()s one byte; the main thread blocks in poll() until it arrives.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  uint8_t byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+struct Flags {
+  std::string dir;
+  std::string host = "127.0.0.1";
+  long port = 7433;
+  long threads = 0;
+  long read_timeout_ms = 60000;
+  long max_frame_mb = 64;
+  long query_threads = 1;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "wre_server: %s\n"
+               "usage: wre_server --dir=PATH [--host=ADDR] [--port=N]\n"
+               "                  [--threads=N] [--read-timeout-ms=N]\n"
+               "                  [--max-frame-mb=N] [--query-threads=N]\n",
+               message.c_str());
+  std::exit(2);
+}
+
+long parse_long(const std::string& flag, const std::string& text) {
+  try {
+    size_t end = 0;
+    long v = std::stol(text, &end);
+    if (end != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error("flag " + flag + " needs an integer, got '" + text + "'");
+  }
+}
+
+Flags parse_flags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      usage_error("expected --flag=value, got '" + arg + "'");
+    }
+    std::string key = arg.substr(0, eq);
+    std::string val = arg.substr(eq + 1);
+    if (key == "--dir") {
+      flags.dir = val;
+    } else if (key == "--host") {
+      flags.host = val;
+    } else if (key == "--port") {
+      flags.port = parse_long(key, val);
+    } else if (key == "--threads") {
+      flags.threads = parse_long(key, val);
+    } else if (key == "--read-timeout-ms") {
+      flags.read_timeout_ms = parse_long(key, val);
+    } else if (key == "--max-frame-mb") {
+      flags.max_frame_mb = parse_long(key, val);
+    } else if (key == "--query-threads") {
+      flags.query_threads = parse_long(key, val);
+    } else {
+      usage_error("unknown flag '" + key + "'");
+    }
+  }
+  if (flags.dir.empty()) usage_error("--dir is required");
+  if (flags.port < 0 || flags.port > 65535) usage_error("--port out of range");
+  if (flags.max_frame_mb <= 0) usage_error("--max-frame-mb must be positive");
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = parse_flags(argc, argv);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("wre_server: pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    wre::sql::DatabaseOptions db_options;
+    db_options.query_threads =
+        static_cast<unsigned>(flags.query_threads < 0 ? 0 : flags.query_threads);
+    wre::sql::Database db(flags.dir, db_options);
+
+    wre::net::ServerOptions options;
+    options.host = flags.host;
+    options.port = static_cast<uint16_t>(flags.port);
+    options.worker_threads =
+        static_cast<unsigned>(flags.threads < 0 ? 0 : flags.threads);
+    options.read_timeout_ms = static_cast<int>(flags.read_timeout_ms);
+    options.max_frame_bytes = static_cast<size_t>(flags.max_frame_mb) << 20;
+
+    wre::net::Server server(db, options);
+    server.start();
+    std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    // Wait for SIGTERM/SIGINT.
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+    }
+
+    std::fprintf(stderr, "wre_server: draining...\n");
+    server.stop();
+    db.checkpoint();
+    std::fprintf(stderr,
+                 "wre_server: served %llu frames over %llu sessions "
+                 "(%llu protocol errors)\n",
+                 static_cast<unsigned long long>(server.frames_served()),
+                 static_cast<unsigned long long>(server.sessions_accepted()),
+                 static_cast<unsigned long long>(server.protocol_errors()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wre_server: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -140,4 +140,50 @@ Row Schema::decode_row(ByteView record) const {
   return row;
 }
 
+void Schema::wire_encode(Bytes& out) const {
+  store_le32(out, static_cast<uint32_t>(columns_.size()));
+  for (const Column& col : columns_) {
+    store_le32(out, static_cast<uint32_t>(col.name.size()));
+    append(out, to_bytes(col.name));
+    out.push_back(static_cast<uint8_t>(col.type));
+    out.push_back(col.primary_key ? 1 : 0);
+  }
+}
+
+Schema Schema::wire_decode(ByteView data, size_t& pos) {
+  auto need = [&](size_t n) {
+    if (n > data.size() || pos > data.size() - n) {
+      throw SqlError("Schema: truncated wire encoding");
+    }
+  };
+  need(4);
+  uint32_t ncols = load_le32(data.data() + pos);
+  pos += 4;
+  // Each column occupies at least 6 bytes; an inflated count must not
+  // translate into an unbounded reserve.
+  if (ncols > (data.size() - pos) / 6) {
+    throw SqlError("Schema: column count overruns frame");
+  }
+  std::vector<Column> columns;
+  columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    need(4);
+    uint32_t len = load_le32(data.data() + pos);
+    pos += 4;
+    need(len);
+    std::string name(reinterpret_cast<const char*>(data.data() + pos), len);
+    pos += len;
+    need(2);
+    uint8_t type = data[pos++];
+    if (type > static_cast<uint8_t>(ValueType::kBlob)) {
+      throw SqlError("Schema: unknown column type byte " +
+                     std::to_string(type));
+    }
+    uint8_t pk = data[pos++];
+    columns.push_back(
+        Column{std::move(name), static_cast<ValueType>(type), pk != 0});
+  }
+  return Schema(std::move(columns));
+}
+
 }  // namespace wre::sql

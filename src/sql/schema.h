@@ -48,6 +48,16 @@ class Schema {
   /// Parses a heap record back into a row. Throws SqlError on corruption.
   Row decode_row(ByteView record) const;
 
+  /// Appends the wire encoding (column count, then per column: name,
+  /// type byte, primary-key flag) to `out` — how CREATE TABLE requests and
+  /// schema responses travel in the network protocol (src/net/wire.h).
+  void wire_encode(Bytes& out) const;
+
+  /// Decodes a schema starting at `data[pos]`, advancing `pos`. All reads
+  /// are bounds-checked; throws SqlError on truncation or invalid content
+  /// (Schema's own constructor invariants also apply).
+  static Schema wire_decode(ByteView data, size_t& pos);
+
  private:
   std::vector<Column> columns_;
   std::optional<size_t> pk_index_;

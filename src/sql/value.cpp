@@ -63,4 +63,67 @@ std::string Value::to_sql_literal() const {
   return "NULL";
 }
 
+void Value::wire_encode(Bytes& out) const {
+  out.push_back(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      store_le64(out, static_cast<uint64_t>(std::get<int64_t>(data_)));
+      break;
+    case ValueType::kText: {
+      const std::string& s = std::get<std::string>(data_);
+      store_le32(out, static_cast<uint32_t>(s.size()));
+      append(out, to_bytes(s));
+      break;
+    }
+    case ValueType::kBlob: {
+      const Bytes& b = std::get<Bytes>(data_);
+      store_le32(out, static_cast<uint32_t>(b.size()));
+      append(out, b);
+      break;
+    }
+  }
+}
+
+namespace {
+
+void need(ByteView data, size_t pos, size_t n) {
+  if (n > data.size() || pos > data.size() - n) {
+    throw SqlError("Value: truncated wire encoding");
+  }
+}
+
+}  // namespace
+
+Value Value::wire_decode(ByteView data, size_t& pos) {
+  need(data, pos, 1);
+  uint8_t type = data[pos++];
+  switch (static_cast<ValueType>(type)) {
+    case ValueType::kNull:
+      return Value::null();
+    case ValueType::kInt64: {
+      need(data, pos, 8);
+      int64_t v = static_cast<int64_t>(load_le64(data.data() + pos));
+      pos += 8;
+      return Value::int64(v);
+    }
+    case ValueType::kText:
+    case ValueType::kBlob: {
+      need(data, pos, 4);
+      uint32_t len = load_le32(data.data() + pos);
+      pos += 4;
+      // The length check also bounds the allocation below by the frame size.
+      need(data, pos, len);
+      const uint8_t* begin = data.data() + pos;
+      pos += len;
+      if (static_cast<ValueType>(type) == ValueType::kText) {
+        return Value::text(std::string(begin, begin + len));
+      }
+      return Value::blob(Bytes(begin, begin + len));
+    }
+  }
+  throw SqlError("Value: unknown wire type byte " + std::to_string(type));
+}
+
 }  // namespace wre::sql

@@ -48,6 +48,18 @@ class Value {
   /// Renders the value as a SQL literal (NULL, 42, 'escaped text', X'hex').
   std::string to_sql_literal() const;
 
+  /// Appends the wire encoding to `out`: a type byte, then for kInt64 the
+  /// 8-byte little-endian value, for kText/kBlob a 32-bit little-endian
+  /// length followed by the raw bytes (kNull has no payload). This is the
+  /// row serialization the network protocol (src/net/wire.h) traffics in.
+  void wire_encode(Bytes& out) const;
+
+  /// Decodes one value starting at `data[pos]`, advancing `pos` past it.
+  /// Every read is bounds-checked against `data`; throws SqlError on a
+  /// truncated buffer, an unknown type byte, or a length that overruns the
+  /// input — a malformed frame must never read out of bounds or over-alloc.
+  static Value wire_decode(ByteView data, size_t& pos);
+
   /// Exact structural comparison (used by tests and containers).
   friend bool operator==(const Value&, const Value&) = default;
 

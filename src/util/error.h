@@ -39,4 +39,11 @@ class WreError : public Error {
   using Error::Error;
 };
 
+/// Network layer failure: socket errors, timeouts, malformed or oversized
+/// wire frames, protocol version mismatches.
+class NetworkError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace wre

@@ -1,0 +1,504 @@
+// The network service layer: wire codec round-trips, error-status mapping,
+// malformed-frame handling against a live server, RemoteConnection
+// transport semantics, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+
+#include "src/net/remote_connection.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/sql/database.h"
+#include "tests/test_util.h"
+
+using namespace wre;
+using namespace wre::net;
+using wre::testing::TempDir;
+
+namespace {
+
+sql::Schema kv_schema() {
+  return sql::Schema({{"id", sql::ValueType::kInt64, /*primary_key=*/true},
+                      {"tag", sql::ValueType::kInt64, false},
+                      {"payload", sql::ValueType::kBlob, false}});
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec round-trips.
+
+sql::Value roundtrip_value(const sql::Value& v) {
+  WireWriter w;
+  w.value(v);
+  WireReader r(w.bytes());
+  sql::Value out = r.value();
+  r.expect_end();
+  return out;
+}
+
+TEST(Wire, ValueRoundTripAllVariants) {
+  // Every variant the storage layer can hold, including the edge cases a
+  // hostile peer would probe: NULL, empty blob/text, extreme integers.
+  std::vector<sql::Value> cases = {
+      sql::Value::null(),
+      sql::Value::int64(0),
+      sql::Value::int64(-1),
+      sql::Value::int64(std::numeric_limits<int64_t>::min()),
+      sql::Value::int64(std::numeric_limits<int64_t>::max()),
+      sql::Value::text(""),
+      sql::Value::text("hello"),
+      sql::Value::text(std::string(100000, 'x')),
+      sql::Value::blob(Bytes{}),
+      sql::Value::blob(Bytes{0x00, 0xff, 0x7f, 0x80}),
+      sql::Value::blob(Bytes(1 << 16, 0xab)),
+  };
+  for (const auto& v : cases) {
+    EXPECT_EQ(roundtrip_value(v), v) << v.to_sql_literal();
+  }
+}
+
+TEST(Wire, RowRoundTrip) {
+  sql::Row row = {sql::Value::int64(-42), sql::Value::null(),
+                  sql::Value::text("bob"), sql::Value::blob({1, 2, 3})};
+  WireWriter w;
+  w.row(row);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.row(), row);
+  r.expect_end();
+}
+
+TEST(Wire, SchemaRoundTrip) {
+  sql::Schema s = kv_schema();
+  WireWriter w;
+  w.schema(s);
+  WireReader r(w.bytes());
+  sql::Schema out = r.schema();
+  r.expect_end();
+  ASSERT_EQ(out.columns().size(), s.columns().size());
+  for (size_t i = 0; i < s.columns().size(); ++i) {
+    EXPECT_EQ(out.columns()[i].name, s.columns()[i].name);
+    EXPECT_EQ(out.columns()[i].type, s.columns()[i].type);
+    EXPECT_EQ(out.columns()[i].primary_key, s.columns()[i].primary_key);
+  }
+}
+
+TEST(Wire, ResultSetRoundTrip) {
+  sql::ResultSet rs;
+  rs.columns = {"id", "name"};
+  rs.rows = {{sql::Value::int64(1), sql::Value::text("a")},
+             {sql::Value::int64(2), sql::Value::null()}};
+  rs.rows_affected = 7;
+  rs.index_probes = 1234;
+  rs.heap_fetches = 99;
+  rs.used_index = true;
+
+  WireWriter w;
+  encode_result_set(rs, w);
+  WireReader r(w.bytes());
+  sql::ResultSet out = decode_result_set(r);
+  r.expect_end();
+  EXPECT_EQ(out.columns, rs.columns);
+  EXPECT_EQ(out.rows, rs.rows);
+  EXPECT_EQ(out.rows_affected, rs.rows_affected);
+  EXPECT_EQ(out.index_probes, rs.index_probes);
+  EXPECT_EQ(out.heap_fetches, rs.heap_fetches);
+  EXPECT_EQ(out.used_index, rs.used_index);
+}
+
+TEST(Wire, TruncatedValueThrows) {
+  WireWriter w;
+  w.value(sql::Value::text("hello world"));
+  Bytes full = w.bytes();
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<ptrdiff_t>(cut));
+    WireReader r(prefix);
+    EXPECT_THROW(r.value(), NetworkError) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, InflatedCountsThrowBeforeAllocating) {
+  // A row claiming 2^32-1 values in a 6-byte payload must be rejected by
+  // the count-vs-remaining check, not by attempting the reads.
+  WireWriter w;
+  w.u32(0xffffffffu);
+  w.u16(0);
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.row(), NetworkError);
+
+  WireWriter w2;
+  w2.u32(0xffffffffu);
+  WireReader r2(w2.bytes());
+  EXPECT_THROW(decode_result_set(r2), NetworkError);
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  WireWriter w;
+  w.u8(1);
+  w.u8(2);
+  WireReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), NetworkError);
+}
+
+TEST(Wire, FrameHeaderValidation) {
+  Bytes good = encode_frame(Opcode::kPing, {});
+  ASSERT_EQ(good.size(), kFrameHeaderBytes);
+  uint8_t header[kFrameHeaderBytes];
+
+  auto load = [&](const Bytes& b) { std::copy_n(b.begin(), 8, header); };
+  load(good);
+  FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+  EXPECT_EQ(fh.opcode, Opcode::kPing);
+  EXPECT_EQ(fh.payload_length, 0u);
+
+  Bytes bad_magic = good;
+  bad_magic[0] = 'X';
+  load(bad_magic);
+  EXPECT_THROW(decode_frame_header(header, kDefaultMaxFrameBytes),
+               NetworkError);
+
+  Bytes bad_version = good;
+  bad_version[2] = 99;
+  load(bad_version);
+  EXPECT_THROW(decode_frame_header(header, kDefaultMaxFrameBytes),
+               NetworkError);
+
+  Bytes oversized = encode_frame(Opcode::kPing, Bytes(1024, 0));
+  load(oversized);
+  EXPECT_THROW(decode_frame_header(header, /*max_frame_bytes=*/512),
+               NetworkError);
+}
+
+// ---------------------------------------------------------------------------
+// Error-status mapping: every wre::Error subclass crosses the wire and
+// re-throws as the same type (satellite of the trust-boundary design — the
+// client's catch sites behave identically local and remote).
+
+template <typename E>
+void expect_error_roundtrip(StatusCode expected_code) {
+  E original("boom");
+  EXPECT_EQ(status_code_for(original), expected_code);
+  try {
+    rethrow_status(status_code_for(original), original.what());
+    FAIL() << "rethrow_status returned";
+  } catch (const E& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  } catch (const std::exception& e) {
+    FAIL() << "wrong exception type for code "
+           << static_cast<int>(expected_code) << ": " << e.what();
+  }
+}
+
+TEST(WireStatus, ErrorHierarchyRoundTrips) {
+  expect_error_roundtrip<StorageError>(StatusCode::kStorage);
+  expect_error_roundtrip<SqlError>(StatusCode::kSql);
+  expect_error_roundtrip<CryptoError>(StatusCode::kCrypto);
+  expect_error_roundtrip<WreError>(StatusCode::kWre);
+  expect_error_roundtrip<NetworkError>(StatusCode::kNetwork);
+  expect_error_roundtrip<Error>(StatusCode::kGeneric);
+}
+
+TEST(WireStatus, NonWreExceptionIsGeneric) {
+  std::runtime_error plain("plain");
+  EXPECT_EQ(status_code_for(plain), StatusCode::kGeneric);
+  EXPECT_THROW(rethrow_status(StatusCode::kGeneric, "x"), Error);
+  // Unknown future codes degrade to the hierarchy root.
+  EXPECT_THROW(rethrow_status(static_cast<StatusCode>(999), "x"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Live server: a scratch database behind a loopback listener.
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  NetServerTest() : db_(dir_.str()) {
+    ServerOptions options;
+    options.worker_threads = 4;
+    options.read_timeout_ms = 5000;
+    options.max_frame_bytes = 1 << 20;
+    server_ = std::make_unique<Server>(db_, options);
+    server_->start();
+  }
+
+  ~NetServerTest() override { server_->stop(); }
+
+  RemoteConnection client() {
+    return RemoteConnection("127.0.0.1", server_->port());
+  }
+
+  TempDir dir_;
+  sql::Database db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetServerTest, PingAndBasicDdl) {
+  RemoteConnection remote = client();
+  remote.ping();
+  EXPECT_FALSE(remote.has_table("kv"));
+  remote.create_table("kv", kv_schema());
+  remote.create_index("kv", "tag");
+  EXPECT_TRUE(remote.has_table("kv"));
+  EXPECT_EQ(remote.row_count("kv"), 0u);
+
+  sql::Schema schema = remote.table_schema("kv");
+  ASSERT_EQ(schema.columns().size(), 3u);
+  EXPECT_EQ(schema.columns()[1].name, "tag");
+}
+
+TEST_F(NetServerTest, InsertBatchScanAndTagScan) {
+  RemoteConnection remote = client();
+  remote.create_table("kv", kv_schema());
+  remote.create_index("kv", "tag");
+
+  std::vector<sql::Row> rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    rows.push_back({sql::Value::int64(i), sql::Value::int64(i % 10),
+                    sql::Value::blob(Bytes{static_cast<uint8_t>(i)})});
+  }
+  std::vector<int64_t> ids = remote.insert_batch("kv", rows);
+  ASSERT_EQ(ids.size(), 100u);
+  EXPECT_EQ(remote.row_count("kv"), 100u);
+
+  size_t scanned = 0;
+  remote.scan("kv", [&](const sql::Row& row) {
+    ASSERT_EQ(row.size(), 3u);
+    ++scanned;
+  });
+  EXPECT_EQ(scanned, 100u);
+
+  // The dedicated multi-probe opcode must agree with SQL-text execution.
+  sql::ResultSet via_tag_scan =
+      remote.tag_scan("kv", "tag", {3, 7}, /*star=*/false);
+  sql::ResultSet via_sql =
+      remote.execute("SELECT id FROM kv WHERE tag IN (3, 7)");
+  EXPECT_EQ(via_tag_scan.rows, via_sql.rows);
+  EXPECT_EQ(via_tag_scan.rows.size(), 20u);
+
+  sql::ResultSet star = remote.tag_scan("kv", "tag", {3}, /*star=*/true);
+  ASSERT_EQ(star.rows.size(), 10u);
+  EXPECT_EQ(star.rows[0].size(), 3u);
+}
+
+TEST_F(NetServerTest, ServerErrorsRethrowSameType) {
+  RemoteConnection remote = client();
+  remote.ping();  // lazy connect happens here
+  uint64_t sessions_before = server_->sessions_accepted();
+  // Parse failure server-side must surface as SqlError client-side, and the
+  // session must remain usable afterwards.
+  EXPECT_THROW(remote.execute("SELEC id FROM nope"), SqlError);
+  EXPECT_THROW(remote.row_count("missing_table"), SqlError);
+  remote.ping();
+  EXPECT_FALSE(remote.has_table("still_alive"));
+  // Execution errors are not protocol errors, and the same TCP session
+  // carried every request — no silent reconnects.
+  EXPECT_EQ(server_->protocol_errors(), 0u);
+  EXPECT_EQ(server_->sessions_accepted(), sessions_before);
+}
+
+TEST_F(NetServerTest, MalformedFramesAreSurvivable) {
+  uint64_t errors_before = server_->protocol_errors();
+
+  // 1. Garbage magic.
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    Bytes junk = {'X', 'Y', 1, 1, 0, 0, 0, 0};
+    s.send_all(junk);
+    uint8_t header[kFrameHeaderBytes];
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+    EXPECT_EQ(fh.opcode, Opcode::kError);
+    Bytes body(fh.payload_length);
+    s.recv_all(body.data(), body.size());
+    WireReader r(body);
+    EXPECT_EQ(static_cast<StatusCode>(r.u16()), StatusCode::kNetwork);
+  }
+
+  // 2. Unsupported protocol version.
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    Bytes junk = {'W', 'R', 42, 1, 0, 0, 0, 0};
+    s.send_all(junk);
+    uint8_t header[kFrameHeaderBytes];
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    EXPECT_EQ(decode_frame_header(header, kDefaultMaxFrameBytes).opcode,
+              Opcode::kError);
+  }
+
+  // 3. Oversized declared length (2x the server's 1 MiB cap): refused
+  //    before the payload is read or allocated.
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    Bytes frame = {'W', 'R', kWireVersion, 1, 0, 0, 32, 0};  // 2 MiB, LE
+    s.send_all(frame);
+    uint8_t header[kFrameHeaderBytes];
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    EXPECT_EQ(decode_frame_header(header, kDefaultMaxFrameBytes).opcode,
+              Opcode::kError);
+  }
+
+  // 4. Unknown opcode: the frame boundary is intact, so the server answers
+  //    kError and the SAME session keeps serving well-formed requests.
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    s.send_all(encode_frame(static_cast<Opcode>(0x6E), {}));
+    uint8_t header[kFrameHeaderBytes];
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+    EXPECT_EQ(fh.opcode, Opcode::kError);
+    Bytes body(fh.payload_length);
+    s.recv_all(body.data(), body.size());
+
+    s.send_all(encode_frame(Opcode::kPing, {}));
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    EXPECT_EQ(decode_frame_header(header, kDefaultMaxFrameBytes).opcode,
+              Opcode::kOkPong);
+  }
+
+  // 5. Truncated header: client disconnects mid-header.
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    Bytes partial = {'W', 'R', kWireVersion};
+    s.send_all(partial);
+    s.close();
+  }
+
+  // 6. Payload shorter than declared (valid header, then hang up).
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    WireWriter w;
+    w.string("SELECT 1");
+    Bytes frame = encode_frame(Opcode::kExecSql, w.bytes());
+    frame.resize(frame.size() - 4);
+    s.send_all(frame);
+    s.close();
+  }
+
+  // 7. Structurally bad payload: a request whose body fails bounds checks.
+  //    Also recoverable — the full payload was consumed.
+  {
+    Socket s = Socket::connect("127.0.0.1", server_->port());
+    WireWriter w;
+    w.u32(0xffffffffu);  // string length far beyond the payload
+    s.send_all(encode_frame(Opcode::kExecSql, w.bytes()));
+    uint8_t header[kFrameHeaderBytes];
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+    EXPECT_EQ(fh.opcode, Opcode::kError);
+    Bytes body(fh.payload_length);
+    s.recv_all(body.data(), body.size());
+
+    s.send_all(encode_frame(Opcode::kPing, {}));
+    ASSERT_TRUE(s.recv_all_or_eof(header, sizeof(header)));
+    EXPECT_EQ(decode_frame_header(header, kDefaultMaxFrameBytes).opcode,
+              Opcode::kOkPong);
+  }
+
+  EXPECT_GE(server_->protocol_errors(), errors_before + 5);
+
+  // After all of the above the server still answers a well-formed client.
+  RemoteConnection remote = client();
+  remote.ping();
+  EXPECT_FALSE(remote.has_table("kv"));
+}
+
+TEST_F(NetServerTest, GracefulDrainClosesIdleSessions) {
+  RemoteConnection remote = client();
+  remote.ping();
+
+  // An idle raw connection: drain must wake and close it promptly. The
+  // close is a FIN if a session picked the connection up, or an RST if it
+  // was still in the accept backlog when the listener shut down — either
+  // way the client sees the connection die instead of hanging.
+  Socket idle = Socket::connect("127.0.0.1", server_->port());
+  server_->stop();
+
+  uint8_t byte;
+  bool connection_closed = false;
+  try {
+    connection_closed = !idle.recv_all_or_eof(&byte, 1);  // clean EOF
+  } catch (const NetworkError&) {
+    connection_closed = true;  // reset out of the accept backlog
+  }
+  EXPECT_TRUE(connection_closed);
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(NetServerTest, IdempotentRequestsRetryAcrossReconnect) {
+  RemoteConnection remote = client();
+  remote.create_table("kv", kv_schema());
+  EXPECT_TRUE(remote.has_table("kv"));
+
+  // Kill the server, restart on the same port: the pooled connection is now
+  // stale. An idempotent request must reconnect and succeed transparently.
+  uint16_t port = server_->port();
+  server_->stop();
+  server_.reset();
+  ServerOptions options;
+  options.port = port;
+  server_ = std::make_unique<Server>(db_, options);
+  server_->start();
+
+  EXPECT_TRUE(remote.has_table("kv"));
+  EXPECT_EQ(remote.row_count("kv"), 0u);
+}
+
+TEST_F(NetServerTest, MutatingRequestsDoNotAutoRetry) {
+  RemoteConnection remote = client();
+  remote.create_table("kv", kv_schema());
+
+  uint16_t port = server_->port();
+  server_->stop();
+  server_.reset();
+  ServerOptions options;
+  options.port = port;
+  server_ = std::make_unique<Server>(db_, options);
+  server_->start();
+
+  // The stale connection fails; a write must surface the NetworkError
+  // rather than silently replaying (a retry could double-apply).
+  std::vector<sql::Row> rows = {{sql::Value::int64(1), sql::Value::int64(2),
+                                 sql::Value::blob(Bytes{3})}};
+  EXPECT_THROW(remote.insert_batch("kv", rows), NetworkError);
+  // The connection recovers for the caller's own retry.
+  EXPECT_EQ(remote.insert_batch("kv", rows).size(), 1u);
+  EXPECT_EQ(remote.row_count("kv"), 1u);
+}
+
+TEST_F(NetServerTest, ConcurrentClientsSeeConsistentResults) {
+  {
+    RemoteConnection setup = client();
+    setup.create_table("kv", kv_schema());
+    setup.create_index("kv", "tag");
+    std::vector<sql::Row> rows;
+    for (int64_t i = 0; i < 200; ++i) {
+      rows.push_back({sql::Value::int64(i), sql::Value::int64(i % 4),
+                      sql::Value::blob(Bytes{0})});
+    }
+    setup.insert_batch("kv", rows);
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        RemoteConnection remote = client();
+        for (int i = 0; i < 25; ++i) {
+          uint64_t tag = static_cast<uint64_t>((t + i) % 4);
+          auto rs = remote.tag_scan("kv", "tag", {tag}, /*star=*/false);
+          if (rs.rows.size() != 50u) failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->sessions_accepted(), static_cast<uint64_t>(kThreads));
+}
+
+}  // namespace

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <set>
 
+#include "bench/bench_common.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
 
@@ -153,6 +155,69 @@ TEST(FisherYates, SingleAndEmpty) {
   std::vector<int> one = {42};
   fisher_yates_shuffle(one, rng);
   EXPECT_EQ(one, std::vector<int>{42});
+}
+
+// ---------------------------------------------------------------------------
+// bench::Args — the shared bench-harness flag parser.
+
+bench::Args make_args(std::vector<std::string> tokens) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(tokens);
+  for (auto& t : storage) argv.push_back(t.data());
+  return bench::Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgs, SpaceSeparatedForm) {
+  auto args = make_args({"--records", "5000", "--verbose"});
+  EXPECT_EQ(args.get_int("records", 0), 5000);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+}
+
+TEST(BenchArgs, EqualsForm) {
+  auto args = make_args({"--records=123", "--lambda=2.5", "--out=a.json"});
+  EXPECT_EQ(args.get_int("records", 0), 123);
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 0), 2.5);
+  EXPECT_EQ(args.get_string("out", ""), "a.json");
+}
+
+TEST(BenchArgs, EqualsFormAcceptsValuesStartingWithDashes) {
+  // `--key=value` is unambiguous even when the value looks like a flag —
+  // the space-separated form cannot express this.
+  auto args = make_args({"--label=--weird"});
+  EXPECT_EQ(args.get_string("label", ""), "--weird");
+}
+
+TEST(BenchArgs, NegativeAndBoundaryIntegers) {
+  auto args = make_args({"--a=-7", "--b=9223372036854775807"});
+  EXPECT_EQ(args.get_int("a", 0), -7);
+  EXPECT_EQ(args.get_int("b", 0), std::numeric_limits<int64_t>::max());
+}
+
+TEST(BenchArgsDeathTest, NonNumericIntFailsWithClearMessage) {
+  auto args = make_args({"--records=abc"});
+  EXPECT_EXIT(args.get_int("records", 0), ::testing::ExitedWithCode(2),
+              "--records expects an integer, got 'abc'");
+}
+
+TEST(BenchArgsDeathTest, TrailingGarbageIntFails) {
+  auto args = make_args({"--records", "12x"});
+  EXPECT_EXIT(args.get_int("records", 0), ::testing::ExitedWithCode(2),
+              "--records expects an integer, got '12x'");
+}
+
+TEST(BenchArgsDeathTest, NonNumericDoubleFailsWithClearMessage) {
+  auto args = make_args({"--lambda=fast"});
+  EXPECT_EXIT(args.get_double("lambda", 0), ::testing::ExitedWithCode(2),
+              "--lambda expects a number, got 'fast'");
+}
+
+TEST(BenchArgsDeathTest, OutOfRangeIntFails) {
+  auto args = make_args({"--records=99999999999999999999"});
+  EXPECT_EXIT(args.get_int("records", 0), ::testing::ExitedWithCode(2),
+              "expects an integer");
 }
 
 TEST(SplitMix, KnownSequenceIsStable) {
