@@ -1,14 +1,20 @@
-// Microbenchmarks of the storage substrate (google-benchmark): B+-tree
-// probes, heap appends, and buffer-pool hit/miss costs — the server-side
-// cost drivers behind Figures 4-7.
+// Microbenchmarks of the storage substrate: B+-tree probes, heap appends,
+// and buffer-pool hit/miss costs (google-benchmark) — the server-side cost
+// drivers behind Figures 4-7 — plus a bespoke `--wal` mode measuring the
+// durability hot path: group-commit throughput at 1/8/64 concurrent
+// committers and recovery-replay bandwidth (BENCH_wal.json).
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <thread>
 
+#include "bench/bench_common.h"
 #include "src/storage/bptree.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/heap_file.h"
+#include "src/storage/wal.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 
 using namespace wre;
 
@@ -101,6 +107,132 @@ void BM_BufferPoolMissAndEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferPoolMissAndEvict);
 
+// --------------------------------------------------------------- WAL mode
+
+/// Group-commit throughput: `threads` committers, each issuing
+/// `commits_per_thread` single-page commits and waiting for durability —
+/// the shape of concurrent bulk-ingest sessions hitting the log. Returns
+/// achieved commits/s and how well the writer batched fsyncs.
+void bench_wal_commits(bench::JsonReport& report, unsigned threads,
+                       int64_t commits_per_thread, bool fsync) {
+  bench::ScratchDir scratch("wal_commit");
+  storage::WalOptions options;
+  options.fsync = fsync;
+  storage::Wal wal((std::filesystem::path(scratch.str()) / "wal").string(),
+                   options);
+
+  Timer timer;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&wal, t, commits_per_thread] {
+      Bytes page(storage::kPageSize, static_cast<uint8_t>(t + 1));
+      for (int64_t i = 0; i < commits_per_thread; ++i) {
+        storage::WalCommitRequest req;
+        req.pages.push_back(storage::WalPageImage{
+            "bench.tbl", static_cast<storage::PageNumber>(t + 1), page});
+        req.extents.push_back(storage::WalFileExtent{"bench.tbl", 65});
+        wal.commit(std::move(req)).wait();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  double seconds = timer.elapsed_seconds();
+
+  auto stats = wal.stats();
+  double total = static_cast<double>(stats.commits);
+  double commits_per_sec = seconds > 0 ? total / seconds : 0;
+  double avg_group =
+      stats.groups > 0 ? total / static_cast<double>(stats.groups) : 0;
+  std::printf(
+      "wal commit  threads=%-3u %10.0f commits/s  avg group %.2f  "
+      "max group %llu  fsyncs %llu\n",
+      threads, commits_per_sec, avg_group,
+      static_cast<unsigned long long>(stats.max_group),
+      static_cast<unsigned long long>(stats.fsyncs));
+  report.add("wal_commit/threads:" + std::to_string(threads),
+             {{"commits_per_sec", commits_per_sec},
+              {"avg_group_commits", avg_group},
+              {"max_group_commits", static_cast<double>(stats.max_group)},
+              {"fsyncs", static_cast<double>(stats.fsyncs)},
+              {"seconds", seconds}});
+}
+
+/// Recovery-replay bandwidth: build a log of committed page images, then
+/// time Wal::recover applying it onto the data files — the restart cost a
+/// crash would pay per MB of un-checkpointed log.
+void bench_wal_recovery(bench::JsonReport& report, int64_t commits,
+                        int64_t pages_per_commit) {
+  bench::ScratchDir scratch("wal_recover");
+  std::string wal_dir = (std::filesystem::path(scratch.str()) / "wal").string();
+  {
+    storage::WalOptions options;
+    options.fsync = false;  // build the log fast; replay cost is the subject
+    storage::Wal wal(wal_dir, options);
+    Xoshiro256 rng(7);
+    for (int64_t c = 0; c < commits; ++c) {
+      storage::WalCommitRequest req;
+      for (int64_t p = 0; p < pages_per_commit; ++p) {
+        Bytes page(storage::kPageSize, 0);
+        for (auto& b : page) b = static_cast<uint8_t>(rng());
+        req.pages.push_back(storage::WalPageImage{
+            "bench.tbl",
+            static_cast<storage::PageNumber>(1 + (c * pages_per_commit + p) %
+                                                     1024),
+            std::move(page)});
+      }
+      req.extents.push_back(storage::WalFileExtent{"bench.tbl", 1025});
+      wal.commit(std::move(req));
+    }
+  }  // destructor drains the queue and closes the segment
+
+  Timer timer;
+  auto rec = storage::Wal::recover(wal_dir, scratch.str());
+  double seconds = timer.elapsed_seconds();
+  double mb = static_cast<double>(rec.bytes_scanned) / (1024.0 * 1024.0);
+  double mb_per_sec = seconds > 0 ? mb / seconds : 0;
+  std::printf(
+      "wal replay  %.1f MB log, %llu commits, %llu pages -> %.1f MB/s\n", mb,
+      static_cast<unsigned long long>(rec.commits_applied),
+      static_cast<unsigned long long>(rec.pages_replayed), mb_per_sec);
+  report.add("wal_recovery_replay",
+             {{"replay_mb_per_sec", mb_per_sec},
+              {"log_mb", mb},
+              {"commits_applied", static_cast<double>(rec.commits_applied)},
+              {"pages_replayed", static_cast<double>(rec.pages_replayed)},
+              {"seconds", seconds}});
+}
+
+int run_wal_bench(const bench::Args& args) {
+  const int64_t commits = args.get_int("commits", 2000);
+  const bool fsync = args.get_int("fsync", 1) != 0;
+  const int64_t replay_commits = args.get_int("replay-commits", 512);
+  const int64_t replay_pages = args.get_int("replay-pages", 8);
+
+  bench::JsonReport report(args.get_string("out", "BENCH_wal.json"));
+  report.set_context("bench", "wal");
+  report.set_context("fsync", fsync ? "1" : "0");
+  report.set_context("commits_per_thread", std::to_string(commits));
+
+  for (unsigned threads : {1u, 8u, 64u}) {
+    bench_wal_commits(report, threads, commits, fsync);
+  }
+  bench_wal_recovery(report, replay_commits, replay_pages);
+  report.write();
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  if (args.has("wal")) return run_wal_bench(args);
+
+  bench::GBenchArgs gargs(argc, argv, "BENCH_storage.json");
+  benchmark::Initialize(gargs.argc(), gargs.argv());
+  if (benchmark::ReportUnrecognizedArguments(*gargs.argc(), gargs.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

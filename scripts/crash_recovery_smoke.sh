@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Randomized crash-recovery sweep: runs the kill -9 fault-injection harness
+# (tests/crash_recovery_test) across a matrix of RNG seeds so the crash
+# points land all over the ingest/commit/checkpoint timeline. The combined
+# sweep executes >= 100 randomized crash schedules; any acknowledged write
+# missing after recovery fails the run.
+#
+#   scripts/crash_recovery_smoke.sh [build_dir]       # default: build
+#
+# Environment:
+#   WRE_CRASH_TOTAL_SCHEDULES   total schedules across the sweep (default 100)
+#   WRE_CRASH_SEEDS             how many seeds to split them over (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+TEST=${BUILD_DIR}/tests/crash_recovery_test
+SERVER=${BUILD_DIR}/src/net/wre_server
+[[ -x ${TEST} ]] || { echo "missing ${TEST} (build first)"; exit 1; }
+[[ -x ${SERVER} ]] || { echo "missing ${SERVER} (build first)"; exit 1; }
+
+TOTAL=${WRE_CRASH_TOTAL_SCHEDULES:-100}
+SEEDS=${WRE_CRASH_SEEDS:-10}
+PER_SEED=$(( (TOTAL + SEEDS - 1) / SEEDS ))
+
+echo "== crash-recovery sweep: ${SEEDS} seeds x ${PER_SEED} schedules" \
+     "(>= ${TOTAL} total) =="
+for (( seed = 1; seed <= SEEDS; seed++ )); do
+  echo "-- seed ${seed}: ${PER_SEED} schedules --"
+  WRE_CRASH_SCHEDULES=${PER_SEED} WRE_CRASH_SEED=${seed} \
+  WRE_SERVER_BIN=${SERVER} \
+    "${TEST}" --gtest_brief=1
+done
+
+echo "== crash-recovery sweep passed (${SEEDS}x${PER_SEED} schedules) =="

@@ -15,6 +15,12 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 2)
 
+# The kill -9 crash harness (crash_recovery_test, label stress) runs in the
+# full sweep too, but with a reduced schedule count: sanitized binaries are
+# several times slower, and the big randomized matrix belongs to
+# scripts/crash_recovery_smoke.sh on the plain build.
+export WRE_CRASH_SCHEDULES=${WRE_CRASH_SCHEDULES:-3}
+
 SANITIZERS="thread address"
 if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" ) ]]; then
   SANITIZERS="$1"

@@ -1,5 +1,6 @@
 #include "src/net/server.h"
 
+#include <chrono>
 #include <memory>
 
 #include "src/sql/ast.h"
@@ -50,11 +51,38 @@ void Server::start() {
   }
   pool_ = std::make_unique<util::ThreadPool>(workers);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (options_.checkpoint_interval_ms > 0) {
+    checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
+  }
+}
+
+void Server::checkpoint_loop() {
+  std::unique_lock<std::mutex> lk(checkpoint_mu_);
+  const auto interval =
+      std::chrono::milliseconds(options_.checkpoint_interval_ms);
+  while (!draining_.load()) {
+    if (checkpoint_cv_.wait_for(lk, interval,
+                                [this] { return draining_.load(); })) {
+      break;
+    }
+    try {
+      // Shared, not unique: checkpoint only needs writers excluded (they
+      // hold db_mu_ exclusively); concurrent reads keep flowing.
+      std::shared_lock db_lock(db_mu_);
+      db_.checkpoint();
+      checkpoints_.fetch_add(1);
+    } catch (const std::exception&) {
+      // A failed checkpoint is not fatal: the WAL still holds everything,
+      // so durability is unaffected — only the replay bound grows.
+    }
+  }
 }
 
 void Server::stop() {
   if (!running_.load()) return;
   draining_.store(true);
+  checkpoint_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
@@ -182,8 +210,16 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
         std::shared_lock lock(db_mu_);
         rs = db_.execute(sql);
       } else {
-        std::unique_lock lock(db_mu_);
-        rs = db_.execute(sql);
+        storage::CommitHandle commit;
+        {
+          std::unique_lock lock(db_mu_);
+          rs = db_.execute(sql);
+          commit = db_.commit_async();
+        }
+        // Group commit: wait AFTER releasing the write lock, so the next
+        // writer's work (and its commit) overlaps this fsync — the log
+        // writer batches every queued commit into one sync.
+        commit.wait();
       }
       encode_result_set(rs, w);
       return Frame{Opcode::kOkResult, std::move(w.bytes())};
@@ -199,10 +235,13 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       for (uint32_t i = 0; i < nrows; ++i) rows.push_back(r.row());
       r.expect_end();
       std::vector<int64_t> ids;
+      storage::CommitHandle commit;
       {
         std::unique_lock lock(db_mu_);
         ids = db_.insert_batch(table, rows);
+        commit = db_.commit_async();
       }
+      commit.wait();  // see kExecSql: fsync outside the write lock
       w.u32(static_cast<uint32_t>(ids.size()));
       for (int64_t id : ids) w.i64(id);
       return Frame{Opcode::kOkIds, std::move(w.bytes())};
@@ -211,16 +250,26 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       std::string table = r.string();
       sql::Schema schema = r.schema();
       r.expect_end();
-      std::unique_lock lock(db_mu_);
-      db_.create_table(table, std::move(schema));
+      storage::CommitHandle commit;
+      {
+        std::unique_lock lock(db_mu_);
+        db_.create_table(table, std::move(schema));
+        commit = db_.commit_async();
+      }
+      commit.wait();
       return Frame{Opcode::kOkUnit, {}};
     }
     case Opcode::kCreateIndex: {
       std::string table = r.string();
       std::string column = r.string();
       r.expect_end();
-      std::unique_lock lock(db_mu_);
-      db_.create_index(table, column);
+      storage::CommitHandle commit;
+      {
+        std::unique_lock lock(db_mu_);
+        db_.create_index(table, column);
+        commit = db_.commit_async();
+      }
+      commit.wait();
       return Frame{Opcode::kOkUnit, {}};
     }
     case Opcode::kHasTable: {

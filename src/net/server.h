@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -51,6 +52,11 @@ struct ServerOptions {
   /// Idle/read timeout per connection in milliseconds (0 = no timeout): a
   /// session that sends nothing for this long is closed.
   int read_timeout_ms = 60000;
+  /// Background checkpoint period in milliseconds (0 = disabled). Each tick
+  /// runs Database::checkpoint() under a *shared* lock — that excludes
+  /// writers (they hold the lock exclusively) while letting reads proceed —
+  /// bounding how much WAL a crash would replay.
+  uint32_t checkpoint_interval_ms = 0;
 };
 
 class Server {
@@ -77,9 +83,11 @@ class Server {
   uint64_t sessions_accepted() const { return sessions_accepted_.load(); }
   uint64_t frames_served() const { return frames_served_.load(); }
   uint64_t protocol_errors() const { return protocol_errors_.load(); }
+  uint64_t checkpoints() const { return checkpoints_.load(); }
 
  private:
   void accept_loop();
+  void checkpoint_loop();
   void serve_session(Socket sock, uint64_t session_id);
   /// Decodes and executes one request frame; returns the response frame.
   Frame handle_request(Opcode op, ByteView payload);
@@ -90,6 +98,9 @@ class Server {
   Listener listener_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread accept_thread_;
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mu_;
+  std::condition_variable checkpoint_cv_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
 
@@ -104,6 +115,7 @@ class Server {
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> next_session_id_{0};
 };
 

@@ -7,7 +7,13 @@
 // Usage:
 //   wre_server --dir=/path/to/db [--host=127.0.0.1] [--port=7433]
 //              [--threads=0] [--read-timeout-ms=60000] [--max-frame-mb=64]
-//              [--query-threads=1]
+//              [--query-threads=1] [--wal=1] [--checkpoint-interval-ms=60000]
+//
+// Durability is on by default: writes are group-committed to a WAL before
+// they are acknowledged, crash recovery replays the log before the listener
+// opens, and a background thread checkpoints every --checkpoint-interval-ms
+// to bound replay time (0 disables the timer; --wal=0 disables logging
+// entirely and restores the old checkpoint-on-SIGTERM behaviour).
 //
 // The bound port is printed as "LISTENING <port>" on stdout once the server
 // is ready (useful with --port=0 for tests). SIGTERM or SIGINT triggers a
@@ -45,6 +51,8 @@ struct Flags {
   long read_timeout_ms = 60000;
   long max_frame_mb = 64;
   long query_threads = 1;
+  long wal = 1;
+  long checkpoint_interval_ms = 60000;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -52,7 +60,8 @@ struct Flags {
                "wre_server: %s\n"
                "usage: wre_server --dir=PATH [--host=ADDR] [--port=N]\n"
                "                  [--threads=N] [--read-timeout-ms=N]\n"
-               "                  [--max-frame-mb=N] [--query-threads=N]\n",
+               "                  [--max-frame-mb=N] [--query-threads=N]\n"
+               "                  [--wal=0|1] [--checkpoint-interval-ms=N]\n",
                message.c_str());
   std::exit(2);
 }
@@ -92,6 +101,10 @@ Flags parse_flags(int argc, char** argv) {
       flags.max_frame_mb = parse_long(key, val);
     } else if (key == "--query-threads") {
       flags.query_threads = parse_long(key, val);
+    } else if (key == "--wal") {
+      flags.wal = parse_long(key, val);
+    } else if (key == "--checkpoint-interval-ms") {
+      flags.checkpoint_interval_ms = parse_long(key, val);
     } else {
       usage_error("unknown flag '" + key + "'");
     }
@@ -99,6 +112,9 @@ Flags parse_flags(int argc, char** argv) {
   if (flags.dir.empty()) usage_error("--dir is required");
   if (flags.port < 0 || flags.port > 65535) usage_error("--port out of range");
   if (flags.max_frame_mb <= 0) usage_error("--max-frame-mb must be positive");
+  if (flags.checkpoint_interval_ms < 0) {
+    usage_error("--checkpoint-interval-ms must be >= 0");
+  }
   return flags;
 }
 
@@ -121,7 +137,24 @@ int main(int argc, char** argv) {
     wre::sql::DatabaseOptions db_options;
     db_options.query_threads =
         static_cast<unsigned>(flags.query_threads < 0 ? 0 : flags.query_threads);
+    db_options.durability = flags.wal != 0;
+    // Recovery (if there is a leftover WAL) runs inside this constructor —
+    // strictly before the listener opens, so a client can never observe
+    // pre-recovery state.
     wre::sql::Database db(flags.dir, db_options);
+    const auto& rec = db.recovery_stats();
+    if (rec.segments_scanned > 0) {
+      std::fprintf(stderr,
+                   "wre_server: recovery replayed %llu commit(s), "
+                   "%llu page(s), %llu catalog update(s)%s%s\n",
+                   static_cast<unsigned long long>(rec.commits_applied),
+                   static_cast<unsigned long long>(rec.pages_replayed),
+                   static_cast<unsigned long long>(rec.catalogs_replayed),
+                   rec.tail_truncated ? "; corrupt tail truncated" : "",
+                   rec.uncommitted_records_discarded > 0
+                       ? "; uncommitted tail discarded"
+                       : "");
+    }
 
     wre::net::ServerOptions options;
     options.host = flags.host;
@@ -130,6 +163,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(flags.threads < 0 ? 0 : flags.threads);
     options.read_timeout_ms = static_cast<int>(flags.read_timeout_ms);
     options.max_frame_bytes = static_cast<size_t>(flags.max_frame_mb) << 20;
+    options.checkpoint_interval_ms =
+        flags.wal != 0 ? static_cast<uint32_t>(flags.checkpoint_interval_ms)
+                       : 0;
 
     wre::net::Server server(db, options);
     server.start();
@@ -146,10 +182,11 @@ int main(int argc, char** argv) {
     db.checkpoint();
     std::fprintf(stderr,
                  "wre_server: served %llu frames over %llu sessions "
-                 "(%llu protocol errors)\n",
+                 "(%llu protocol errors, %llu background checkpoints)\n",
                  static_cast<unsigned long long>(server.frames_served()),
                  static_cast<unsigned long long>(server.sessions_accepted()),
-                 static_cast<unsigned long long>(server.protocol_errors()));
+                 static_cast<unsigned long long>(server.protocol_errors()),
+                 static_cast<unsigned long long>(server.checkpoints()));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wre_server: fatal: %s\n", e.what());

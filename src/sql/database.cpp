@@ -1,9 +1,15 @@
 #include "src/sql/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "src/sql/parser.h"
@@ -63,6 +69,11 @@ ValueType type_from_name(const std::string& t) {
   throw SqlError("catalog: unknown type " + t);
 }
 
+std::string basename_of(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 }  // namespace
 
 bool eval_expr(const Expr& expr, const Schema& schema, const Row& row) {
@@ -119,12 +130,37 @@ extract_single_column_disjunction(const Expr& expr) {
 
 Database::Database(std::string dir, DatabaseOptions options)
     : dir_(std::move(dir)) {
+  // Crash recovery runs first, before any file is opened: a leftover WAL
+  // means the previous (durable) instance died without checkpointing, and
+  // its committed batches must reach the data files before the catalog and
+  // tables are read. This happens even when this open is non-durable — the
+  // log's committed writes were acknowledged and must not be lost.
+  recovery_stats_ = storage::Wal::recover(dir_ + "/wal", dir_);
+
   disk_.set_read_latency_micros(options.read_latency_us);
   disk_.set_write_latency_micros(options.write_latency_us);
   pool_ = std::make_unique<storage::BufferPool>(disk_,
                                                 options.buffer_pool_pages);
+  if (options.durability) {
+    storage::WalOptions wal_opts;
+    wal_opts.segment_bytes = options.wal_segment_bytes;
+    wal_opts.group_window_us = options.wal_group_window_us;
+    wal_opts.fsync = options.wal_fsync;
+    wal_ = std::make_unique<storage::Wal>(dir_ + "/wal", wal_opts);
+    pool_->set_wal_tracking(true);
+  }
   load_catalog();
   if (options.query_threads != 1) set_query_threads(options.query_threads);
+}
+
+Database::~Database() {
+  if (wal_ != nullptr) {
+    try {
+      checkpoint();
+    } catch (const Error&) {
+      // Unflushed committed state stays in the WAL; the next open replays.
+    }
+  }
 }
 
 void Database::set_query_threads(unsigned n) {
@@ -426,9 +462,60 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
   return rs;
 }
 
-void Database::clear_cache() { pool_->clear_cache(); }
+void Database::clear_cache() {
+  // Under WAL, clear_cache's flush would push unlogged mutations into the
+  // data files; commit first so log-before-data holds.
+  if (wal_ != nullptr) commit();
+  pool_->clear_cache();
+}
 
-void Database::checkpoint() { pool_->flush_all(); }
+storage::CommitHandle Database::commit_async() {
+  if (wal_ == nullptr) return {};
+
+  storage::WalCommitRequest req;
+  auto dirty = pool_->collect_wal_dirty();
+  std::set<storage::FileId> touched;
+  req.pages.reserve(dirty.size());
+  for (auto& [id, bytes] : dirty) {
+    touched.insert(id.file);
+    req.pages.push_back(storage::WalPageImage{
+        basename_of(disk_.file_path(id.file)), id.page, std::move(bytes)});
+  }
+  // Extents let replay ftruncate away uncommitted physical growth: the heap
+  // scan trusts the file's page count, so a crash between allocate_page and
+  // commit must not leave phantom pages behind.
+  for (storage::FileId f : touched) {
+    req.extents.push_back(storage::WalFileExtent{
+        basename_of(disk_.file_path(f)), disk_.page_count(f)});
+  }
+  if (catalog_dirty_) {
+    req.catalog = catalog_text();
+    catalog_dirty_ = false;
+  }
+  if (req.pages.empty() && req.extents.empty() && !req.catalog.has_value()) {
+    return {};  // nothing to make durable; handle is already ready
+  }
+  return wal_->commit(std::move(req));
+}
+
+void Database::commit() { commit_async().wait(); }
+
+void Database::checkpoint() {
+  if (wal_ == nullptr) {
+    pool_->flush_all();
+    return;
+  }
+  // Fuzzy checkpoint: (1) pending mutations become durable in the log,
+  // (2) every committed page reaches its data file, (3) the data files and
+  // catalog are fsync'd, and only then (4) the log is truncated. A crash
+  // between any two steps recovers correctly: before (4) the log still
+  // holds everything, and replay is idempotent.
+  commit();
+  pool_->flush_all();
+  disk_.fsync_all();
+  write_catalog_file(catalog_text());
+  wal_->truncate_all();
+}
 
 uint64_t Database::data_size_bytes() const {
   uint64_t total = 0;
@@ -442,9 +529,8 @@ uint64_t Database::index_size_bytes() const {
   return total;
 }
 
-void Database::save_catalog() {
-  std::ofstream out(dir_ + "/" + kCatalogFile, std::ios::trunc);
-  if (!out) throw SqlError("cannot write catalog in " + dir_);
+std::string Database::catalog_text() const {
+  std::ostringstream out;
   for (const auto& [name, t] : tables_) {
     out << "table " << name << " " << t->schema().column_count() << "\n";
     for (const Column& c : t->schema().columns()) {
@@ -455,6 +541,45 @@ void Database::save_catalog() {
       out << "index " << name << " " << col << "\n";
     }
   }
+  return out.str();
+}
+
+void Database::write_catalog_file(const std::string& text) {
+  // Atomic replace: write + fsync a sibling, rename over the target, fsync
+  // the directory. A crash leaves either the old or the new catalog — never
+  // a torn one.
+  const std::string final_path = dir_ + "/" + kCatalogFile;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
+    if (!out) throw SqlError("cannot write catalog in " + dir_);
+    out << text;
+    out.flush();
+    if (!out) throw SqlError("cannot write catalog in " + dir_);
+  }
+  int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd < 0) throw SqlError("cannot reopen catalog tmp in " + dir_);
+  bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) throw SqlError("cannot fsync catalog in " + dir_);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw SqlError("cannot install catalog in " + dir_);
+  }
+  int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+void Database::save_catalog() {
+  if (wal_ != nullptr) {
+    // Deferred: the file write would be data-before-log. The next commit
+    // carries the catalog text; checkpoint/recovery write the real file.
+    catalog_dirty_ = true;
+    return;
+  }
+  write_catalog_file(catalog_text());
 }
 
 void Database::load_catalog() {

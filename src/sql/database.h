@@ -12,6 +12,7 @@
 #include "src/sql/table.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_manager.h"
+#include "src/storage/wal.h"
 #include "src/util/thread_pool.h"
 
 namespace wre::sql {
@@ -41,6 +42,19 @@ struct DatabaseOptions {
   /// queries fan out up to thousands of probes). 1 = serial executor;
   /// 0 = one per hardware thread. See set_query_threads().
   unsigned query_threads = 1;
+  /// Write-ahead logging (DESIGN.md §5.5). When true, every mutation is
+  /// buffered in memory until commit()/commit_async() logs its page
+  /// after-images; a crash loses at most the uncommitted tail. Off by
+  /// default: embedded experiments that never crash keep the old
+  /// flush-on-checkpoint behaviour and pay zero logging cost.
+  bool durability = false;
+  /// WAL segment rotation size (durability only).
+  uint64_t wal_segment_bytes = 16ull << 20;
+  /// Group-commit linger window in microseconds (0 = natural batching).
+  uint32_t wal_group_window_us = 0;
+  /// fdatasync each commit group. Tests may disable to isolate logic from
+  /// I/O latency; production durability requires true.
+  bool wal_fsync = true;
 };
 
 /// An embedded relational database rooted at a directory.
@@ -54,8 +68,14 @@ struct DatabaseOptions {
 class Database {
  public:
   /// Opens (or creates) the database in `dir`. The directory must exist.
-  /// An existing catalog is reloaded, reattaching tables and indexes.
+  /// Any leftover WAL from a crashed durable instance is replayed first
+  /// (see recovery_stats()); then an existing catalog is reloaded,
+  /// reattaching tables and indexes.
   explicit Database(std::string dir, DatabaseOptions options = {});
+
+  /// Best-effort checkpoint when durable (storage errors are swallowed; a
+  /// crash before the checkpoint lands is what the WAL is for).
+  ~Database();
 
   /// Parses and executes one SQL statement.
   ResultSet execute(std::string_view sql);
@@ -86,7 +106,30 @@ class Database {
   void set_query_threads(unsigned n);
   unsigned query_threads() const { return query_threads_; }
 
-  /// Flushes all dirty pages to disk.
+  /// Durability boundary (no-op unless opened with durability=true).
+  /// Collects every page dirtied since the previous commit, enqueues one
+  /// WAL batch, and returns a handle that becomes ready when the batch is
+  /// fsync'd. Call under the engine's write exclusion; wait() on the handle
+  /// AFTER releasing it so concurrent writers' fsyncs batch (group commit).
+  /// A write must not be acknowledged before its handle is ready.
+  storage::CommitHandle commit_async();
+
+  /// commit_async() + wait.
+  void commit();
+
+  bool durable() const { return wal_ != nullptr; }
+  storage::Wal* wal() { return wal_.get(); }
+
+  /// What crash recovery replayed when this instance opened.
+  const storage::WalRecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
+  /// Flushes all dirty pages to disk. When durable, this is a full fuzzy
+  /// checkpoint: commit pending mutations, flush + fsync the data files,
+  /// write the catalog, then truncate the WAL — bounding the replay work a
+  /// later crash would pay. Requires write exclusion (readers may proceed:
+  /// flushing clean state does not mutate pages).
   void checkpoint();
 
   /// Heap bytes across all tables (the paper's "DB Size").
@@ -100,12 +143,20 @@ class Database {
  private:
   void save_catalog();
   void load_catalog();
+  std::string catalog_text() const;
+  void write_catalog_file(const std::string& text);
 
   ResultSet execute_insert(const InsertStmt& stmt);
 
   std::string dir_;
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::Wal> wal_;  // null unless durability=true
+  storage::WalRecoveryStats recovery_stats_;
+  // Under WAL the catalog file write is deferred: save_catalog() marks this
+  // and the next commit carries the catalog text in the log (log-before-
+  // data applies to the catalog too). Checkpoint/recovery write the file.
+  bool catalog_dirty_ = false;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   unsigned query_threads_ = 1;
   std::unique_ptr<util::ThreadPool> query_pool_;  // null when serial

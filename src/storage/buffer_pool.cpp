@@ -43,6 +43,7 @@ uint8_t* PageGuard::mutable_data() {
     throw StorageError("PageGuard: mutable_data on a shared latch");
   }
   frame_->dirty = true;
+  if (pool_->wal_tracking()) frame_->wal_dirty = true;
   return frame_->data.data();
 }
 
@@ -84,10 +85,14 @@ void BufferPool::evict_if_needed() {
     PageGuard::Frame* victim = nullptr;
     while (it != lru_.begin()) {
       --it;
-      if ((*it)->pins.load(std::memory_order_acquire) == 0) {
-        victim = *it;
-        break;
-      }
+      if ((*it)->pins.load(std::memory_order_acquire) != 0) continue;
+      // No-steal: a frame mutated since the last WAL commit must not reach
+      // the data file before its log record is durable. Committed-but-dirty
+      // frames are fine — their images are already in the fsync'd log, so
+      // flushing them early is redundant, not unsafe.
+      if ((*it)->wal_dirty) continue;
+      victim = *it;
+      break;
     }
     if (victim == nullptr) return;  // everything pinned: allow overflow
     flush_frame(*victim);
@@ -193,6 +198,7 @@ PageGuard BufferPool::allocate(FileId file) {
   auto owned = std::make_unique<PageGuard::Frame>();
   owned->data.fill(0);
   owned->dirty = true;
+  owned->wal_dirty = wal_tracking();
   PageGuard::Frame* frame = owned.get();
   frame->pins.store(1, std::memory_order_relaxed);
   // Latch while the frame is still private — see the lock-order note in
@@ -223,6 +229,21 @@ void BufferPool::unpin(PageGuard::Frame* frame, LatchMode mode) {
 void BufferPool::flush_all() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [id, frame] : frames_) flush_frame(*frame);
+}
+
+std::vector<std::pair<PageId, Bytes>> BufferPool::collect_wal_dirty() {
+  // Single-writer exclusion (caller's contract) makes the frame contents
+  // stable: concurrent readers only read, and nobody mutates. Copying under
+  // mu_ also excludes eviction, though WAL-dirty frames are never victims
+  // anyway.
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<PageId, Bytes>> images;
+  for (auto& [id, frame] : frames_) {
+    if (!frame->wal_dirty) continue;
+    images.emplace_back(id, Bytes(frame->data.begin(), frame->data.end()));
+    frame->wal_dirty = false;
+  }
+  return images;
 }
 
 void BufferPool::clear_cache() {

@@ -28,6 +28,8 @@
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/storage/disk_manager.h"
 #include "src/storage/page.h"
@@ -111,6 +113,21 @@ class BufferPool {
   /// concurrent writer (readers are fine: they never dirty pages).
   void flush_all();
 
+  /// Write-ahead-log integration (DESIGN.md §5.5). With tracking on, every
+  /// mutated or freshly allocated frame is additionally marked
+  /// "WAL-dirty" — changed since the last commit — and WAL-dirty frames are
+  /// never evicted (the no-steal rule: the data files must not receive
+  /// unlogged mutations). collect_wal_dirty() harvests and clears the
+  /// marks, returning each frame's after-image for the commit record.
+  /// Requires the engine's single-writer exclusion, like flush_all().
+  void set_wal_tracking(bool on) {
+    wal_tracking_.store(on, std::memory_order_relaxed);
+  }
+  bool wal_tracking() const {
+    return wal_tracking_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::pair<PageId, Bytes>> collect_wal_dirty();
+
   /// Flushes then drops every frame: the next access to any page is a cold
   /// read. Throws StorageError if any page is still pinned.
   void clear_cache();
@@ -132,6 +149,7 @@ class BufferPool {
 
   DiskManager& disk_;
   size_t capacity_;
+  std::atomic<bool> wal_tracking_{false};
   mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<PageGuard::Frame>> frames_;
   // LRU order: front = most recently used. Only unpinned frames are
@@ -146,6 +164,7 @@ struct PageGuard::Frame {
   PageId id;
   std::array<uint8_t, kPageSize> data;
   bool dirty = false;               // written under the exclusive latch
+  bool wal_dirty = false;           // mutated since the last WAL commit
   std::atomic<int> pins{0};
   std::atomic<bool> io_failed{false};  // disk read threw; contents invalid
   std::shared_mutex latch;

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/storage/fault_injector.h"
 #include "src/util/error.h"
 
 namespace wre::storage {
@@ -119,6 +120,13 @@ void DiskManager::write_page(PageId id, const uint8_t* data) {
   if (id.page >= f.pages.load(std::memory_order_acquire)) {
     throw StorageError("DiskManager: write past end of " + f.path);
   }
+  if (FaultInjector::instance().should_drop_page_write(f.path)) {
+    // Injected silent write loss: the caller believes the page landed.
+    // Models a flush that never reached the platter (crash-consistency
+    // tests pair this with WAL replay, which must restore the page).
+    page_writes_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (!pwrite_page(f.fd, data, static_cast<uint64_t>(id.page) * kPageSize)) {
     throw StorageError("DiskManager: write failed on " + f.path);
   }
@@ -128,6 +136,21 @@ void DiskManager::write_page(PageId id, const uint8_t* data) {
 
 uint64_t DiskManager::file_size_bytes(FileId file) const {
   return static_cast<uint64_t>(page_count(file)) * kPageSize;
+}
+
+const std::string& DiskManager::file_path(FileId file) const {
+  return file_at(file).path;
+}
+
+void DiskManager::fsync_file(FileId file) {
+  File& f = file_at(file);
+  if (::fsync(f.fd) != 0) {
+    throw StorageError("DiskManager: fsync failed on " + f.path);
+  }
+}
+
+void DiskManager::fsync_all() {
+  for (FileId id = 0; id < files_.size(); ++id) fsync_file(id);
 }
 
 DiskStats DiskManager::stats() const {

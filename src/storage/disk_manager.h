@@ -60,6 +60,14 @@ class DiskManager {
   /// File size in bytes (page_count * kPageSize).
   uint64_t file_size_bytes(FileId file) const;
 
+  /// Path the file was opened with.
+  const std::string& file_path(FileId file) const;
+
+  /// fsync one file / every open file. Used by checkpoint: data pages must
+  /// be durable before the WAL is truncated.
+  void fsync_file(FileId file);
+  void fsync_all();
+
   /// Synthetic latency, applied once per physical page read/write. Zero
   /// disables it.
   void set_read_latency_micros(uint32_t us) {

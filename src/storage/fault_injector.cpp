@@ -1,0 +1,90 @@
+#include "src/storage/fault_injector.h"
+
+#include <cstdlib>
+
+namespace wre::storage {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() { load_env(std::getenv("WRE_FAULT")); }
+
+void FaultInjector::load_env(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return;
+  std::string s(spec);
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t end = s.find(';', pos);
+    if (end == std::string::npos) end = s.size();
+    std::string item = s.substr(pos, end - pos);
+    pos = end + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "wal_torn_after") {
+      arm_wal_torn_after(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "page_write_drop") {
+      arm_page_write_drop(value);
+    }
+    // Unknown keys are ignored: an old binary driven by a newer harness
+    // should not crash over a fault mode it does not implement.
+  }
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  wal_torn_armed_ = false;
+  wal_torn_after_ = 0;
+  wal_bytes_written_ = 0;
+  page_drop_substring_.clear();
+  dropped_page_writes_.store(0, std::memory_order_relaxed);
+  refresh_armed();
+}
+
+void FaultInjector::arm_wal_torn_after(uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  wal_torn_armed_ = true;
+  wal_torn_after_ = bytes;
+  wal_bytes_written_ = 0;
+  refresh_armed();
+}
+
+void FaultInjector::arm_page_write_drop(const std::string& path_substring) {
+  std::lock_guard<std::mutex> lk(mu_);
+  page_drop_substring_ = path_substring;
+  refresh_armed();
+}
+
+void FaultInjector::refresh_armed() {
+  armed_.store(wal_torn_armed_ || !page_drop_substring_.empty(),
+               std::memory_order_relaxed);
+}
+
+size_t FaultInjector::wal_writable_bytes(size_t len) {
+  if (!armed()) return len;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!wal_torn_armed_) return len;
+  uint64_t budget = wal_torn_after_ > wal_bytes_written_
+                        ? wal_torn_after_ - wal_bytes_written_
+                        : 0;
+  size_t writable = static_cast<size_t>(
+      budget < static_cast<uint64_t>(len) ? budget : len);
+  wal_bytes_written_ += writable;
+  return writable;
+}
+
+bool FaultInjector::should_drop_page_write(const std::string& path) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (page_drop_substring_.empty() ||
+      path.find(page_drop_substring_) == std::string::npos) {
+    return false;
+  }
+  dropped_page_writes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace wre::storage

@@ -1,0 +1,86 @@
+// Fault-injection hooks for the durability layer.
+//
+// Crash-recovery correctness cannot be argued from happy-path tests: the
+// interesting states are a log whose tail was torn mid-write, a data file
+// whose page writes were lost because the crash beat the flush, and a
+// checkpoint that died halfway. FaultInjector is the single switchboard the
+// storage layer consults so tests (and the external kill -9 harness) can
+// manufacture exactly those states deterministically:
+//
+//   * wal_torn_after=N   — once N bytes have been appended to the WAL, the
+//                          next append persists only a prefix and then fails
+//                          (StorageError), leaving a torn record on disk.
+//                          Recovery must detect and discard it.
+//   * page_write_drop=S  — DiskManager::write_page silently drops writes to
+//                          any file whose path contains S, simulating dirty
+//                          pages that never reached the platter. With the
+//                          WAL enabled this must be invisible after replay
+//                          (log-before-data).
+//
+// Faults arm either programmatically (unit tests) or from the WRE_FAULT
+// environment variable (external processes): a ';'-separated list such as
+//   WRE_FAULT="wal_torn_after=4096;page_write_drop=.tbl"
+// parsed once at first use. All hooks are thread-safe; the default state is
+// "no faults", with zero overhead beyond one relaxed atomic load per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace wre::storage {
+
+class FaultInjector {
+ public:
+  /// Process-wide instance. Parses WRE_FAULT on first call.
+  static FaultInjector& instance();
+
+  /// Disarms every fault and zeroes the counters (tests).
+  void reset();
+
+  // -- arming (tests; WRE_FAULT covers external processes) -----------------
+
+  /// Tear the WAL: appends succeed until `bytes` total WAL bytes have been
+  /// written; the append that crosses the threshold writes only up to it,
+  /// then fails. Later appends fail without writing.
+  void arm_wal_torn_after(uint64_t bytes);
+
+  /// Drop page writes to files whose path contains `path_substring`.
+  void arm_page_write_drop(const std::string& path_substring);
+
+  // -- storage-layer hooks --------------------------------------------------
+
+  /// Called by the WAL before appending `len` bytes. Returns how many of
+  /// them may actually be written; a short return means the caller must
+  /// write that prefix and then raise a torn-write failure.
+  size_t wal_writable_bytes(size_t len);
+
+  /// True if the write to `path` must be silently dropped.
+  bool should_drop_page_write(const std::string& path);
+
+  /// Pages whose writes were dropped so far (test assertions).
+  uint64_t dropped_page_writes() const {
+    return dropped_page_writes_.load(std::memory_order_relaxed);
+  }
+
+  /// True if any fault is armed (lets hot paths skip string work).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector();
+  void load_env(const char* spec);
+  void refresh_armed();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+
+  bool wal_torn_armed_ = false;
+  uint64_t wal_torn_after_ = 0;
+  uint64_t wal_bytes_written_ = 0;
+
+  std::string page_drop_substring_;  // empty = disarmed
+  std::atomic<uint64_t> dropped_page_writes_{0};
+};
+
+}  // namespace wre::storage

@@ -1,0 +1,64 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+#include <mutex>
+
+namespace wre::util {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78;  // 0x1EDC6F41 bit-reversed
+
+/// 8 slicing tables, built once. table[0] is the classic byte-at-a-time
+/// table; table[k][b] extends a CRC whose low byte is b by k additional zero
+/// bytes, which lets the hot loop fold 8 input bytes per iteration.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32c(const uint8_t* data, size_t len, uint32_t seed) {
+  const auto& t = tables().t;
+  uint32_t crc = ~seed;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    crc ^= load_le32(data + i);
+    uint32_t hi = load_le32(data + i + 4);
+    crc = t[7][crc & 0xff] ^ t[6][(crc >> 8) & 0xff] ^
+          t[5][(crc >> 16) & 0xff] ^ t[4][crc >> 24] ^
+          t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+  }
+  for (; i < len; ++i) {
+    crc = t[0][(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t crc32c(ByteView data, uint32_t seed) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace wre::util

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "src/core/encrypted_client.h"
 #include "src/core/manifest.h"
 #include "src/sql/database.h"
+#include "src/storage/fault_injector.h"
 #include "tests/test_util.h"
 
 namespace wre::core {
@@ -167,6 +170,55 @@ TEST(Manifest, ServerSeesOnlyOpaqueBlob) {
   }
   EXPECT_EQ(as_text.find("springfield"), std::string::npos);
   EXPECT_EQ(as_text.find("city"), std::string::npos);
+}
+
+TEST(Manifest, HalfWrittenCheckpointFallsBackToWalReplay) {
+  // A checkpoint that dies halfway: some committed pages reached the data
+  // files, the heap writes were silently lost (a flush that never hit the
+  // platter), and the machine "crashed" — modeled by snapshotting the
+  // directory — before the WAL would have been truncated. Because
+  // truncation only happens after flush + fsync succeed, the log still
+  // holds every committed image, and the restart replays the missing ones:
+  // the encrypted manifest stays decryptable and the table searchable.
+  TempDir dir;
+  TempDir snap_parent;
+  Bytes master(32, 0x51);
+  sql::DatabaseOptions opts;
+  opts.durability = true;
+  std::filesystem::path snapshot = snap_parent.path() / "db";
+  {
+    Database db(dir.str(), opts);
+    EncryptedConnection conn(db, master);
+    TableManifest m = demo_manifest();
+    conn.create_table("places", demo_schema(), m.specs, m.distributions);
+    conn.insert("places", {Value::int64(1), Value::text("springfield"),
+                           Value::text("11111"), Value::int64(30000)});
+    conn.insert("places", {Value::int64(2), Value::text("shelbyville"),
+                           Value::text("22222"), Value::int64(20000)});
+    conn.insert("places", {Value::int64(3), Value::text("springfield"),
+                           Value::text("22222"), Value::int64(12000)});
+    db.commit();
+
+    storage::FaultInjector::instance().arm_page_write_drop(".tbl");
+    db.buffer_pool().flush_all();  // the "half-written" checkpoint flush
+    uint64_t dropped = storage::FaultInjector::instance().dropped_page_writes();
+    storage::FaultInjector::instance().reset();
+    ASSERT_GT(dropped, 0u);  // the fixture really did lose heap pages
+
+    std::filesystem::create_directories(snapshot);
+    std::filesystem::copy(dir.path(), snapshot,
+                          std::filesystem::copy_options::recursive);
+    // The live db's destructor re-checkpoints the original directory with
+    // the injector disarmed; only the snapshot keeps the torn state.
+  }
+
+  Database db(snapshot.string());
+  EXPECT_GT(db.recovery_stats().pages_replayed, 0u);
+  EncryptedConnection conn(db, master);
+  conn.open_table("places");
+  auto result = conn.select_star("places", "city", "springfield");
+  EXPECT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(conn.select_star("places", "zip", "22222").rows.size(), 2u);
 }
 
 }  // namespace
