@@ -464,8 +464,14 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
 
 void Database::clear_cache() {
   // Under WAL, clear_cache's flush would push unlogged mutations into the
-  // data files; commit first so log-before-data holds.
-  if (wal_ != nullptr) commit();
+  // data files; commit first so log-before-data holds. The barrier also
+  // waits out earlier in-flight commit groups (a concurrent writer may
+  // still be waiting on its handle outside the write lock), whose frames
+  // are no-steal until their fsync lands.
+  if (wal_ != nullptr) {
+    commit();
+    wal_->sync();
+  }
   pool_->clear_cache();
 }
 
@@ -475,8 +481,8 @@ storage::CommitHandle Database::commit_async() {
   storage::WalCommitRequest req;
   auto dirty = pool_->collect_wal_dirty();
   std::set<storage::FileId> touched;
-  req.pages.reserve(dirty.size());
-  for (auto& [id, bytes] : dirty) {
+  req.pages.reserve(dirty.images.size());
+  for (auto& [id, bytes] : dirty.images) {
     touched.insert(id.file);
     req.pages.push_back(storage::WalPageImage{
         basename_of(disk_.file_path(id.file)), id.page, std::move(bytes)});
@@ -488,6 +494,7 @@ storage::CommitHandle Database::commit_async() {
     req.extents.push_back(storage::WalFileExtent{
         basename_of(disk_.file_path(f)), disk_.page_count(f)});
   }
+  bool had_catalog = catalog_dirty_;
   if (catalog_dirty_) {
     req.catalog = catalog_text();
     catalog_dirty_ = false;
@@ -495,7 +502,24 @@ storage::CommitHandle Database::commit_async() {
   if (req.pages.empty() && req.extents.empty() && !req.catalog.has_value()) {
     return {};  // nothing to make durable; handle is already ready
   }
-  return wal_->commit(std::move(req));
+  // The collected frames stay no-steal until the log-writer reports this
+  // batch's group fsync complete — callers wait on the handle outside the
+  // write lock, so concurrent reads (and their evictions) overlap the
+  // pending fsync. The pool outlives the WAL (member order), so the
+  // callback's pool pointer is valid for every writer-thread invocation.
+  storage::BufferPool* pool = pool_.get();
+  uint64_t epoch = dirty.epoch;
+  req.on_durable = [pool, epoch] { pool->wal_durable(epoch); };
+  try {
+    return wal_->commit(std::move(req));
+  } catch (...) {
+    // Nothing was enqueued: the images are unlogged again. Re-mark the
+    // frames (and the catalog) so they stay no-steal and a later commit
+    // re-collects them.
+    pool_->wal_abort(epoch);
+    catalog_dirty_ = had_catalog || catalog_dirty_;
+    throw;
+  }
 }
 
 void Database::commit() { commit_async().wait(); }
@@ -510,7 +534,16 @@ void Database::checkpoint() {
   // catalog are fsync'd, and only then (4) the log is truncated. A crash
   // between any two steps recovers correctly: before (4) the log still
   // holds everything, and replay is idempotent.
+  //
+  // The barrier after commit() is load-bearing: commit() only waits for
+  // THIS call's batch (and waits for nothing when nothing is newly dirty),
+  // but a concurrent writer that released the write lock may still be
+  // waiting on its own handle. Until that group's fdatasync lands, its
+  // frames are no-steal — flush_all would skip them — yet its records live
+  // in the segments step (4) deletes. sync() drains the queue, so by
+  // flush_all every committed frame is flushable.
   commit();
+  wal_->sync();
   pool_->flush_all();
   disk_.fsync_all();
   write_catalog_file(catalog_text());

@@ -1,5 +1,6 @@
 #include "src/storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/error.h"
@@ -68,8 +69,14 @@ void BufferPool::touch(PageGuard::Frame* frame) {
   frame->in_lru = true;
 }
 
+bool BufferPool::wal_flushable(const PageGuard::Frame& frame) const {
+  if (!wal_tracking()) return true;
+  return !frame.wal_dirty && frame.wal_epoch <= wal_durable_epoch_;
+}
+
 void BufferPool::flush_frame(PageGuard::Frame& frame) {
-  if (frame.dirty && !frame.io_failed.load(std::memory_order_relaxed)) {
+  if (frame.dirty && !frame.io_failed.load(std::memory_order_relaxed) &&
+      wal_flushable(frame)) {
     disk_.write_page(frame.id, frame.data.data());
     frame.dirty = false;
   }
@@ -86,11 +93,16 @@ void BufferPool::evict_if_needed() {
     while (it != lru_.begin()) {
       --it;
       if ((*it)->pins.load(std::memory_order_acquire) != 0) continue;
-      // No-steal: a frame mutated since the last WAL commit must not reach
-      // the data file before its log record is durable. Committed-but-dirty
-      // frames are fine — their images are already in the fsync'd log, so
-      // flushing them early is redundant, not unsafe.
-      if ((*it)->wal_dirty) continue;
+      // No-steal: a frame must not reach the data file before its log
+      // record is durable. That covers frames mutated since the last
+      // collection (wal_dirty) AND frames whose collected images sit in a
+      // commit group the log-writer has not yet fsync'd (epoch ahead of
+      // the durable mark) — the server waits on its CommitHandle outside
+      // the write lock, so reads (and their evictions) run concurrently
+      // with the pending fsync. Durably-committed dirty frames are fine:
+      // their images are in the fsync'd log, so flushing them early is
+      // redundant, not unsafe.
+      if (!wal_flushable(**it)) continue;
       victim = *it;
       break;
     }
@@ -231,19 +243,46 @@ void BufferPool::flush_all() {
   for (auto& [id, frame] : frames_) flush_frame(*frame);
 }
 
-std::vector<std::pair<PageId, Bytes>> BufferPool::collect_wal_dirty() {
+BufferPool::WalDirtySet BufferPool::collect_wal_dirty() {
   // Single-writer exclusion (caller's contract) makes the frame contents
   // stable: concurrent readers only read, and nobody mutates. Copying under
   // mu_ also excludes eviction, though WAL-dirty frames are never victims
-  // anyway.
+  // anyway. Harvested frames trade their wal_dirty mark for the new
+  // collection epoch, which keeps them no-steal until wal_durable(epoch)
+  // confirms the group fsync — only then may their images reach the data
+  // files.
   std::lock_guard<std::mutex> lk(mu_);
-  std::vector<std::pair<PageId, Bytes>> images;
+  WalDirtySet set;
+  set.epoch = ++wal_collect_epoch_;
   for (auto& [id, frame] : frames_) {
     if (!frame->wal_dirty) continue;
-    images.emplace_back(id, Bytes(frame->data.begin(), frame->data.end()));
+    set.images.emplace_back(id, Bytes(frame->data.begin(), frame->data.end()));
     frame->wal_dirty = false;
+    frame->wal_epoch = set.epoch;
   }
-  return images;
+  return set;
+}
+
+void BufferPool::wal_durable(uint64_t epoch) {
+  // Called from the log-writer thread after a group's fdatasync. Groups
+  // flush in enqueue order (the engine's single-writer rule serializes
+  // collections, and the WAL drains its queue FIFO), so the durable mark
+  // only ever advances; std::max guards the invariant regardless.
+  std::lock_guard<std::mutex> lk(mu_);
+  wal_durable_epoch_ = std::max(wal_durable_epoch_, epoch);
+}
+
+void BufferPool::wal_abort(uint64_t epoch) {
+  // The batch never reached the log (Wal::commit threw before enqueue):
+  // its frames are unlogged again, so put them back on the dirty list for
+  // the next collection. Requires the same single-writer exclusion as
+  // collect_wal_dirty().
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, frame] : frames_) {
+    if (frame->wal_epoch != epoch) continue;
+    frame->wal_dirty = true;
+    frame->wal_epoch = 0;
+  }
 }
 
 void BufferPool::clear_cache() {
@@ -251,6 +290,11 @@ void BufferPool::clear_cache() {
   for (auto& [id, frame] : frames_) {
     if (frame->pins.load(std::memory_order_acquire) > 0) {
       throw StorageError("BufferPool::clear_cache: page still pinned");
+    }
+    // Dropping a frame whose mutations are not yet durably logged would
+    // silently lose them; callers must commit (and wait) first.
+    if (frame->dirty && !wal_flushable(*frame)) {
+      throw StorageError("BufferPool::clear_cache: unlogged dirty page");
     }
   }
   for (auto& [id, frame] : frames_) flush_frame(*frame);

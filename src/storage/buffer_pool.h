@@ -115,18 +115,31 @@ class BufferPool {
 
   /// Write-ahead-log integration (DESIGN.md §5.5). With tracking on, every
   /// mutated or freshly allocated frame is additionally marked
-  /// "WAL-dirty" — changed since the last commit — and WAL-dirty frames are
-  /// never evicted (the no-steal rule: the data files must not receive
-  /// unlogged mutations). collect_wal_dirty() harvests and clears the
-  /// marks, returning each frame's after-image for the commit record.
-  /// Requires the engine's single-writer exclusion, like flush_all().
+  /// "WAL-dirty" — changed since the last commit — and such frames are
+  /// never evicted or flushed (the no-steal rule: the data files must not
+  /// receive unlogged mutations). collect_wal_dirty() harvests the
+  /// after-images for the commit record and stamps the frames with a fresh
+  /// collection epoch; they REMAIN no-steal until wal_durable(epoch)
+  /// reports that their commit group's fdatasync completed — the window
+  /// between enqueue and fsync is exactly when a crash would leave a
+  /// half-applied batch if an eviction flushed them early. If the commit
+  /// never reaches the log (Wal::commit threw), wal_abort(epoch) puts the
+  /// frames back on the dirty list so a later commit re-collects them.
+  /// collect/abort require the engine's single-writer exclusion, like
+  /// flush_all(); wal_durable is thread-safe (the log-writer calls it).
   void set_wal_tracking(bool on) {
     wal_tracking_.store(on, std::memory_order_relaxed);
   }
   bool wal_tracking() const {
     return wal_tracking_.load(std::memory_order_relaxed);
   }
-  std::vector<std::pair<PageId, Bytes>> collect_wal_dirty();
+  struct WalDirtySet {
+    uint64_t epoch = 0;
+    std::vector<std::pair<PageId, Bytes>> images;
+  };
+  WalDirtySet collect_wal_dirty();
+  void wal_durable(uint64_t epoch);
+  void wal_abort(uint64_t epoch);
 
   /// Flushes then drops every frame: the next access to any page is a cold
   /// read. Throws StorageError if any page is still pinned.
@@ -147,9 +160,20 @@ class BufferPool {
   void evict_if_needed();                 // requires mu_
   void flush_frame(PageGuard::Frame& frame);
 
+  /// True iff the frame may reach the data file: either WAL tracking is
+  /// off, or every mutation in it is covered by a durably fsync'd log
+  /// record. Requires mu_.
+  bool wal_flushable(const PageGuard::Frame& frame) const;
+
   DiskManager& disk_;
   size_t capacity_;
   std::atomic<bool> wal_tracking_{false};
+  // Collection epochs: collect_wal_dirty() stamps harvested frames with
+  // ++wal_collect_epoch_; wal_durable() advances wal_durable_epoch_ once a
+  // group's fdatasync lands. A frame is no-steal while its epoch is ahead
+  // of the durable mark. Both guarded by mu_.
+  uint64_t wal_collect_epoch_ = 0;
+  uint64_t wal_durable_epoch_ = 0;
   mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<PageGuard::Frame>> frames_;
   // LRU order: front = most recently used. Only unpinned frames are
@@ -164,7 +188,8 @@ struct PageGuard::Frame {
   PageId id;
   std::array<uint8_t, kPageSize> data;
   bool dirty = false;               // written under the exclusive latch
-  bool wal_dirty = false;           // mutated since the last WAL commit
+  bool wal_dirty = false;           // mutated since the last WAL collection
+  uint64_t wal_epoch = 0;           // collection epoch of the last harvest
   std::atomic<int> pins{0};
   std::atomic<bool> io_failed{false};  // disk read threw; contents invalid
   std::shared_mutex latch;

@@ -39,6 +39,15 @@ std::string segment_name(uint64_t seq) {
 
 /// Appends one framed record (crc | len | type | payload) to `out`.
 void frame_record(Bytes& out, WalRecordType type, ByteView payload) {
+  // Writer-side enforcement of the recovery-side bound: next_record()
+  // treats any length prefix over kMaxBodyBytes as corruption and truncates
+  // the tail there, so a larger record (an enormous catalog is the only
+  // unbounded one) must fail the commit loudly now — otherwise it would be
+  // acknowledged and then silently discarded, along with every commit
+  // after it, on the next recovery.
+  if (payload.size() >= kMaxBodyBytes) {
+    throw StorageError("wal: record exceeds maximum body size");
+  }
   Bytes body;
   body.reserve(1 + payload.size());
   body.push_back(static_cast<uint8_t>(type));
@@ -77,7 +86,13 @@ std::vector<std::pair<uint64_t, std::string>> list_segments(
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     std::string name = entry.path().filename().string();
     unsigned long long seq = 0;
-    if (std::sscanf(name.c_str(), "wal-%6llu.log", &seq) == 1) {
+    int consumed = 0;
+    // No width cap on the sequence — segment_name() zero-pads to six digits
+    // but emits more once the monotonically growing seq passes 999999, and
+    // a misparsed name would fail the header seq check and discard the
+    // segment's committed records. %n pins the match to the whole name.
+    if (std::sscanf(name.c_str(), "wal-%llu.log%n", &seq, &consumed) == 1 &&
+        consumed == static_cast<int>(name.size())) {
       segments.emplace_back(seq, entry.path().string());
     }
   }
@@ -481,6 +496,7 @@ void Wal::write_fully(const uint8_t* data, size_t len) {
 
 CommitHandle Wal::commit(WalCommitRequest request) {
   Pending pending;
+  pending.on_durable = std::move(request.on_durable);
   // Encode on the caller's thread: the writer thread should spend its time
   // in write()/fdatasync(), not serialization.
   Bytes& out = pending.encoded;
@@ -533,6 +549,26 @@ CommitHandle Wal::commit(WalCommitRequest request) {
   return CommitHandle(fut);
 }
 
+void Wal::sync() {
+  // An empty Pending rides the FIFO queue as a pure barrier: by the time
+  // the writer thread completes it, every earlier group has been written,
+  // fsync'd, and has run its on_durable callbacks (those fire before each
+  // group's promises are satisfied, and groups drain in order).
+  Pending pending;
+  pending.commits = 0;
+  std::shared_future<void> fut;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (broken_ || stop_) {
+      throw StorageError("wal: log is broken; cannot sync");
+    }
+    fut = pending.done.get_future().share();
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  fut.get();
+}
+
 void Wal::writer_loop() {
   for (;;) {
     std::vector<Pending> group;
@@ -578,7 +614,14 @@ void Wal::flush_group(std::vector<Pending>& group) {
       stats_.max_group = std::max(stats_.max_group,
                                   static_cast<uint64_t>(group.size()));
     }
-    for (Pending& p : group) p.done.set_value();
+    // Durability callbacks run before the handles become ready: a waiter
+    // that observes its commit acknowledged must also observe the frames
+    // released from their no-steal window (and in no case may an eviction
+    // see them released earlier than this point).
+    for (Pending& p : group) {
+      if (p.on_durable) p.on_durable();
+      p.done.set_value();
+    }
   } catch (...) {
     // The log can no longer guarantee durability: fail this group and every
     // later commit. Acknowledged writes stay acknowledged (their records
@@ -587,7 +630,14 @@ void Wal::flush_group(std::vector<Pending>& group) {
       std::lock_guard<std::mutex> lk(mu_);
       broken_ = true;
     }
-    for (Pending& p : group) p.done.set_exception(std::current_exception());
+    for (Pending& p : group) {
+      // Members completed before the failure keep their satisfied promise;
+      // set_exception on them would itself throw.
+      try {
+        p.done.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+      }
+    }
     std::lock_guard<std::mutex> lk(mu_);
     for (Pending& p : queue_) {
       p.done.set_exception(std::make_exception_ptr(

@@ -13,8 +13,10 @@
 //     recovery is idempotent and restartable (a crash *during* recovery just
 //     replays again).
 //
-//   * No-steal buffering upstream (BufferPool refuses to evict pages with
-//     uncommitted changes), so the data files never contain unlogged
+//   * No-steal buffering upstream (BufferPool refuses to evict or flush
+//     pages whose changes are not yet durably logged — including pages in
+//     a commit group still awaiting its fsync; WalCommitRequest::on_durable
+//     ends that window), so the data files never contain unlogged
 //     mutations. Together: log-before-data, the WAL invariant.
 //
 //   * Group commit. commit() enqueues a pre-encoded batch and returns a
@@ -48,6 +50,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -98,6 +101,13 @@ struct WalCommitRequest {
   std::vector<WalPageImage> pages;
   std::vector<WalFileExtent> extents;
   std::optional<std::string> catalog;  // present iff the catalog changed
+  /// Invoked on the log-writer thread after this batch's group fdatasync
+  /// completes, strictly before the CommitHandle becomes ready. Never
+  /// invoked if the write or sync fails. The engine uses it to end the
+  /// batch's no-steal window (BufferPool::wal_durable): only once the
+  /// records are durable may the pages reach the data files. Must not
+  /// throw.
+  std::function<void()> on_durable;
 };
 
 struct WalStats {
@@ -172,6 +182,14 @@ class Wal {
   /// commit() + wait().
   void commit_sync(WalCommitRequest request) { commit(std::move(request)).wait(); }
 
+  /// Queue barrier: blocks until every commit enqueued before this call is
+  /// durable and has run its on_durable callback. Checkpoint needs this
+  /// before flushing data pages — a commit whose group fsync is still in
+  /// flight has frames inside their no-steal window, and truncating the log
+  /// while skipping them would lose the acknowledged batch. Throws
+  /// StorageError if the log is broken.
+  void sync();
+
   /// Checkpoint truncation: deletes every segment and starts a fresh one.
   /// Caller contract: every committed record is already reflected in
   /// fsync'd data files (Database::checkpoint guarantees this). Pending
@@ -189,6 +207,7 @@ class Wal {
   struct Pending {
     Bytes encoded;  // framed records, commit marker last
     uint64_t commits = 1;
+    std::function<void()> on_durable;  // see WalCommitRequest
     std::promise<void> done;
   };
 

@@ -5,6 +5,7 @@
 // taken before any data-file flush; unacknowledged ones never leak).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -531,4 +532,142 @@ TEST_F(WalTest, PeriodicServerCheckpointBoundsReplay) {
   // lock), and the data is all there.
   EXPECT_EQ(client.row_count("kv"), 300u);
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// No-steal window: collected frames must stay unevictable (and unflushable)
+// until their commit group's fdatasync lands. Clearing the mark at enqueue
+// time let concurrent evictions push not-yet-durable mutations into the
+// data files — a crash in the pending-fsync window then left a partially
+// applied, unacknowledged batch that redo-only recovery cannot undo.
+
+TEST_F(WalTest, CollectedFramesStayNoStealUntilDurable) {
+  TempDir dir("wal_nosteal");
+  DiskManager disk;
+  FileId f = disk.open_file((dir.path() / "a.db").string());
+  BufferPool pool(disk, 2);
+  pool.set_wal_tracking(true);
+
+  PageNumber p = disk.allocate_page(f);
+  {
+    PageGuard g = pool.fetch({f, p});
+    g.mutable_data()[0] = 0x77;
+  }
+  auto set = pool.collect_wal_dirty();
+  ASSERT_EQ(set.images.size(), 1u);
+
+  // Enqueued but not durable: neither eviction pressure (clean pages
+  // churning a 2-frame pool) nor an explicit flush may write the frame.
+  for (int i = 0; i < 4; ++i) {
+    PageNumber q = disk.allocate_page(f);
+    PageGuard g = pool.fetch({f, q});
+  }
+  pool.flush_all();
+  uint8_t back[kPageSize];
+  disk.read_page({f, p}, back);
+  EXPECT_EQ(back[0], 0x00);
+
+  // Once the group is durable the frame flushes normally.
+  pool.wal_durable(set.epoch);
+  pool.flush_all();
+  disk.read_page({f, p}, back);
+  EXPECT_EQ(back[0], 0x77);
+}
+
+TEST_F(WalTest, AbortedCollectionIsRecollected) {
+  // If Wal::commit throws before enqueueing (broken log, oversized
+  // record), the harvested images are unlogged again: wal_abort puts the
+  // frames back on the dirty list so the next collection re-captures them.
+  TempDir dir("wal_abort");
+  DiskManager disk;
+  FileId f = disk.open_file((dir.path() / "a.db").string());
+  BufferPool pool(disk, 4);
+  pool.set_wal_tracking(true);
+
+  PageNumber p = disk.allocate_page(f);
+  {
+    PageGuard g = pool.fetch({f, p});
+    g.mutable_data()[0] = 0x42;
+  }
+  auto first = pool.collect_wal_dirty();
+  ASSERT_EQ(first.images.size(), 1u);
+  EXPECT_TRUE(pool.collect_wal_dirty().images.empty());  // already harvested
+
+  pool.wal_abort(first.epoch);
+  auto second = pool.collect_wal_dirty();
+  ASSERT_EQ(second.images.size(), 1u);
+  EXPECT_EQ(second.images[0].first, (PageId{f, p}));
+  EXPECT_EQ(second.images[0].second[0], 0x42);
+}
+
+TEST_F(WalTest, OnDurableRunsBeforeHandleReady) {
+  // The engine releases frames from their no-steal window via the
+  // on_durable callback; a waiter observing its commit acknowledged must
+  // also observe the release, so the callback fires strictly before the
+  // handle becomes ready. sync() is the queue barrier checkpoint uses to
+  // wait out *other* writers' in-flight groups.
+  TempDir dir("wal_ondur");
+  Wal wal((dir.path() / "wal").string());
+  std::atomic<bool> durable{false};
+  WalCommitRequest req;
+  req.pages.push_back(WalPageImage{"t.heap", 0, page_filled(0x01)});
+  req.on_durable = [&] { durable.store(true); };
+  CommitHandle h = wal.commit(std::move(req));
+  h.wait();
+  EXPECT_TRUE(durable.load());
+  wal.sync();  // barrier returns on a drained queue too
+}
+
+TEST_F(WalTest, OversizedCatalogRecordIsRejectedAtCommitTime) {
+  // Recovery treats any record body over its 1 MiB bound as corruption and
+  // truncates the tail there. The writer must enforce the same bound: a
+  // larger catalog would commit, be acknowledged, and then be silently
+  // discarded — along with every later commit — on the next recovery.
+  TempDir dir("wal_bigcat");
+  Wal wal((dir.path() / "wal").string());
+  WalCommitRequest big;
+  big.catalog = std::string(2u << 20, 'x');
+  EXPECT_THROW(wal.commit(std::move(big)), StorageError);
+  // Rejected before enqueue: the log itself stays healthy.
+  WalCommitRequest ok;
+  ok.pages.push_back(WalPageImage{"t.heap", 0, page_filled(0x01)});
+  ok.extents.push_back(WalFileExtent{"t.heap", 1});
+  wal.commit_sync(std::move(ok));
+  EXPECT_EQ(wal.stats().commits, 1u);
+}
+
+TEST_F(WalTest, SevenDigitSegmentNamesRecover) {
+  // segment_name() zero-pads to six digits but emits seven or more once
+  // the monotonically growing sequence passes 999999; a parser capped at
+  // six digits misread the name, failed the header seq check, and threw
+  // away the segment's committed records.
+  TempDir dir("wal_seq7");
+  fs::path wal_dir = dir.path() / "wal";
+  fs::path data_dir = dir.path() / "data";
+  fs::create_directories(data_dir);
+  {
+    Wal wal(wal_dir.string());
+    append_counter_commits(wal, 3);
+  }
+  auto segs = wal_segments(wal_dir);
+  ASSERT_EQ(segs.size(), 1u);
+  Bytes data = read_all(segs[0]);
+  ASSERT_GE(data.size(), 16u);
+  constexpr uint64_t kBigSeq = 1234567;
+  for (int i = 0; i < 8; ++i) {
+    data[8 + i] = static_cast<uint8_t>((kBigSeq >> (8 * i)) & 0xff);
+  }
+  fs::remove(segs[0]);
+  {
+    std::ofstream out(wal_dir / "wal-1234567.log", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+
+  WalRecoveryStats rec = Wal::recover(wal_dir.string(), data_dir.string());
+  EXPECT_EQ(rec.commits_applied, 3u);
+  EXPECT_FALSE(rec.tail_truncated);
+  Bytes page = read_all(data_dir / "t.heap");
+  ASSERT_EQ(page.size(), kPageSize);
+  EXPECT_EQ(page[0], 3);  // last committed counter value
 }
