@@ -13,13 +13,20 @@
 // p50/p99 per-query latency for SELECT id and SELECT *, and the remote
 // ingest rate.
 //
+// A final chaos pass re-runs the SELECT id workload with the socket-level
+// fault injector armed at --chaos-rate (default 1% per socket op: resets and
+// torn writes), reporting throughput/p99 with the retry machinery absorbing
+// the faults, plus the retry/overload/dedup counters from both sides.
+// --chaos-rate 0 skips the pass.
+//
 //   $ ./bench_remote_query [--records N] [--queries Q] [--lambda L]
-//       [--server-threads N] [--out BENCH_net.json]
+//       [--server-threads N] [--chaos-rate P] [--out BENCH_net.json]
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "src/net/net_fault.h"
 #include "src/net/remote_connection.h"
 #include "src/net/server.h"
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   double lambda = args.get_double("lambda", 1000);
   auto server_threads =
       static_cast<unsigned>(args.get_int("server-threads", 2));
+  double chaos_rate = args.get_double("chaos-rate", 0.01);
   std::string out_path = args.get_string("out", "BENCH_net.json");
 
   std::cout << "# remote query bench: records=" << records
@@ -149,6 +157,60 @@ int main(int argc, char** argv) {
   report.add("remote/parity",
              {{"queries", static_cast<double>(queries.size())},
               {"mismatches", static_cast<double>(mismatches)}});
+
+  // Chaos pass: same SELECT id workload with socket faults injected on both
+  // sides of the loopback hop. The retry loop (idempotency keys + backoff)
+  // must absorb the faults; what this measures is the latency/throughput
+  // price of doing so.
+  if (chaos_rate > 0) {
+    net::RemoteStats before = remote.stats();
+    net::NetFaultInjector::Config cfg;
+    cfg.seed = 424242;
+    cfg.rate = chaos_rate;
+    cfg.reset = true;
+    cfg.torn = true;
+    net::NetFaultInjector::instance().arm(cfg);
+
+    std::vector<double> lat_ms;
+    lat_ms.reserve(queries.size());
+    size_t failed = 0;
+    Timer total;
+    for (const auto& q : queries) {
+      Timer t;
+      try {
+        conn.select_ids("main", q.column, q.value);
+      } catch (const RetriesExhaustedError&) {
+        ++failed;  // the loud failure mode: counted, never silent
+      }
+      lat_ms.push_back(t.elapsed_millis());
+    }
+    double seconds = total.elapsed_seconds();
+    uint64_t faults = net::NetFaultInjector::instance().faults_injected();
+    net::NetFaultInjector::instance().reset();
+
+    net::RemoteStats after = remote.stats();
+    double qps = static_cast<double>(queries.size()) / seconds;
+    double p99 = bench::percentile(lat_ms, 99);
+    std::cout << "remote/select_id_chaos(" << std::setprecision(3)
+              << chaos_rate << "): " << std::fixed << std::setprecision(1)
+              << qps << " q/s, p99 " << std::setprecision(3) << p99
+              << " ms, retries " << (after.retries - before.retries)
+              << ", overloaded " << (after.overloaded - before.overloaded)
+              << ", exhausted " << failed << ", faults " << faults << "\n";
+    report.add("remote/select_id_chaos",
+               {{"fault_rate", chaos_rate},
+                {"queries_per_sec", qps},
+                {"p50_ms", bench::percentile(lat_ms, 50)},
+                {"p99_ms", p99},
+                {"retries", static_cast<double>(after.retries - before.retries)},
+                {"overloaded",
+                 static_cast<double>(after.overloaded - before.overloaded)},
+                {"exhausted", static_cast<double>(failed)},
+                {"server_sessions_shed",
+                 static_cast<double>(server.sessions_shed())},
+                {"server_dedup_hits",
+                 static_cast<double>(server.dedup_hits())}});
+  }
   report.write();
 
   server.stop();

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Randomized network-chaos sweep: runs the fault-injection harness
+# (tests/net_chaos_test) across a matrix of RNG seeds so the injected
+# resets, torn writes and delays land all over the request/retry timeline.
+# The combined sweep executes >= 100 randomized fault schedules; a
+# double-applied batch, a partially applied batch, a lost acknowledged
+# write, or a server that stops answering fails the run.
+#
+#   scripts/chaos_smoke.sh [build_dir]       # default: build
+#
+# Environment:
+#   WRE_CHAOS_TOTAL_SCHEDULES   total schedules across the sweep (default 100)
+#   WRE_CHAOS_SEEDS             how many seeds to split them over (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+TEST=${BUILD_DIR}/tests/net_chaos_test
+[[ -x ${TEST} ]] || { echo "missing ${TEST} (build first)"; exit 1; }
+
+TOTAL=${WRE_CHAOS_TOTAL_SCHEDULES:-100}
+SEEDS=${WRE_CHAOS_SEEDS:-10}
+PER_SEED=$(( (TOTAL + SEEDS - 1) / SEEDS ))
+
+echo "== network-chaos sweep: ${SEEDS} seeds x ${PER_SEED} schedules" \
+     "(>= ${TOTAL} total) =="
+for (( seed = 1; seed <= SEEDS; seed++ )); do
+  echo "-- seed base $(( seed * 1000 )): ${PER_SEED} schedules --"
+  WRE_CHAOS_SCHEDULES=${PER_SEED} WRE_CHAOS_SEED=$(( seed * 1000 )) \
+    "${TEST}" --gtest_brief=1
+done
+
+echo "== network-chaos sweep passed (${SEEDS}x${PER_SEED} schedules) =="

@@ -21,6 +21,10 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 # scripts/crash_recovery_smoke.sh on the plain build.
 export WRE_CRASH_SCHEDULES=${WRE_CRASH_SCHEDULES:-3}
 
+# Same reasoning for the network-chaos harness (net_chaos_test): the full
+# randomized matrix lives in scripts/chaos_smoke.sh on the plain build.
+export WRE_CHAOS_SCHEDULES=${WRE_CHAOS_SCHEDULES:-3}
+
 SANITIZERS="thread address"
 if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" ) ]]; then
   SANITIZERS="$1"

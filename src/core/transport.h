@@ -22,6 +22,14 @@ namespace wre::core {
 /// semantics: statements execute in call order, SELECTs return rows in the
 /// engine's deterministic order, and errors surface as the same wre::Error
 /// subclass the engine would throw in process.
+///
+/// Fault semantics: a call returns successfully exactly once or throws.
+/// Implementations may retry internally across transient transport
+/// failures — including for mutating calls — but only if the retry cannot
+/// double-apply (net::RemoteConnection stamps every request with an
+/// idempotency key the server dedups, DESIGN.md §5.6). When retries are
+/// exhausted the typed error (RetriesExhaustedError) reports attempts and
+/// elapsed time; the caller cannot assume the last attempt didn't land.
 class DbTransport {
  public:
   virtual ~DbTransport() = default;

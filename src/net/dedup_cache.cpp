@@ -1,0 +1,113 @@
+#include "src/net/dedup_cache.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace wre::net {
+
+namespace {
+
+uint64_t steady_now_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+size_t DedupCache::Hash::operator()(const IdempotencyKey& k) const {
+  // Keys are client-generated CSPRNG output: any 8 bytes are already a
+  // high-quality hash.
+  uint64_t h;
+  std::memcpy(&h, k.data(), sizeof(h));
+  return static_cast<size_t>(h);
+}
+
+bool DedupCache::begin(const IdempotencyKey& key, Frame* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      Entry& e = map_[key];
+      e.touched_ms = steady_now_ms();
+      e.lru_it = lru_.end();
+      evict_locked(e.touched_ms);
+      return true;
+    }
+    if (it->second.done) {
+      Entry& e = it->second;
+      e.touched_ms = steady_now_ms();
+      // Refresh LRU position: a retried key is hot again.
+      lru_.splice(lru_.end(), lru_, e.lru_it);
+      *out = e.response;
+      ++hits_;
+      return false;
+    }
+    // A racing retry of an in-flight execution: wait for its complete()
+    // (replay) or abort() (re-race for the claim). The session loop
+    // guarantees one of the two, so this wait always terminates.
+    cv_.wait(lock);
+  }
+}
+
+void DedupCache::complete(const IdempotencyKey& key, const Frame& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return;  // evicted under pathological pressure
+  Entry& e = it->second;
+  e.done = true;
+  e.response = response;
+  e.touched_ms = steady_now_ms();
+  lru_.push_back(key);
+  e.lru_it = std::prev(lru_.end());
+  cached_bytes_ += response.payload.size();
+  cv_.notify_all();
+}
+
+void DedupCache::abort(const IdempotencyKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.done) return;
+  map_.erase(it);
+  cv_.notify_all();
+}
+
+void DedupCache::evict_locked(uint64_t now_ms) {
+  // Evict oldest completed entries while over either bound — but never
+  // touch an entry still inside the retain window unless the cache has
+  // blown far (2x) past its entry cap, the safety valve against a client
+  // storm of unique keys.
+  auto over = [&] {
+    return map_.size() > options_.max_entries ||
+           cached_bytes_ > options_.max_bytes;
+  };
+  while (over() && !lru_.empty()) {
+    const IdempotencyKey& victim = lru_.front();
+    auto it = map_.find(victim);
+    Entry& e = it->second;
+    bool young = now_ms - e.touched_ms < options_.retain_ms;
+    if (young && map_.size() <= 2 * options_.max_entries) break;
+    cached_bytes_ -= e.response.payload.size();
+    map_.erase(it);
+    lru_.pop_front();
+    ++evictions_;
+  }
+}
+
+uint64_t DedupCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t DedupCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t DedupCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace wre::net

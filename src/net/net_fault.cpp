@@ -1,0 +1,132 @@
+#include "src/net/net_fault.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace wre::net {
+
+NetFaultInjector& NetFaultInjector::instance() {
+  static NetFaultInjector injector;
+  return injector;
+}
+
+NetFaultInjector::NetFaultInjector() {
+  if (const char* spec = std::getenv("WRE_NET_FAULT")) {
+    load_env(spec);
+  }
+}
+
+void NetFaultInjector::load_env(const char* spec) {
+  // "key=value;key=value" — unknown keys and malformed numbers are ignored
+  // so a typo degrades to "fault not armed" rather than aborting a bench.
+  Config config;
+  std::string s(spec);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find(';', pos);
+    if (end == std::string::npos) end = s.size();
+    std::string item = s.substr(pos, end - pos);
+    pos = end + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        config.seed = std::stoull(value);
+      } else if (key == "rate") {
+        config.rate = std::stod(value);
+      } else if (key == "reset") {
+        config.reset = value != "0";
+      } else if (key == "torn") {
+        config.torn = value != "0";
+      } else if (key == "delay_ms") {
+        config.delay_ms = static_cast<uint32_t>(std::stoul(value));
+      } else if (key == "stall_ms") {
+        config.stall_ms = static_cast<uint32_t>(std::stoul(value));
+      } else if (key == "accept_fail") {
+        config.accept_fail = static_cast<uint32_t>(std::stoul(value));
+      }
+    } catch (...) {
+      // Malformed number: leave that field at its default.
+    }
+  }
+  arm(config);
+}
+
+void NetFaultInjector::arm(const Config& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  rng_ = Xoshiro256(config.seed);
+  refresh_armed();
+}
+
+void NetFaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = Config{};
+  faults_injected_.store(0, std::memory_order_relaxed);
+  refresh_armed();
+}
+
+void NetFaultInjector::refresh_armed() {
+  bool any = config_.accept_fail > 0 ||
+             (config_.rate > 0.0 &&
+              (config_.reset || config_.torn || config_.delay_ms > 0 ||
+               config_.stall_ms > 0));
+  armed_.store(any, std::memory_order_relaxed);
+}
+
+NetFaultInjector::SendPlan NetFaultInjector::on_send(size_t len) {
+  SendPlan plan;
+  if (!armed()) return plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.rate <= 0.0 || rng_.next_double() >= config_.rate) return plan;
+  if (config_.delay_ms > 0) {
+    plan.delay_ms = 1 + static_cast<uint32_t>(rng_.next_below(config_.delay_ms));
+  }
+  // Torn and reset are mutually exclusive flavours of the same injected
+  // connection death; when both are armed, pick per-fault.
+  bool want_torn = config_.torn && (!config_.reset || rng_.next_below(2) == 0);
+  if (want_torn) {
+    plan.torn = true;
+    // A prefix of [0, len): at least the frame is never fully delivered.
+    plan.torn_prefix = len > 0 ? rng_.next_below(len) : 0;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (config_.reset) {
+    plan.reset = true;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (plan.delay_ms > 0) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+NetFaultInjector::RecvPlan NetFaultInjector::on_recv() {
+  RecvPlan plan;
+  if (!armed()) return plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.rate <= 0.0 || rng_.next_double() >= config_.rate) return plan;
+  if (config_.stall_ms > 0) {
+    plan.stall_ms =
+        1 + static_cast<uint32_t>(rng_.next_below(config_.stall_ms));
+  }
+  if (config_.reset && rng_.next_below(2) == 0) {
+    plan.reset = true;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (plan.stall_ms > 0) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+bool NetFaultInjector::on_accept() {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.accept_fail == 0) return false;
+  --config_.accept_fail;
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  refresh_armed();
+  return true;
+}
+
+}  // namespace wre::net

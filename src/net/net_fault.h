@@ -1,0 +1,107 @@
+// Fault-injection hooks for the network layer — the socket-level sibling of
+// storage::FaultInjector (src/storage/fault_injector.h).
+//
+// Retry, dedup and overload handling cannot be argued from happy-path
+// tests: the interesting states are a connection reset between a mutating
+// request and its response, a frame torn mid-send, and a peer that answers
+// slower than the caller's deadline. NetFaultInjector is the switchboard
+// net::Socket consults so tests (and scripts/chaos_smoke.sh) can
+// manufacture exactly those states reproducibly:
+//
+//   * rate=P        — per-operation fault probability (0 disables faults
+//                     even when kinds are armed)
+//   * reset=1       — sends/recvs fail as if the peer RST the connection
+//   * torn=1        — sends transmit a random prefix, then reset: the peer
+//                     sees a frame torn mid-stream
+//   * delay_ms=N    — sends sleep up to N ms first (delayed frames; drives
+//                     real receiver timeouts)
+//   * stall_ms=N    — recvs sleep up to N ms first (slow-reader stalls)
+//   * accept_fail=N — the next N Listener::accept calls throw a transient
+//                     error (EMFILE-style), exercising the accept loop's
+//                     retry path
+//   * seed=S        — every random draw comes from one seeded generator, so
+//                     a schedule is reproduced by its (seed, config) pair
+//
+// Faults arm either programmatically (unit tests, benches) or from the
+// WRE_NET_FAULT environment variable (external processes): a ';'-separated
+// list such as
+//   WRE_NET_FAULT="seed=7;rate=0.02;reset=1;torn=1;delay_ms=2"
+// parsed once at first use. All hooks are thread-safe; the default state is
+// "no faults", with zero overhead beyond one relaxed atomic load per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "src/util/rng.h"
+
+namespace wre::net {
+
+class NetFaultInjector {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    double rate = 0.0;        // per-op fault probability
+    bool reset = false;       // connection resets
+    bool torn = false;        // partial (torn) writes, then reset
+    uint32_t delay_ms = 0;    // max injected delay before a send
+    uint32_t stall_ms = 0;    // max injected stall before a recv
+    uint32_t accept_fail = 0; // next N accepts fail transiently
+  };
+
+  /// What a faulted send must do. delay applies first; a torn send
+  /// transmits `torn_prefix` bytes before resetting.
+  struct SendPlan {
+    uint32_t delay_ms = 0;
+    bool torn = false;
+    size_t torn_prefix = 0;
+    bool reset = false;
+  };
+
+  struct RecvPlan {
+    uint32_t stall_ms = 0;
+    bool reset = false;
+  };
+
+  /// Process-wide instance. Parses WRE_NET_FAULT on first call.
+  static NetFaultInjector& instance();
+
+  /// Arms faults per `config` (replacing any previous arming).
+  void arm(const Config& config);
+
+  /// Disarms everything and zeroes the counters.
+  void reset();
+
+  /// True if any fault is armed (lets hot paths skip the mutex).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // -- socket hooks ---------------------------------------------------------
+
+  /// Consulted once per Socket::send_all of `len` bytes.
+  SendPlan on_send(size_t len);
+
+  /// Consulted once per Socket recv call.
+  RecvPlan on_recv();
+
+  /// Consulted once per Listener::accept; true = throw a transient error.
+  bool on_accept();
+
+  /// Faults injected so far (resets/torn sends; delays not counted).
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  NetFaultInjector();
+  void load_env(const char* spec);
+  void refresh_armed();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  Config config_;
+  Xoshiro256 rng_{1};
+  std::atomic<uint64_t> faults_injected_{0};
+};
+
+}  // namespace wre::net

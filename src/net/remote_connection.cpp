@@ -1,13 +1,33 @@
 #include "src/net/remote_connection.h"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
 namespace wre::net {
+
+namespace {
+
+uint64_t elapsed_ms_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 RemoteConnection::RemoteConnection(std::string host, uint16_t port,
                                    RemoteOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      jitter_rng_(options.retry.jitter_seed),
+      budget_(options.retry.budget_tokens) {}
 
 void RemoteConnection::ping() {
-  roundtrip(Opcode::kPing, {}, Opcode::kOkPong, /*idempotent=*/true);
+  roundtrip(Opcode::kPing, {}, Opcode::kOkPong);
 }
 
 void RemoteConnection::disconnect() {
@@ -15,21 +35,42 @@ void RemoteConnection::disconnect() {
   sock_.reset();
 }
 
+RemoteStats RemoteConnection::stats() const {
+  RemoteStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  return s;
+}
+
 Socket& RemoteConnection::socket_locked() {
   if (!sock_) {
-    Socket s = Socket::connect(host_, port_);
-    if (options_.response_timeout_ms > 0) {
-      s.set_recv_timeout_ms(options_.response_timeout_ms);
-    }
-    sock_.emplace(std::move(s));
+    sock_.emplace(Socket::connect(host_, port_));
   }
   return *sock_;
 }
 
 Bytes RemoteConnection::roundtrip_once(Opcode request, ByteView payload,
-                                       Opcode expected) {
+                                       Opcode expected, const RequestExt& ext,
+                                       uint64_t remaining_ms,
+                                       std::optional<StatusCode>* status,
+                                       std::string* message) {
   Socket& sock = socket_locked();
-  sock.send_all(encode_frame(request, payload));
+  // Per-attempt receive timeout: the tighter of the response timeout and
+  // what remains of the overall deadline, so one slow attempt cannot eat
+  // the whole retry window.
+  uint64_t timeout = options_.response_timeout_ms > 0
+                         ? static_cast<uint64_t>(options_.response_timeout_ms)
+                         : 0;
+  if (remaining_ms > 0 && (timeout == 0 || remaining_ms < timeout)) {
+    timeout = remaining_ms;
+  }
+  if (timeout > 0) {
+    sock.set_recv_timeout_ms(static_cast<int>(
+        std::min<uint64_t>(timeout, std::numeric_limits<int>::max())));
+  }
+  sock.send_all(encode_request_frame(request, payload, ext));
 
   uint8_t header[kFrameHeaderBytes];
   sock.recv_all(header, sizeof(header));
@@ -38,12 +79,13 @@ Bytes RemoteConnection::roundtrip_once(Opcode request, ByteView payload,
   if (fh.payload_length > 0) sock.recv_all(body.data(), body.size());
 
   if (fh.opcode == Opcode::kError) {
-    // A server-side error leaves the stream aligned; keep the connection.
+    // A server-side error leaves the stream aligned; keep the connection
+    // and hand the status to the retry loop (only kOverloaded retries).
     WireReader r(body);
-    StatusCode code = static_cast<StatusCode>(r.u16());
-    std::string message = r.string();
+    *status = static_cast<StatusCode>(r.u16());
+    *message = r.string();
     r.expect_end();
-    rethrow_status(code, message);
+    return {};
   }
   if (fh.opcode != expected) {
     throw NetworkError(std::string("wire: expected ") + opcode_name(expected) +
@@ -54,28 +96,111 @@ Bytes RemoteConnection::roundtrip_once(Opcode request, ByteView payload,
 }
 
 Bytes RemoteConnection::roundtrip(Opcode request, ByteView payload,
-                                  Opcode expected, bool idempotent) {
+                                  Opcode expected) {
   std::lock_guard<std::mutex> lk(mu_);
-  const bool had_connection = sock_.has_value();
-  try {
-    return roundtrip_once(request, payload, expected);
-  } catch (const NetworkError&) {
-    // The socket state is unknowable after a transport error; always drop it.
-    sock_.reset();
-    // Retry only when the failure can be a stale pooled connection (the
-    // server idle-closed it between requests) and replaying cannot
-    // double-apply anything. A failure on a fresh connection is real.
-    if (!idempotent || !had_connection) throw;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // One fresh key per logical request, constant across its retries — the
+  // unit the server's dedup cache makes exactly-once.
+  RequestExt ext;
+  ext.has_key = true;
+  key_rng_.fill(ext.key);
+
+  const RetryOptions& rp = options_.retry;
+  const auto start = std::chrono::steady_clock::now();
+  uint32_t backoff_ms = std::max<uint32_t>(1, rp.initial_backoff_ms);
+  std::string last_error = "no error recorded";
+  int attempt = 0;
+
+  for (;;) {
+    ++attempt;
+    uint64_t elapsed = elapsed_ms_since(start);
+    uint64_t remaining = 0;
+    if (rp.overall_deadline_ms > 0) {
+      if (elapsed >= rp.overall_deadline_ms) {
+        exhausted_.fetch_add(1, std::memory_order_relaxed);
+        throw RetriesExhaustedError(
+            "remote: overall deadline of " +
+                std::to_string(rp.overall_deadline_ms) + " ms expired after " +
+                std::to_string(elapsed) + " ms and " +
+                std::to_string(attempt - 1) + " attempts (last error: " +
+                last_error + ")",
+            attempt - 1, elapsed);
+      }
+      remaining = rp.overall_deadline_ms - elapsed;
+    }
+    ext.deadline_ms = static_cast<uint32_t>(
+        std::min<uint64_t>(remaining, std::numeric_limits<uint32_t>::max()));
+
+    std::optional<StatusCode> status;
+    std::string message;
+    try {
+      Bytes body =
+          roundtrip_once(request, payload, expected, ext, remaining, &status,
+                         &message);
+      if (!status) {
+        // Success refunds a fraction of a retry token (capped): steady
+        // traffic slowly re-earns the right to retry.
+        budget_ = std::min(rp.budget_tokens, budget_ + 0.1);
+        return body;
+      }
+      if (*status != StatusCode::kOverloaded) {
+        // Deterministic server-side failure (bad SQL, duplicate key,
+        // malformed payload): retrying cannot change the outcome.
+        rethrow_status(*status, message);
+      }
+      // Overloaded: the server shed us before executing — retryable.
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      last_error = message;
+    } catch (const NetworkError& e) {
+      // Transport failure: the socket state is unknowable; always drop it
+      // so the next attempt reconnects. Thanks to the idempotency key this
+      // is safe even when the request mutates.
+      sock_.reset();
+      last_error = e.what();
+    }
+
+    uint64_t now_elapsed = elapsed_ms_since(start);
+    if (attempt >= rp.max_attempts) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      throw RetriesExhaustedError(
+          "remote: " + std::to_string(attempt) + " attempts failed over " +
+              std::to_string(now_elapsed) + " ms (last error: " + last_error +
+              ")",
+          attempt, now_elapsed);
+    }
+    if (budget_ < 1.0) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      throw RetriesExhaustedError(
+          "remote: retry budget exhausted after " + std::to_string(attempt) +
+              " attempts over " + std::to_string(now_elapsed) +
+              " ms (last error: " + last_error + ")",
+          attempt, now_elapsed);
+    }
+    budget_ -= 1.0;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+
+    // Backoff with jitter in [backoff/2, backoff), capped by the remaining
+    // deadline so the last sleep cannot blow through it.
+    uint64_t sleep_ms = backoff_ms / 2 + jitter_rng_.next_below(
+                                             backoff_ms / 2 + 1);
+    if (rp.overall_deadline_ms > 0) {
+      uint64_t left = rp.overall_deadline_ms > now_elapsed
+                          ? rp.overall_deadline_ms - now_elapsed
+                          : 0;
+      sleep_ms = std::min(sleep_ms, left);
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    backoff_ms = std::min(backoff_ms * 2, rp.max_backoff_ms);
   }
-  return roundtrip_once(request, payload, expected);
 }
 
 sql::ResultSet RemoteConnection::execute(const std::string& sql) {
   WireWriter w;
   w.string(sql);
-  // SQL text may mutate (INSERT): never auto-retry it.
-  Bytes body = roundtrip(Opcode::kExecSql, w.bytes(), Opcode::kOkResult,
-                         /*idempotent=*/false);
+  Bytes body = roundtrip(Opcode::kExecSql, w.bytes(), Opcode::kOkResult);
   WireReader r(body);
   sql::ResultSet rs = decode_result_set(r);
   r.expect_end();
@@ -87,8 +212,7 @@ void RemoteConnection::create_table(const std::string& table,
   WireWriter w;
   w.string(table);
   w.schema(schema);
-  roundtrip(Opcode::kCreateTable, w.bytes(), Opcode::kOkUnit,
-            /*idempotent=*/false);
+  roundtrip(Opcode::kCreateTable, w.bytes(), Opcode::kOkUnit);
 }
 
 void RemoteConnection::create_index(const std::string& table,
@@ -96,15 +220,13 @@ void RemoteConnection::create_index(const std::string& table,
   WireWriter w;
   w.string(table);
   w.string(column);
-  roundtrip(Opcode::kCreateIndex, w.bytes(), Opcode::kOkUnit,
-            /*idempotent=*/false);
+  roundtrip(Opcode::kCreateIndex, w.bytes(), Opcode::kOkUnit);
 }
 
 bool RemoteConnection::has_table(const std::string& table) {
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kHasTable, w.bytes(), Opcode::kOkBool,
-                         /*idempotent=*/true);
+  Bytes body = roundtrip(Opcode::kHasTable, w.bytes(), Opcode::kOkBool);
   WireReader r(body);
   bool present = r.u8() != 0;
   r.expect_end();
@@ -114,8 +236,7 @@ bool RemoteConnection::has_table(const std::string& table) {
 uint64_t RemoteConnection::row_count(const std::string& table) {
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kRowCount, w.bytes(), Opcode::kOkCount,
-                         /*idempotent=*/true);
+  Bytes body = roundtrip(Opcode::kRowCount, w.bytes(), Opcode::kOkCount);
   WireReader r(body);
   uint64_t n = r.u64();
   r.expect_end();
@@ -125,8 +246,7 @@ uint64_t RemoteConnection::row_count(const std::string& table) {
 sql::Schema RemoteConnection::table_schema(const std::string& table) {
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kTableSchema, w.bytes(), Opcode::kOkSchema,
-                         /*idempotent=*/true);
+  Bytes body = roundtrip(Opcode::kTableSchema, w.bytes(), Opcode::kOkSchema);
   WireReader r(body);
   sql::Schema schema = r.schema();
   r.expect_end();
@@ -139,8 +259,7 @@ std::vector<int64_t> RemoteConnection::insert_batch(
   w.string(table);
   w.u32(static_cast<uint32_t>(rows.size()));
   for (const sql::Row& row : rows) w.row(row);
-  Bytes body = roundtrip(Opcode::kInsertBatch, w.bytes(), Opcode::kOkIds,
-                         /*idempotent=*/false);
+  Bytes body = roundtrip(Opcode::kInsertBatch, w.bytes(), Opcode::kOkIds);
   WireReader r(body);
   uint32_t n = r.u32();
   std::vector<int64_t> ids;
@@ -154,8 +273,7 @@ void RemoteConnection::scan(const std::string& table,
                             const std::function<void(const sql::Row&)>& fn) {
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kScanTable, w.bytes(), Opcode::kOkResult,
-                         /*idempotent=*/true);
+  Bytes body = roundtrip(Opcode::kScanTable, w.bytes(), Opcode::kOkResult);
   WireReader r(body);
   sql::ResultSet rs = decode_result_set(r);
   r.expect_end();
@@ -172,8 +290,7 @@ sql::ResultSet RemoteConnection::tag_scan(const std::string& table,
   w.u8(star ? 1 : 0);
   w.u32(static_cast<uint32_t>(tags.size()));
   for (uint64_t t : tags) w.u64(t);
-  Bytes body = roundtrip(Opcode::kTagScan, w.bytes(), Opcode::kOkResult,
-                         /*idempotent=*/true);
+  Bytes body = roundtrip(Opcode::kTagScan, w.bytes(), Opcode::kOkResult);
   WireReader r(body);
   sql::ResultSet rs = decode_result_set(r);
   r.expect_end();

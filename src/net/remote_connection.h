@@ -11,29 +11,72 @@
 //   - lazy connect: the TCP session is established on first use and reused
 //     across requests (one socket, serialized by a mutex — clone the
 //     RemoteConnection per thread for parallelism);
-//   - retry-on-transient-error: if the connection drops between requests
-//     (server restart, idle-timeout close), idempotent requests reconnect
-//     and retry once; mutating requests surface the NetworkError instead,
-//     because a retry could double-apply the write;
+//   - safe retries for *every* request, mutating ones included: each
+//     logical request is stamped with a fresh random idempotency key (the
+//     v2 wire extension) that stays constant across its retries, so the
+//     server's dedup cache replays — never re-executes — a mutation whose
+//     ACK was lost. Transport failures and kOverloaded responses retry
+//     under capped exponential backoff with jitter, bounded by
+//     RetryOptions: an attempt cap, an overall deadline, and a token
+//     budget that stops a flapping link from turning into a retry storm;
+//   - when retries stop, the caller gets RetriesExhaustedError naming the
+//     attempt count, elapsed time and last underlying error;
 //   - kError responses re-throw as the same wre::Error subclass the server
 //     caught, so remote and in-process error handling are interchangeable.
+//     Server-reported errors other than kOverloaded are deterministic and
+//     are NOT retried.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
 
 #include "src/core/transport.h"
+#include "src/crypto/secure_random.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
+#include "src/util/rng.h"
 
 namespace wre::net {
+
+/// Bounds on the retry loop. The defaults suit a LAN client: give a
+/// restarting server a few seconds, then fail loudly.
+struct RetryOptions {
+  /// Total tries per logical request (first attempt included). 1 disables
+  /// retries entirely.
+  int max_attempts = 4;
+  /// First backoff; doubles per retry up to max_backoff_ms, with jitter.
+  uint32_t initial_backoff_ms = 10;
+  uint32_t max_backoff_ms = 2000;
+  /// Wall-clock cap across all attempts of one request, ms (0 = none).
+  /// Also sent to the server as the request deadline, so it stops queueing
+  /// for a client that has already given up.
+  uint32_t overall_deadline_ms = 30000;
+  /// Token-bucket retry budget across requests: a retry costs 1 token, a
+  /// success refunds 0.1 (up to the cap). When the bucket is dry, failures
+  /// surface immediately instead of amplifying an outage with retries.
+  double budget_tokens = 32.0;
+  /// Seed for backoff jitter (deterministic schedules in tests).
+  uint64_t jitter_seed = 0x5ca1ab1e;
+};
 
 struct RemoteOptions {
   /// Per-response payload ceiling (mirrors ServerOptions::max_frame_bytes).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Bounds how long one response may take (0 = wait forever).
+  /// Bounds how long one response may take (0 = wait forever). Each
+  /// attempt's receive timeout is the tighter of this and what remains of
+  /// the overall deadline.
   int response_timeout_ms = 60000;
+  RetryOptions retry;
+};
+
+/// Client-side fault-tolerance counters (cumulative).
+struct RemoteStats {
+  uint64_t requests = 0;    // logical requests issued
+  uint64_t retries = 0;     // extra attempts beyond the first
+  uint64_t overloaded = 0;  // kOverloaded responses received
+  uint64_t exhausted = 0;   // requests that ended in RetriesExhaustedError
 };
 
 class RemoteConnection final : public core::DbTransport {
@@ -45,6 +88,8 @@ class RemoteConnection final : public core::DbTransport {
 
   /// Drops the cached socket; the next request reconnects.
   void disconnect();
+
+  RemoteStats stats() const;
 
   // core::DbTransport
   sql::ResultSet execute(const std::string& sql) override;
@@ -65,12 +110,17 @@ class RemoteConnection final : public core::DbTransport {
                           bool star) override;
 
  private:
-  /// Sends one request frame and returns the response payload after
-  /// verifying the response opcode. `idempotent` requests are retried once
-  /// over a fresh connection if the old one turns out to be dead.
-  Bytes roundtrip(Opcode request, ByteView payload, Opcode expected,
-                  bool idempotent);
-  Bytes roundtrip_once(Opcode request, ByteView payload, Opcode expected);
+  /// Executes one logical request under the retry policy: stamps it with a
+  /// fresh idempotency key, then attempts until success, a non-retryable
+  /// server error, or a retry bound trips (RetriesExhaustedError).
+  Bytes roundtrip(Opcode request, ByteView payload, Opcode expected);
+  /// One attempt. Server-reported errors come back in `status`/`message`
+  /// (stream still aligned, connection kept); transport failures throw
+  /// NetworkError.
+  Bytes roundtrip_once(Opcode request, ByteView payload, Opcode expected,
+                       const RequestExt& ext, uint64_t remaining_ms,
+                       std::optional<StatusCode>* status,
+                       std::string* message);
   Socket& socket_locked();
 
   std::string host_;
@@ -79,6 +129,14 @@ class RemoteConnection final : public core::DbTransport {
 
   std::mutex mu_;  // serializes the request/response cycle on sock_
   std::optional<Socket> sock_;
+  crypto::SecureRandom key_rng_;  // idempotency keys
+  Xoshiro256 jitter_rng_;         // backoff jitter (guarded by mu_)
+  double budget_;                 // retry tokens remaining (guarded by mu_)
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> overloaded_{0};
+  std::atomic<uint64_t> exhausted_{0};
 };
 
 }  // namespace wre::net

@@ -1,7 +1,9 @@
 #include "src/net/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <thread>
 
 #include "src/sql/ast.h"
 
@@ -29,12 +31,46 @@ bool is_read_sql(std::string_view sql) {
   return starts_with_kw("select") || starts_with_kw("explain");
 }
 
+/// Whether executing this request can change database state — the requests
+/// the idempotency cache must dedup. Peeks the SQL text for kExecSql (its
+/// payload is a single length-prefixed string); malformed payloads return
+/// false and fail later in the decoder, before any mutation.
+bool request_mutates(Opcode op, ByteView payload) {
+  switch (op) {
+    case Opcode::kInsertBatch:
+    case Opcode::kCreateTable:
+    case Opcode::kCreateIndex:
+      return true;
+    case Opcode::kExecSql: {
+      if (payload.size() < 4) return false;
+      uint32_t len = load_le32(payload.data());
+      if (len > payload.size() - 4) return false;
+      std::string_view sql(reinterpret_cast<const char*>(payload.data() + 4),
+                           len);
+      return !is_read_sql(sql);
+    }
+    default:
+      return false;
+  }
+}
+
+/// Decrements the live-session gauge on every serve_session exit path.
+class LiveSessionGuard {
+ public:
+  explicit LiveSessionGuard(std::atomic<uint64_t>& gauge) : gauge_(gauge) {}
+  ~LiveSessionGuard() { gauge_.fetch_sub(1); }
+
+ private:
+  std::atomic<uint64_t>& gauge_;
+};
+
 }  // namespace
 
 Server::Server(sql::Database& db, ServerOptions options)
     : db_(db),
       options_(std::move(options)),
-      listener_(options_.host, options_.port) {}
+      listener_(options_.host, options_.port),
+      dedup_(options_.dedup) {}
 
 Server::~Server() { stop(); }
 
@@ -97,16 +133,63 @@ void Server::stop() {
 }
 
 void Server::accept_loop() {
-  while (auto sock = listener_.accept()) {
+  uint32_t backoff_ms = 1;
+  while (!draining_.load()) {
+    std::optional<Socket> sock;
+    try {
+      sock = listener_.accept();
+      backoff_ms = 1;
+    } catch (const std::exception&) {
+      // Transient accept() failure (EMFILE/ENFILE under fd pressure, an
+      // ECONNABORTED storm): the one thing the accept loop must never do
+      // is exit — that would leave the server alive but unreachable.
+      // Back off (capped) and try again; pending connections wait in the
+      // kernel backlog meanwhile.
+      accept_retries_.fetch_add(1);
+      if (draining_.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 200u);
+      continue;
+    }
+    if (!sock) break;  // listener closed: clean shutdown
     sessions_accepted_.fetch_add(1);
+
+    // Admission control: past the cap, shedding with a retryable error is
+    // kinder than queueing — the client backs off instead of timing out.
+    if (options_.max_connections > 0 &&
+        live_sessions_.load() >= options_.max_connections) {
+      shed_connection(std::move(*sock));
+      continue;
+    }
+    live_sessions_.fetch_add(1);
     uint64_t id = next_session_id_.fetch_add(1);
     // shared_ptr: std::function requires copyable captures.
     auto owned = std::make_shared<Socket>(std::move(*sock));
-    pool_->submit([this, owned, id] { serve_session(std::move(*owned), id); });
+    try {
+      pool_->submit(
+          [this, owned, id] { serve_session(std::move(*owned), id); });
+    } catch (const std::exception&) {
+      live_sessions_.fetch_sub(1);  // pool draining: session never runs
+    }
   }
 }
 
+void Server::shed_connection(Socket sock) {
+  sessions_shed_.fetch_add(1);
+  try {
+    OverloadedError e("server: at capacity (" +
+                      std::to_string(options_.max_connections) +
+                      " connections); retry after backoff");
+    Frame f = error_frame(e);
+    sock.send_all(encode_frame(f.opcode, f.payload));
+  } catch (const std::exception&) {
+    // Peer already gone — it was going to learn about the shed either way.
+  }
+  // Socket closes on return; the client sees the error frame, then EOF.
+}
+
 void Server::serve_session(Socket sock, uint64_t session_id) {
+  LiveSessionGuard live(live_sessions_);
   if (draining_.load()) return;  // accepted but never served: drain fast
   if (options_.read_timeout_ms > 0) {
     try {
@@ -148,6 +231,40 @@ void Server::serve_session(Socket sock, uint64_t session_id) {
       fatal = true;
     }
 
+    // A v2 frame interposes the request extension (ext_len byte + body)
+    // between header and payload. An ext_len outside the sane range means
+    // the stream is garbage, not just this request — treat like a bad
+    // header.
+    RequestExt ext;
+    if (!fatal && fh.version == kWireVersionExt) {
+      uint8_t ext_len = 0;
+      uint8_t ext_body[kMaxRequestExtBytes];
+      try {
+        sock.recv_all(&ext_len, 1);
+        if (ext_len >= kRequestExtBytes && ext_len <= kMaxRequestExtBytes) {
+          sock.recv_all(ext_body, ext_len);
+        }
+      } catch (const NetworkError&) {
+        break;  // disconnected mid-extension
+      }
+      if (ext_len < kRequestExtBytes || ext_len > kMaxRequestExtBytes) {
+        protocol_errors_.fetch_add(1);
+        response = error_frame(NetworkError(
+            "wire: request extension length " + std::to_string(ext_len) +
+            " outside [" + std::to_string(kRequestExtBytes) + ", " +
+            std::to_string(kMaxRequestExtBytes) + "]"));
+        fatal = true;
+      } else {
+        try {
+          ext = parse_request_ext(ByteView(ext_body, ext_len));
+        } catch (const std::exception& e) {
+          protocol_errors_.fetch_add(1);
+          response = error_frame(e);
+          fatal = true;
+        }
+      }
+    }
+
     if (!fatal) {
       Bytes payload(fh.payload_length);
       try {
@@ -157,6 +274,13 @@ void Server::serve_session(Socket sock, uint64_t session_id) {
       } catch (const NetworkError&) {
         break;  // disconnected mid-payload
       }
+      // Effective deadline: the tighter of the server flag and what the
+      // client says it is still willing to wait.
+      uint32_t deadline_ms = options_.request_deadline_ms;
+      if (ext.deadline_ms > 0 &&
+          (deadline_ms == 0 || ext.deadline_ms < deadline_ms)) {
+        deadline_ms = ext.deadline_ms;
+      }
       // From here the frame boundary is intact: any failure — unknown
       // opcode, a payload that flunks bounds checks, SQL/storage errors
       // from execution — gets an error response and the session continues.
@@ -165,7 +289,38 @@ void Server::serve_session(Socket sock, uint64_t session_id) {
           throw NetworkError("wire: unknown request opcode " +
                              std::to_string(static_cast<int>(fh.opcode)));
         }
-        response = handle_request(fh.opcode, payload);
+        if (ext.has_key && request_mutates(fh.opcode, payload)) {
+          // Exactly-once: first arrival executes and records; a retry of
+          // the same key replays the recorded response. A request shed
+          // before execution (OverloadedError) aborts its claim instead —
+          // "never ran" must stay retryable, not become a cached error.
+          Frame cached;
+          if (!dedup_.begin(ext.key, &cached)) {
+            response = std::move(cached);
+          } else {
+            try {
+              response = handle_request(fh.opcode, payload, deadline_ms);
+              dedup_.complete(ext.key, response);
+            } catch (const OverloadedError&) {
+              dedup_.abort(ext.key);
+              throw;
+            } catch (const std::exception& e) {
+              // Deterministic failure (bad SQL, duplicate PK, decode
+              // error): record it so a retry replays the same error
+              // instead of executing twice.
+              response = error_frame(e);
+              dedup_.complete(ext.key, response);
+              if (dynamic_cast<const NetworkError*>(&e) != nullptr) {
+                protocol_errors_.fetch_add(1);
+              }
+            }
+          }
+        } else {
+          response = handle_request(fh.opcode, payload, deadline_ms);
+        }
+      } catch (const OverloadedError& e) {
+        // A shed request is load, not a protocol violation.
+        response = error_frame(e);
       } catch (const NetworkError& e) {
         protocol_errors_.fetch_add(1);
         response = error_frame(e);
@@ -194,7 +349,51 @@ Frame Server::error_frame(const std::exception& e) {
   return Frame{Opcode::kError, std::move(w.bytes())};
 }
 
-Frame Server::handle_request(Opcode op, ByteView payload) {
+// Deadline-bounded acquisition is a polled try_lock loop rather than
+// try_lock_for: libstdc++ implements the latter via glibc's
+// pthread_rwlock_clock{rd,wr}lock, which ThreadSanitizer does not
+// intercept, so a successful timed acquisition would record no
+// happens-before edge and every access under the lock would be reported
+// as a race. Deadlines are millisecond-granular; a 100 µs poll costs
+// noise against that while keeping the lock visible to the sanitizer.
+std::shared_lock<std::shared_timed_mutex> Server::lock_shared(
+    uint32_t deadline_ms) {
+  if (deadline_ms == 0) return std::shared_lock(db_mu_);
+  std::shared_lock lock(db_mu_, std::try_to_lock);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (!lock.owns_lock() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    (void)lock.try_lock();
+  }
+  if (!lock.owns_lock()) {
+    deadline_rejects_.fetch_add(1);
+    throw OverloadedError("server: request shed — database busy past the " +
+                          std::to_string(deadline_ms) + " ms deadline");
+  }
+  return lock;
+}
+
+std::unique_lock<std::shared_timed_mutex> Server::lock_unique(
+    uint32_t deadline_ms) {
+  if (deadline_ms == 0) return std::unique_lock(db_mu_);
+  std::unique_lock lock(db_mu_, std::try_to_lock);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (!lock.owns_lock() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    (void)lock.try_lock();
+  }
+  if (!lock.owns_lock()) {
+    deadline_rejects_.fetch_add(1);
+    throw OverloadedError("server: request shed — database busy past the " +
+                          std::to_string(deadline_ms) + " ms deadline");
+  }
+  return lock;
+}
+
+Frame Server::handle_request(Opcode op, ByteView payload,
+                             uint32_t deadline_ms) {
   WireReader r(payload);
   WireWriter w;
   switch (op) {
@@ -207,12 +406,12 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       r.expect_end();
       sql::ResultSet rs;
       if (is_read_sql(sql)) {
-        std::shared_lock lock(db_mu_);
+        auto lock = lock_shared(deadline_ms);
         rs = db_.execute(sql);
       } else {
         storage::CommitHandle commit;
         {
-          std::unique_lock lock(db_mu_);
+          auto lock = lock_unique(deadline_ms);
           rs = db_.execute(sql);
           commit = db_.commit_async();
         }
@@ -237,7 +436,7 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       std::vector<int64_t> ids;
       storage::CommitHandle commit;
       {
-        std::unique_lock lock(db_mu_);
+        auto lock = lock_unique(deadline_ms);
         ids = db_.insert_batch(table, rows);
         commit = db_.commit_async();
       }
@@ -252,7 +451,7 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       r.expect_end();
       storage::CommitHandle commit;
       {
-        std::unique_lock lock(db_mu_);
+        auto lock = lock_unique(deadline_ms);
         db_.create_table(table, std::move(schema));
         commit = db_.commit_async();
       }
@@ -265,7 +464,7 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       r.expect_end();
       storage::CommitHandle commit;
       {
-        std::unique_lock lock(db_mu_);
+        auto lock = lock_unique(deadline_ms);
         db_.create_index(table, column);
         commit = db_.commit_async();
       }
@@ -275,21 +474,21 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
     case Opcode::kHasTable: {
       std::string table = r.string();
       r.expect_end();
-      std::shared_lock lock(db_mu_);
+      auto lock = lock_shared(deadline_ms);
       w.u8(db_.has_table(table) ? 1 : 0);
       return Frame{Opcode::kOkBool, std::move(w.bytes())};
     }
     case Opcode::kRowCount: {
       std::string table = r.string();
       r.expect_end();
-      std::shared_lock lock(db_mu_);
+      auto lock = lock_shared(deadline_ms);
       w.u64(db_.table(table).row_count());
       return Frame{Opcode::kOkCount, std::move(w.bytes())};
     }
     case Opcode::kTableSchema: {
       std::string table = r.string();
       r.expect_end();
-      std::shared_lock lock(db_mu_);
+      auto lock = lock_shared(deadline_ms);
       w.schema(db_.table(table).schema());
       return Frame{Opcode::kOkSchema, std::move(w.bytes())};
     }
@@ -314,7 +513,7 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
       if (!star) stmt.columns = {"id"};
       stmt.table = table;
       stmt.where = sql::Expr::in_list(tag_column, std::move(tags));
-      std::shared_lock lock(db_mu_);
+      auto lock = lock_shared(deadline_ms);
       sql::ResultSet rs = db_.execute_select(stmt);
       encode_result_set(rs, w);
       return Frame{Opcode::kOkResult, std::move(w.bytes())};
@@ -322,7 +521,7 @@ Frame Server::handle_request(Opcode op, ByteView payload) {
     case Opcode::kScanTable: {
       std::string table = r.string();
       r.expect_end();
-      std::shared_lock lock(db_mu_);
+      auto lock = lock_shared(deadline_ms);
       sql::Table& t = db_.table(table);
       sql::ResultSet rs;
       for (const sql::Column& c : t.schema().columns()) {

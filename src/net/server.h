@@ -9,11 +9,24 @@
 //   - each session worker loops read-frame -> dispatch -> write-response
 //     until the client hangs up, a read times out, a frame is malformed, or
 //     the server drains;
-//   - the engine's single-writer rule is enforced with a shared_mutex:
+//   - the engine's single-writer rule is enforced with a shared mutex:
 //     statements that mutate (INSERT / CREATE / batched inserts) hold it
 //     exclusively, everything else shares it, so concurrent WRE searches
 //     from many clients proceed in parallel exactly like the in-process
 //     concurrent read path (DESIGN.md §5.2).
+//
+// Fault tolerance (DESIGN.md §5.6):
+//   - the accept loop survives transient accept() failures (EMFILE,
+//     ECONNABORTED storms) by backing off and retrying instead of dying;
+//   - admission control: beyond max_connections live sessions, new
+//     connections are shed with a retryable kOverloaded error frame instead
+//     of queueing unboundedly — the client backs off and retries;
+//   - per-request deadlines (server flag and/or the client's v2 request
+//     extension) bound how long a request may wait for the database lock;
+//     expiry sheds the request with kOverloaded *before* it executes;
+//   - a DedupCache keyed by the client's idempotency key replays recorded
+//     responses for retried mutations, so a retry after a lost ACK cannot
+//     double-apply (exactly-once ingest).
 //
 // Shutdown (stop(), also wired to SIGTERM in wre_server): the listener
 // stops accepting, idle sessions are woken and closed, in-flight requests
@@ -30,6 +43,7 @@
 #include <string>
 #include <thread>
 
+#include "src/net/dedup_cache.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
 #include "src/sql/database.h"
@@ -57,6 +71,18 @@ struct ServerOptions {
   /// writers (they hold the lock exclusively) while letting reads proceed —
   /// bounding how much WAL a crash would replay.
   uint32_t checkpoint_interval_ms = 0;
+  /// Admission control: cap on live sessions (accepted and not yet
+  /// finished, including those queued for a pool worker). 0 = unlimited.
+  /// Connections beyond the cap are shed with a retryable kOverloaded
+  /// error frame instead of silently queueing.
+  size_t max_connections = 0;
+  /// Server-side per-request deadline in milliseconds (0 = none): bounds
+  /// how long a request may wait for the database lock before being shed
+  /// with kOverloaded. The effective deadline is the tighter of this and
+  /// the client's RequestExt deadline.
+  uint32_t request_deadline_ms = 0;
+  /// Bounds on the idempotency-key replay cache (see dedup_cache.h).
+  DedupCache::Options dedup;
 };
 
 class Server {
@@ -84,13 +110,31 @@ class Server {
   uint64_t frames_served() const { return frames_served_.load(); }
   uint64_t protocol_errors() const { return protocol_errors_.load(); }
   uint64_t checkpoints() const { return checkpoints_.load(); }
+  /// Connections refused by admission control (max_connections).
+  uint64_t sessions_shed() const { return sessions_shed_.load(); }
+  /// Requests shed because a deadline expired before the lock was held.
+  uint64_t deadline_rejects() const { return deadline_rejects_.load(); }
+  /// Transient accept() failures survived by backoff-and-retry.
+  uint64_t accept_retries() const { return accept_retries_.load(); }
+  /// Mutations answered from the idempotency cache instead of re-executed.
+  uint64_t dedup_hits() const { return dedup_.hits(); }
+  /// Live sessions right now (admission-control gauge).
+  uint64_t live_sessions() const { return live_sessions_.load(); }
 
  private:
   void accept_loop();
   void checkpoint_loop();
   void serve_session(Socket sock, uint64_t session_id);
+  /// Answers an over-capacity connection with kOverloaded and closes it.
+  void shed_connection(Socket sock);
   /// Decodes and executes one request frame; returns the response frame.
-  Frame handle_request(Opcode op, ByteView payload);
+  /// `deadline_ms` (0 = none) bounds the db-lock wait; expiry throws
+  /// OverloadedError before any state changes.
+  Frame handle_request(Opcode op, ByteView payload, uint32_t deadline_ms);
+  /// Timed db_mu_ acquisition; throws OverloadedError when the deadline
+  /// passes first (and counts it in deadline_rejects_).
+  std::shared_lock<std::shared_timed_mutex> lock_shared(uint32_t deadline_ms);
+  std::unique_lock<std::shared_timed_mutex> lock_unique(uint32_t deadline_ms);
   static Frame error_frame(const std::exception& e);
 
   sql::Database& db_;
@@ -105,7 +149,11 @@ class Server {
   std::atomic<bool> draining_{false};
 
   /// Single-writer exclusion over db_ (see the threading model above).
-  std::shared_mutex db_mu_;
+  /// Timed so request deadlines can bound the wait (lock_shared/_unique).
+  std::shared_timed_mutex db_mu_;
+
+  /// Idempotency-key replay cache (exactly-once retried mutations).
+  DedupCache dedup_;
 
   /// Live session sockets, so stop() can wake blocked reads. Sessions own
   /// their Socket; this maps session id -> raw fd wrapper for shutdown only.
@@ -116,6 +164,10 @@ class Server {
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> sessions_shed_{0};
+  std::atomic<uint64_t> deadline_rejects_{0};
+  std::atomic<uint64_t> accept_retries_{0};
+  std::atomic<uint64_t> live_sessions_{0};
   std::atomic<uint64_t> next_session_id_{0};
 };
 

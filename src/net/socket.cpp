@@ -8,8 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "src/net/net_fault.h"
 
 namespace wre::net {
 
@@ -17,6 +21,10 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw NetworkError(what + ": " + std::strerror(errno));
+}
+
+void injected_sleep_ms(uint32_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace
@@ -53,6 +61,30 @@ Socket Socket::connect(const std::string& host, uint16_t port) {
 }
 
 void Socket::send_all(ByteView data) {
+  if (NetFaultInjector::instance().armed()) {
+    auto plan = NetFaultInjector::instance().on_send(data.size());
+    injected_sleep_ms(plan.delay_ms);
+    if (plan.torn) {
+      // Deliver a strict prefix, then die: the peer observes a frame torn
+      // mid-stream — the classic half-delivered mutation a retry must heal.
+      ByteView prefix = data.subspan(0, plan.torn_prefix);
+      size_t sent = 0;
+      while (sent < prefix.size()) {
+        ssize_t n = ::send(fd_, prefix.data() + sent, prefix.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<size_t>(n);
+      }
+      close();
+      throw NetworkError("Socket::send_all: injected torn write (" +
+                         std::to_string(sent) + "/" +
+                         std::to_string(data.size()) + " bytes)");
+    }
+    if (plan.reset) {
+      close();
+      throw NetworkError("Socket::send_all: injected connection reset");
+    }
+  }
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
@@ -66,6 +98,14 @@ void Socket::send_all(ByteView data) {
 }
 
 bool Socket::recv_all_or_eof(uint8_t* out, size_t n) {
+  if (NetFaultInjector::instance().armed()) {
+    auto plan = NetFaultInjector::instance().on_recv();
+    injected_sleep_ms(plan.stall_ms);
+    if (plan.reset) {
+      close();
+      throw NetworkError("Socket::recv: injected connection reset");
+    }
+  }
   size_t got = 0;
   while (got < n) {
     ssize_t r = ::recv(fd_, out + got, n - got, 0);
@@ -167,6 +207,15 @@ Listener::~Listener() {
 
 std::optional<Socket> Listener::accept() {
   while (!stopping_.load(std::memory_order_acquire)) {
+    if (NetFaultInjector::instance().armed() &&
+        NetFaultInjector::instance().on_accept()) {
+      // Models accept() failing with a transient, resource-exhaustion style
+      // error (EMFILE/ENFILE): throwing — not continuing — so the caller's
+      // retry/backoff path is what gets exercised.
+      throw NetworkError(
+          "Listener::accept: injected transient failure "
+          "(too many open files)");
+    }
     pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
     int n = ::poll(fds, 2, -1);
     if (n < 0) {

@@ -1,5 +1,7 @@
 #include "src/net/wire.h"
 
+#include <algorithm>
+
 namespace wre::net {
 
 const char* opcode_name(Opcode op) {
@@ -33,6 +35,7 @@ bool is_request_opcode(uint8_t op) {
 
 StatusCode status_code_for(const std::exception& e) {
   // Most-derived first: every subclass is also a wre::Error.
+  if (dynamic_cast<const OverloadedError*>(&e)) return StatusCode::kOverloaded;
   if (dynamic_cast<const StorageError*>(&e)) return StatusCode::kStorage;
   if (dynamic_cast<const SqlError*>(&e)) return StatusCode::kSql;
   if (dynamic_cast<const CryptoError*>(&e)) return StatusCode::kCrypto;
@@ -48,6 +51,7 @@ void rethrow_status(StatusCode code, const std::string& message) {
     case StatusCode::kCrypto: throw CryptoError(message);
     case StatusCode::kWre: throw WreError(message);
     case StatusCode::kNetwork: throw NetworkError(message);
+    case StatusCode::kOverloaded: throw OverloadedError(message);
     case StatusCode::kGeneric: break;
   }
   // Unknown future codes degrade to the hierarchy root rather than failing.
@@ -66,12 +70,46 @@ Bytes encode_frame(Opcode opcode, ByteView payload) {
   return out;
 }
 
+Bytes encode_request_frame(Opcode opcode, ByteView payload,
+                           const RequestExt& ext) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + 1 + kRequestExtBytes + payload.size());
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kWireVersionExt);
+  out.push_back(static_cast<uint8_t>(opcode));
+  store_le32(out, static_cast<uint32_t>(payload.size()));
+  out.push_back(static_cast<uint8_t>(kRequestExtBytes));
+  out.push_back(ext.has_key ? 0x01 : 0x00);  // flags
+  out.push_back(0);                          // reserved
+  out.push_back(0);
+  store_le32(out, ext.deadline_ms);
+  out.insert(out.end(), ext.key.begin(), ext.key.end());
+  append(out, payload);
+  return out;
+}
+
+RequestExt parse_request_ext(ByteView body) {
+  if (body.size() < kRequestExtBytes) {
+    throw NetworkError("wire: request extension of " +
+                       std::to_string(body.size()) + " bytes, need " +
+                       std::to_string(kRequestExtBytes));
+  }
+  RequestExt ext;
+  ext.has_key = (body[0] & 0x01) != 0;
+  // body[1..2] reserved.
+  ext.deadline_ms = load_le32(body.data() + 3);
+  std::copy_n(body.begin() + 7, ext.key.size(), ext.key.begin());
+  // Bytes past kRequestExtBytes belong to a future revision: skip them.
+  return ext;
+}
+
 FrameHeader decode_frame_header(const uint8_t (&header)[kFrameHeaderBytes],
                                 size_t max_frame_bytes) {
   if (header[0] != kMagic0 || header[1] != kMagic1) {
     throw NetworkError("wire: bad frame magic");
   }
-  if (header[2] != kWireVersion) {
+  if (header[2] != kWireVersion && header[2] != kWireVersionExt) {
     throw NetworkError("wire: unsupported protocol version " +
                        std::to_string(header[2]));
   }
@@ -81,7 +119,7 @@ FrameHeader decode_frame_header(const uint8_t (&header)[kFrameHeaderBytes],
                        " bytes exceeds the " +
                        std::to_string(max_frame_bytes) + "-byte limit");
   }
-  return FrameHeader{static_cast<Opcode>(header[3]), length};
+  return FrameHeader{static_cast<Opcode>(header[3]), length, header[2]};
 }
 
 void WireReader::need(size_t n) const {

@@ -3,10 +3,30 @@
 //
 //   offset  size  field
 //   0       2     magic "WR"
-//   2       1     protocol version (kWireVersion)
+//   2       1     frame format version (kWireVersion / kWireVersionExt)
 //   3       1     opcode (request 0x01-0x7F, response 0x80-0xFF)
 //   4       4     payload length, little-endian
 //   8       n     payload (opcode-specific; see the Opcode table)
+//
+// Format version 2 (kWireVersionExt) inserts a request extension between
+// the header and the payload of *request* frames (responses never carry
+// one):
+//
+//   8       1     ext_len — bytes of extension that follow (>= 23)
+//   9       1     flags (bit 0: idempotency key present)
+//   10      2     reserved (zero)
+//   12      4     request deadline in ms, little-endian (0 = none)
+//   16      16    idempotency key (client-generated, random)
+//   ...           future fields — receivers skip bytes past the ones they
+//                 know, so the extension can grow without a version bump
+//
+// The extension is what makes retries safe end-to-end: the client stamps
+// every request with a fresh random idempotency key, keeps the key constant
+// across retries of that request, and the server's dedup cache replays the
+// recorded response instead of re-executing a mutation it already applied.
+// The deadline lets the server stop queueing for a request whose client has
+// already given up. Servers accept both formats (a v1 frame simply has no
+// key and no deadline), so old clients keep working.
 //
 // Integers are little-endian; strings and blobs are a u32 length followed by
 // raw bytes; sql::Value / sql::Schema use their own wire_encode hooks. All
@@ -21,6 +41,7 @@
 // encrypted columns — those never leave the client process.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,8 +54,15 @@ namespace wre::net {
 
 inline constexpr uint8_t kMagic0 = 'W';
 inline constexpr uint8_t kMagic1 = 'R';
+/// Base frame format: header + payload.
 inline constexpr uint8_t kWireVersion = 1;
+/// Extended format: header + request extension + payload (requests only).
+inline constexpr uint8_t kWireVersionExt = 2;
 inline constexpr size_t kFrameHeaderBytes = 8;
+/// Extension bytes following the ext_len byte in a v2 request frame.
+inline constexpr size_t kRequestExtBytes = 23;
+/// Sanity ceiling on ext_len (future growth stays small and fixed-size).
+inline constexpr size_t kMaxRequestExtBytes = 64;
 /// Default ceiling on one frame's payload. Requests above it are rejected
 /// without being read — the server's backpressure limit against hostile or
 /// buggy clients allocating unbounded memory server-side.
@@ -82,6 +110,11 @@ enum class StatusCode : uint16_t {
   kCrypto = 4,
   kWre = 5,
   kNetwork = 6,
+  /// Retryable: the server shed the request (admission control, bounded
+  /// queue, or server-side deadline) without executing it — or it is safe
+  /// to replay because the idempotency key dedups it. Clients back off and
+  /// retry instead of failing.
+  kOverloaded = 7,
 };
 
 StatusCode status_code_for(const std::exception& e);
@@ -93,13 +126,33 @@ struct Frame {
   Bytes payload;
 };
 
-/// Renders header + payload, ready for send().
+/// The v2 per-request extension (see the format comment above).
+struct RequestExt {
+  bool has_key = false;
+  std::array<uint8_t, 16> key{};
+  /// How long the client is still willing to wait, in ms (0 = no deadline).
+  /// The server bounds its own queueing/lock waits by it.
+  uint32_t deadline_ms = 0;
+};
+
+/// Renders a base (v1) frame: header + payload, ready for send().
 Bytes encode_frame(Opcode opcode, ByteView payload);
+
+/// Renders a v2 request frame: header + extension + payload.
+Bytes encode_request_frame(Opcode opcode, ByteView payload,
+                           const RequestExt& ext);
+
+/// Decodes the extension body (the bytes following ext_len). Unknown
+/// trailing bytes are ignored; a body shorter than kRequestExtBytes throws.
+RequestExt parse_request_ext(ByteView body);
 
 /// Parsed and validated frame header.
 struct FrameHeader {
   Opcode opcode;
   uint32_t payload_length = 0;
+  /// kWireVersion or kWireVersionExt — tells the receiver whether a request
+  /// extension follows the header.
+  uint8_t version = kWireVersion;
 };
 
 /// Validates magic, version and length (<= max_frame_bytes). Throws

@@ -8,6 +8,13 @@
 //   wre_server --dir=/path/to/db [--host=127.0.0.1] [--port=7433]
 //              [--threads=0] [--read-timeout-ms=60000] [--max-frame-mb=64]
 //              [--query-threads=1] [--wal=1] [--checkpoint-interval-ms=60000]
+//              [--max-connections=0] [--request-deadline-ms=0]
+//
+// Overload protection: --max-connections caps live sessions (0 = unlimited;
+// extras are shed with a retryable overloaded error) and
+// --request-deadline-ms bounds how long any request may wait for the
+// database lock before being shed (0 = no bound). Clients with retry
+// enabled back off and try again on either.
 //
 // Durability is on by default: writes are group-committed to a WAL before
 // they are acknowledged, crash recovery replays the log before the listener
@@ -53,6 +60,8 @@ struct Flags {
   long query_threads = 1;
   long wal = 1;
   long checkpoint_interval_ms = 60000;
+  long max_connections = 0;
+  long request_deadline_ms = 0;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -61,7 +70,8 @@ struct Flags {
                "usage: wre_server --dir=PATH [--host=ADDR] [--port=N]\n"
                "                  [--threads=N] [--read-timeout-ms=N]\n"
                "                  [--max-frame-mb=N] [--query-threads=N]\n"
-               "                  [--wal=0|1] [--checkpoint-interval-ms=N]\n",
+               "                  [--wal=0|1] [--checkpoint-interval-ms=N]\n"
+               "                  [--max-connections=N] [--request-deadline-ms=N]\n",
                message.c_str());
   std::exit(2);
 }
@@ -105,6 +115,10 @@ Flags parse_flags(int argc, char** argv) {
       flags.wal = parse_long(key, val);
     } else if (key == "--checkpoint-interval-ms") {
       flags.checkpoint_interval_ms = parse_long(key, val);
+    } else if (key == "--max-connections") {
+      flags.max_connections = parse_long(key, val);
+    } else if (key == "--request-deadline-ms") {
+      flags.request_deadline_ms = parse_long(key, val);
     } else {
       usage_error("unknown flag '" + key + "'");
     }
@@ -114,6 +128,12 @@ Flags parse_flags(int argc, char** argv) {
   if (flags.max_frame_mb <= 0) usage_error("--max-frame-mb must be positive");
   if (flags.checkpoint_interval_ms < 0) {
     usage_error("--checkpoint-interval-ms must be >= 0");
+  }
+  if (flags.max_connections < 0) {
+    usage_error("--max-connections must be >= 0");
+  }
+  if (flags.request_deadline_ms < 0) {
+    usage_error("--request-deadline-ms must be >= 0");
   }
   return flags;
 }
@@ -166,6 +186,9 @@ int main(int argc, char** argv) {
     options.checkpoint_interval_ms =
         flags.wal != 0 ? static_cast<uint32_t>(flags.checkpoint_interval_ms)
                        : 0;
+    options.max_connections = static_cast<size_t>(flags.max_connections);
+    options.request_deadline_ms =
+        static_cast<uint32_t>(flags.request_deadline_ms);
 
     wre::net::Server server(db, options);
     server.start();
@@ -187,6 +210,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(server.sessions_accepted()),
                  static_cast<unsigned long long>(server.protocol_errors()),
                  static_cast<unsigned long long>(server.checkpoints()));
+    std::fprintf(stderr,
+                 "wre_server: fault tolerance: %llu sessions shed, "
+                 "%llu deadline rejects, %llu dedup replays, "
+                 "%llu accept retries\n",
+                 static_cast<unsigned long long>(server.sessions_shed()),
+                 static_cast<unsigned long long>(server.deadline_rejects()),
+                 static_cast<unsigned long long>(server.dedup_hits()),
+                 static_cast<unsigned long long>(server.accept_retries()));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wre_server: fatal: %s\n", e.what());

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "src/storage/fault_injector.h"
+#include "src/util/bytes.h"
+#include "src/util/crc32c.h"
 #include "src/util/error.h"
 
 namespace wre::storage {
@@ -22,12 +24,12 @@ void synthetic_delay(uint32_t micros) {
   std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
-/// Full-page positioned read/write; retries short transfers (signals,
-/// pipe-ish filesystems) until the page is complete.
+/// Full-record positioned read/write of one physical page (header + data);
+/// retries short transfers (signals, pipe-ish filesystems) until complete.
 bool pread_page(int fd, uint8_t* out, uint64_t offset) {
   size_t done = 0;
-  while (done < kPageSize) {
-    ssize_t n = ::pread(fd, out + done, kPageSize - done,
+  while (done < kPhysicalPageBytes) {
+    ssize_t n = ::pread(fd, out + done, kPhysicalPageBytes - done,
                         static_cast<off_t>(offset + done));
     if (n <= 0) return false;
     done += static_cast<size_t>(n);
@@ -37,8 +39,8 @@ bool pread_page(int fd, uint8_t* out, uint64_t offset) {
 
 bool pwrite_page(int fd, const uint8_t* data, uint64_t offset) {
   size_t done = 0;
-  while (done < kPageSize) {
-    ssize_t n = ::pwrite(fd, data + done, kPageSize - done,
+  while (done < kPhysicalPageBytes) {
+    ssize_t n = ::pwrite(fd, data + done, kPhysicalPageBytes - done,
                          static_cast<off_t>(offset + done));
     if (n <= 0) return false;
     done += static_cast<size_t>(n);
@@ -46,7 +48,18 @@ bool pwrite_page(int fd, const uint8_t* data, uint64_t offset) {
   return true;
 }
 
+uint64_t physical_offset(PageNumber page) {
+  return static_cast<uint64_t>(page) * kPhysicalPageBytes;
+}
+
 }  // namespace
+
+void frame_page_record(const uint8_t* data, uint8_t* out) {
+  uint32_t crc = util::crc32c(data, kPageSize);
+  store_le32(out, crc);
+  store_le32(out + 4, 0);  // reserved
+  std::memcpy(out + kPageDiskHeaderBytes, data, kPageSize);
+}
 
 DiskManager::~DiskManager() {
   for (auto& f : files_) {
@@ -73,7 +86,14 @@ FileId DiskManager::open_file(const std::string& path) {
   }
   off_t size = ::lseek(f->fd, 0, SEEK_END);
   if (size < 0) throw StorageError("DiskManager: seek failed on " + path);
-  f->pages.store(static_cast<PageNumber>(size / kPageSize),
+  if (size % kPhysicalPageBytes != 0) {
+    throw CorruptionError("DiskManager: " + path + " is " +
+                          std::to_string(size) +
+                          " bytes, not a multiple of the physical page size " +
+                          std::to_string(kPhysicalPageBytes) +
+                          " (truncated or pre-checksum format)");
+  }
+  f->pages.store(static_cast<PageNumber>(size / kPhysicalPageBytes),
                  std::memory_order_relaxed);
 
   bool fresh = f->pages.load(std::memory_order_relaxed) == 0;
@@ -95,7 +115,9 @@ PageNumber DiskManager::allocate_page(FileId file) {
   File& f = file_at(file);
   PageNumber page = f.pages.load(std::memory_order_relaxed);
   uint8_t zeros[kPageSize] = {0};
-  if (!pwrite_page(f.fd, zeros, static_cast<uint64_t>(page) * kPageSize)) {
+  uint8_t framed[kPhysicalPageBytes];
+  frame_page_record(zeros, framed);
+  if (!pwrite_page(f.fd, framed, physical_offset(page))) {
     throw StorageError("DiskManager: allocate failed on " + f.path);
   }
   f.pages.store(page + 1, std::memory_order_release);
@@ -108,9 +130,19 @@ void DiskManager::read_page(PageId id, uint8_t* out) {
   if (id.page >= f.pages.load(std::memory_order_acquire)) {
     throw StorageError("DiskManager: read past end of " + f.path);
   }
-  if (!pread_page(f.fd, out, static_cast<uint64_t>(id.page) * kPageSize)) {
+  uint8_t framed[kPhysicalPageBytes];
+  if (!pread_page(f.fd, framed, physical_offset(id.page))) {
     throw StorageError("DiskManager: read failed on " + f.path);
   }
+  uint32_t stored = load_le32(framed);
+  uint32_t actual = util::crc32c(framed + kPageDiskHeaderBytes, kPageSize);
+  if (stored != actual) {
+    throw CorruptionError(
+        "DiskManager: checksum mismatch on page " + std::to_string(id.page) +
+        " of " + f.path + " (stored " + std::to_string(stored) + ", data " +
+        std::to_string(actual) + ") — refusing to serve corrupted data");
+  }
+  std::memcpy(out, framed + kPageDiskHeaderBytes, kPageSize);
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   synthetic_delay(read_latency_us_.load(std::memory_order_relaxed));
 }
@@ -127,7 +159,15 @@ void DiskManager::write_page(PageId id, const uint8_t* data) {
     page_writes_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (!pwrite_page(f.fd, data, static_cast<uint64_t>(id.page) * kPageSize)) {
+  uint8_t framed[kPhysicalPageBytes];
+  frame_page_record(data, framed);
+  if (FaultInjector::instance().should_bitflip_page_write(f.path)) {
+    // Injected silent media corruption: the checksum covers the pristine
+    // image but one data bit lands inverted. Only the next read can (and
+    // must) notice.
+    framed[kPageDiskHeaderBytes + kPageSize / 2] ^= 0x04;
+  }
+  if (!pwrite_page(f.fd, framed, physical_offset(id.page))) {
     throw StorageError("DiskManager: write failed on " + f.path);
   }
   page_writes_.fetch_add(1, std::memory_order_relaxed);

@@ -12,6 +12,13 @@
 // file cursor and no lock on the read path. Writes and page allocation
 // follow the engine's single-writer discipline; open_file() must not race
 // with I/O on the same manager.
+//
+// Integrity: each page is stored with a CRC32C header (kPageDiskHeaderBytes
+// in page.h) covering its data image. write_page computes it, read_page
+// verifies it and throws CorruptionError on mismatch — a flipped bit on the
+// platter is detected at the first read instead of being served as data.
+// The header is invisible above this layer: callers still see kPageSize
+// byte pages, and file_size_bytes() reports the logical (data) size.
 #pragma once
 
 #include <atomic>
@@ -30,6 +37,11 @@ struct DiskStats {
   uint64_t page_writes = 0;
   uint64_t pages_allocated = 0;
 };
+
+/// Renders the on-disk record for one page into `out` (which must hold
+/// kPhysicalPageBytes): CRC32C header followed by the kPageSize data image.
+/// Shared by DiskManager and WAL replay, which writes page files directly.
+void frame_page_record(const uint8_t* data, uint8_t* out);
 
 /// Manages a set of page files. Reads are thread-safe; writes/opens are
 /// single-writer (matching the engine).
@@ -52,8 +64,9 @@ class DiskManager {
   PageNumber allocate_page(FileId file);
 
   /// Reads/writes one full page. Throws StorageError on I/O failure or
-  /// out-of-range page numbers. read_page is safe to call from any number
-  /// of threads concurrently.
+  /// out-of-range page numbers, and CorruptionError when a read page fails
+  /// its checksum. read_page is safe to call from any number of threads
+  /// concurrently.
   void read_page(PageId id, uint8_t* out);
   void write_page(PageId id, const uint8_t* data);
 

@@ -28,6 +28,8 @@ void FaultInjector::load_env(const char* spec) {
       arm_wal_torn_after(std::strtoull(value.c_str(), nullptr, 10));
     } else if (key == "page_write_drop") {
       arm_page_write_drop(value);
+    } else if (key == "page_bitflip") {
+      arm_page_bitflip(value);
     }
     // Unknown keys are ignored: an old binary driven by a newer harness
     // should not crash over a fault mode it does not implement.
@@ -40,6 +42,7 @@ void FaultInjector::reset() {
   wal_torn_after_ = 0;
   wal_bytes_written_ = 0;
   page_drop_substring_.clear();
+  page_bitflip_substring_.clear();
   dropped_page_writes_.store(0, std::memory_order_relaxed);
   refresh_armed();
 }
@@ -58,8 +61,15 @@ void FaultInjector::arm_page_write_drop(const std::string& path_substring) {
   refresh_armed();
 }
 
+void FaultInjector::arm_page_bitflip(const std::string& path_substring) {
+  std::lock_guard<std::mutex> lk(mu_);
+  page_bitflip_substring_ = path_substring;
+  refresh_armed();
+}
+
 void FaultInjector::refresh_armed() {
-  armed_.store(wal_torn_armed_ || !page_drop_substring_.empty(),
+  armed_.store(wal_torn_armed_ || !page_drop_substring_.empty() ||
+                   !page_bitflip_substring_.empty(),
                std::memory_order_relaxed);
 }
 
@@ -84,6 +94,18 @@ bool FaultInjector::should_drop_page_write(const std::string& path) {
     return false;
   }
   dropped_page_writes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::should_bitflip_page_write(const std::string& path) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (page_bitflip_substring_.empty() ||
+      path.find(page_bitflip_substring_) == std::string::npos) {
+    return false;
+  }
+  page_bitflip_substring_.clear();  // one-shot
+  refresh_armed();
   return true;
 }
 

@@ -16,6 +16,12 @@
 //                          pages that never reached the platter. With the
 //                          WAL enabled this must be invisible after replay
 //                          (log-before-data).
+//   * page_bitflip=S     — one-shot: the next page write to a file whose
+//                          path contains S lands with one data bit flipped
+//                          while its header checksum still covers the
+//                          pristine image — a silent media corruption. The
+//                          next read of that page must raise
+//                          CorruptionError, never return the bytes.
 //
 // Faults arm either programmatically (unit tests) or from the WRE_FAULT
 // environment variable (external processes): a ';'-separated list such as
@@ -49,6 +55,11 @@ class FaultInjector {
   /// Drop page writes to files whose path contains `path_substring`.
   void arm_page_write_drop(const std::string& path_substring);
 
+  /// Corrupt exactly one bit of the next page write to a matching file (the
+  /// stored checksum still covers the pristine data, so the corruption is
+  /// silent until read back). One-shot: disarms after firing.
+  void arm_page_bitflip(const std::string& path_substring);
+
   // -- storage-layer hooks --------------------------------------------------
 
   /// Called by the WAL before appending `len` bytes. Returns how many of
@@ -58,6 +69,10 @@ class FaultInjector {
 
   /// True if the write to `path` must be silently dropped.
   bool should_drop_page_write(const std::string& path);
+
+  /// True if this page write to `path` must land with a flipped bit.
+  /// Consuming: fires at most once per arm_page_bitflip().
+  bool should_bitflip_page_write(const std::string& path);
 
   /// Pages whose writes were dropped so far (test assertions).
   uint64_t dropped_page_writes() const {
@@ -79,7 +94,8 @@ class FaultInjector {
   uint64_t wal_torn_after_ = 0;
   uint64_t wal_bytes_written_ = 0;
 
-  std::string page_drop_substring_;  // empty = disarmed
+  std::string page_drop_substring_;     // empty = disarmed
+  std::string page_bitflip_substring_;  // empty = disarmed; one-shot
   std::atomic<uint64_t> dropped_page_writes_{0};
 };
 

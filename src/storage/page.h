@@ -14,6 +14,17 @@ namespace wre::storage {
 /// Fixed page size. 4 KiB mirrors a typical DBMS/OS page.
 inline constexpr size_t kPageSize = 4096;
 
+/// Every page is stored on disk with a small header in front of its data:
+///   [0..3]  u32 CRC32C of the kPageSize data bytes, little-endian
+///   [4..7]  reserved (zero)
+/// The header exists only in the file — the in-memory page image handed to
+/// the buffer pool and the engine is exactly kPageSize bytes, so no page
+/// layout above DiskManager changes. Reads verify the checksum and raise
+/// CorruptionError on mismatch: a bit flip on the platter is detected, never
+/// silently served as data.
+inline constexpr size_t kPageDiskHeaderBytes = 8;
+inline constexpr size_t kPhysicalPageBytes = kPageSize + kPageDiskHeaderBytes;
+
 /// Page number within one file. Page 0 of every file is reserved for file
 /// metadata, so 0 doubles as the "null" page number in link fields.
 using PageNumber = uint32_t;

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <map>
 
+#include "src/storage/disk_manager.h"
 #include "src/storage/fault_injector.h"
 #include "src/util/crc32c.h"
 #include "src/util/error.h"
@@ -208,22 +209,34 @@ class Replayer {
 
   void page_image(const std::string& name, PageNumber page, ByteView data) {
     int fd = fd_for(name);
-    size_t done = 0;
-    uint64_t offset = static_cast<uint64_t>(page) * kPageSize;
-    while (done < data.size()) {
-      ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
-                           static_cast<off_t>(offset + done));
-      if (n <= 0) {
-        throw StorageError("wal recover: cannot write " + name);
-      }
-      done += static_cast<size_t>(n);
-    }
+    // The log carries the logical (kPageSize) image; on disk every page is
+    // a checksummed physical record, so replay re-frames it exactly like
+    // DiskManager::write_page would. Writing past the current end would
+    // leave zero-filled holes (invalid records) for the pages in between,
+    // so frame those as zero pages first.
+    uint64_t offset = static_cast<uint64_t>(page) * kPhysicalPageBytes;
+    fill_framed_zeros_up_to(fd, name, static_cast<off_t>(offset));
+    uint8_t framed[kPhysicalPageBytes];
+    frame_page_record(data.data(), framed);
+    write_record_at(fd, name, framed, static_cast<off_t>(offset));
   }
 
   void extent(const std::string& name, PageNumber page_count) {
     int fd = fd_for(name);
-    if (::ftruncate(fd, static_cast<off_t>(page_count) *
-                            static_cast<off_t>(kPageSize)) != 0) {
+    off_t target = static_cast<off_t>(page_count) *
+                   static_cast<off_t>(kPhysicalPageBytes);
+    off_t current = ::lseek(fd, 0, SEEK_END);
+    if (current < 0) {
+      throw StorageError("wal recover: cannot size " + name);
+    }
+    // Growing: plain ftruncate would zero-fill, which is not a valid
+    // checksummed record. Append properly framed zero pages instead (the
+    // same image DiskManager::allocate_page writes).
+    if (current < target) {
+      fill_framed_zeros_up_to(fd, name, target);
+      return;
+    }
+    if (::ftruncate(fd, target) != 0) {
       throw StorageError("wal recover: cannot truncate " + name);
     }
   }
@@ -251,6 +264,41 @@ class Replayer {
   }
 
  private:
+  /// pwrites one full physical record at `off`, retrying short transfers.
+  static void write_record_at(int fd, const std::string& name,
+                              const uint8_t* framed, off_t off) {
+    size_t done = 0;
+    while (done < kPhysicalPageBytes) {
+      ssize_t n = ::pwrite(fd, framed + done, kPhysicalPageBytes - done,
+                           off + static_cast<off_t>(done));
+      if (n <= 0) {
+        throw StorageError("wal recover: cannot write " + name);
+      }
+      done += static_cast<size_t>(n);
+    }
+  }
+
+  /// Extends the file with framed zero pages (the image allocate_page
+  /// writes) until it is at least `target` bytes. A crash can leave a torn
+  /// record at the tail; round down so every appended record starts on a
+  /// physical-page boundary.
+  static void fill_framed_zeros_up_to(int fd, const std::string& name,
+                                      off_t target) {
+    off_t current = ::lseek(fd, 0, SEEK_END);
+    if (current < 0) {
+      throw StorageError("wal recover: cannot size " + name);
+    }
+    if (current >= target) return;
+    current -= current % static_cast<off_t>(kPhysicalPageBytes);
+    uint8_t zeros[kPageSize] = {0};
+    uint8_t framed[kPhysicalPageBytes];
+    frame_page_record(zeros, framed);
+    for (off_t off = current; off < target;
+         off += static_cast<off_t>(kPhysicalPageBytes)) {
+      write_record_at(fd, name, framed, off);
+    }
+  }
+
   int fd_for(const std::string& name) {
     auto it = fds_.find(name);
     if (it != fds_.end()) return it->second;

@@ -4,6 +4,7 @@
 // codes at the call site instead.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -19,6 +20,14 @@ class Error : public std::runtime_error {
 class StorageError : public Error {
  public:
   using Error::Error;
+};
+
+/// On-disk data failed its integrity check (page checksum mismatch). A
+/// distinct type so callers can tell "the disk lied" from ordinary I/O
+/// failures — corrupted pages must surface loudly, never be served as data.
+class CorruptionError : public StorageError {
+ public:
+  using StorageError::StorageError;
 };
 
 /// SQL layer failure: parse errors, unknown tables/columns, type mismatches.
@@ -44,6 +53,32 @@ class WreError : public Error {
 class NetworkError : public Error {
  public:
   using Error::Error;
+};
+
+/// The server shed this request under overload (admission control or a
+/// server-side deadline). Always safe to retry after a backoff: the request
+/// was rejected before execution, or the retry is deduplicated by its
+/// idempotency key.
+class OverloadedError : public NetworkError {
+ public:
+  using NetworkError::NetworkError;
+};
+
+/// A client-side retry loop gave up: attempt cap, overall deadline, or
+/// retry budget. Carries how many attempts were made and the total elapsed
+/// time so callers (and their logs) can see the request's whole history.
+class RetriesExhaustedError : public NetworkError {
+ public:
+  RetriesExhaustedError(const std::string& what, int attempts,
+                        uint64_t elapsed_ms)
+      : NetworkError(what), attempts_(attempts), elapsed_ms_(elapsed_ms) {}
+
+  int attempts() const { return attempts_; }
+  uint64_t elapsed_ms() const { return elapsed_ms_; }
+
+ private:
+  int attempts_ = 0;
+  uint64_t elapsed_ms_ = 0;
 };
 
 }  // namespace wre

@@ -171,6 +171,48 @@ TEST(Wire, FrameHeaderValidation) {
                NetworkError);
 }
 
+TEST(Wire, RequestExtRoundTrip) {
+  RequestExt ext;
+  ext.has_key = true;
+  ext.deadline_ms = 1234;
+  for (size_t i = 0; i < ext.key.size(); ++i) {
+    ext.key[i] = static_cast<uint8_t>(i * 3 + 1);
+  }
+  Bytes payload = {0xDE, 0xAD};
+  Bytes frame = encode_request_frame(Opcode::kExecSql, payload, ext);
+
+  // header | ext_len | ext body | payload
+  uint8_t header[kFrameHeaderBytes];
+  ASSERT_GE(frame.size(), kFrameHeaderBytes + 1 + kRequestExtBytes);
+  std::copy_n(frame.begin(), kFrameHeaderBytes, header);
+  FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+  EXPECT_EQ(fh.version, kWireVersionExt);
+  EXPECT_EQ(fh.opcode, Opcode::kExecSql);
+  // payload_length counts the payload only, never the extension.
+  EXPECT_EQ(fh.payload_length, payload.size());
+
+  size_t ext_len = frame[kFrameHeaderBytes];
+  ASSERT_EQ(ext_len, kRequestExtBytes);
+  RequestExt back = parse_request_ext(
+      ByteView(frame.data() + kFrameHeaderBytes + 1, ext_len));
+  EXPECT_TRUE(back.has_key);
+  EXPECT_EQ(back.key, ext.key);
+  EXPECT_EQ(back.deadline_ms, 1234u);
+  EXPECT_EQ(Bytes(frame.end() - 2, frame.end()), payload);
+
+  // Unknown trailing ext bytes (future growth) are skipped, not rejected.
+  Bytes grown(frame.begin() + kFrameHeaderBytes + 1,
+              frame.begin() + kFrameHeaderBytes + 1 + kRequestExtBytes);
+  grown.push_back(0x77);
+  RequestExt grown_back = parse_request_ext(grown);
+  EXPECT_EQ(grown_back.key, ext.key);
+
+  // Truncated extension bodies throw instead of reading garbage.
+  Bytes trunc(frame.begin() + kFrameHeaderBytes + 1,
+              frame.begin() + kFrameHeaderBytes + 1 + kRequestExtBytes - 1);
+  EXPECT_THROW(parse_request_ext(trunc), NetworkError);
+}
+
 // ---------------------------------------------------------------------------
 // Error-status mapping: every wre::Error subclass crosses the wire and
 // re-throws as the same type (satellite of the trust-boundary design — the
@@ -197,7 +239,18 @@ TEST(WireStatus, ErrorHierarchyRoundTrips) {
   expect_error_roundtrip<CryptoError>(StatusCode::kCrypto);
   expect_error_roundtrip<WreError>(StatusCode::kWre);
   expect_error_roundtrip<NetworkError>(StatusCode::kNetwork);
+  expect_error_roundtrip<OverloadedError>(StatusCode::kOverloaded);
   expect_error_roundtrip<Error>(StatusCode::kGeneric);
+}
+
+TEST(WireStatus, OverloadedIsDistinctFromNetwork) {
+  // kOverloaded is the retryable status; it must not collapse into the
+  // generic kNetwork bucket or the client would reconnect instead of
+  // backing off.
+  OverloadedError shed("shed");
+  EXPECT_EQ(status_code_for(shed), StatusCode::kOverloaded);
+  NetworkError plain("io");
+  EXPECT_EQ(status_code_for(plain), StatusCode::kNetwork);
 }
 
 TEST(WireStatus, NonWreExceptionIsGeneric) {
@@ -444,7 +497,7 @@ TEST_F(NetServerTest, IdempotentRequestsRetryAcrossReconnect) {
   EXPECT_EQ(remote.row_count("kv"), 0u);
 }
 
-TEST_F(NetServerTest, MutatingRequestsDoNotAutoRetry) {
+TEST_F(NetServerTest, MutatingRequestsRetrySafelyAcrossReconnect) {
   RemoteConnection remote = client();
   remote.create_table("kv", kv_schema());
 
@@ -456,14 +509,56 @@ TEST_F(NetServerTest, MutatingRequestsDoNotAutoRetry) {
   server_ = std::make_unique<Server>(db_, options);
   server_->start();
 
-  // The stale connection fails; a write must surface the NetworkError
-  // rather than silently replaying (a retry could double-apply).
+  // The stale connection fails mid-request, but the idempotency key makes
+  // the automatic retry safe even for a write: reconnect, replay, and the
+  // row lands exactly once.
   std::vector<sql::Row> rows = {{sql::Value::int64(1), sql::Value::int64(2),
                                  sql::Value::blob(Bytes{3})}};
-  EXPECT_THROW(remote.insert_batch("kv", rows), NetworkError);
-  // The connection recovers for the caller's own retry.
   EXPECT_EQ(remote.insert_batch("kv", rows).size(), 1u);
   EXPECT_EQ(remote.row_count("kv"), 1u);
+  EXPECT_GE(remote.stats().retries, 1u);
+}
+
+TEST_F(NetServerTest, DuplicateIdempotencyKeyReplaysCachedResponse) {
+  {
+    RemoteConnection setup = client();
+    setup.create_table("kv", kv_schema());
+  }
+
+  // Hand-roll a v2 insert frame and send it twice over a raw socket — the
+  // wire-level shape of a client retrying after a lost response. The server
+  // must execute once and replay the recorded response byte-for-byte.
+  WireWriter w;
+  w.string("kv");
+  w.u32(1);
+  w.row({sql::Value::int64(7), sql::Value::int64(8),
+         sql::Value::blob(Bytes{9})});
+  RequestExt ext;
+  ext.has_key = true;
+  for (size_t i = 0; i < ext.key.size(); ++i) {
+    ext.key[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  Bytes frame = encode_request_frame(Opcode::kInsertBatch, w.bytes(), ext);
+
+  auto roundtrip_raw = [&](Socket& s) {
+    s.send_all(frame);
+    uint8_t header[kFrameHeaderBytes];
+    s.recv_all(header, sizeof(header));
+    FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+    EXPECT_EQ(fh.opcode, Opcode::kOkIds);
+    Bytes body(fh.payload_length);
+    if (fh.payload_length > 0) s.recv_all(body.data(), body.size());
+    return body;
+  };
+
+  Socket s = Socket::connect("127.0.0.1", server_->port());
+  Bytes first = roundtrip_raw(s);
+  Bytes second = roundtrip_raw(s);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(server_->dedup_hits(), 1u);
+
+  RemoteConnection remote = client();
+  EXPECT_EQ(remote.row_count("kv"), 1u);  // executed once, not twice
 }
 
 TEST_F(NetServerTest, ConcurrentClientsSeeConsistentResults) {

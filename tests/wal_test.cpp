@@ -41,6 +41,26 @@ Bytes read_all(const fs::path& path) {
                std::istreambuf_iterator<char>());
 }
 
+/// Reads a replayed data file, verifies each physical page's CRC32C header
+/// and returns the concatenated logical (kPageSize) images — so assertions
+/// below keep speaking in logical page offsets.
+Bytes logical_pages(const fs::path& path) {
+  Bytes raw = read_all(path);
+  EXPECT_EQ(raw.size() % kPhysicalPageBytes, 0u) << path;
+  Bytes out;
+  out.reserve(raw.size() / kPhysicalPageBytes * kPageSize);
+  for (size_t off = 0; off + kPhysicalPageBytes <= raw.size();
+       off += kPhysicalPageBytes) {
+    EXPECT_EQ(load_le32(raw.data() + off),
+              util::crc32c(raw.data() + off + kPageDiskHeaderBytes, kPageSize))
+        << path << " page " << off / kPhysicalPageBytes;
+    out.insert(out.end(),
+               raw.begin() + static_cast<ptrdiff_t>(off + kPageDiskHeaderBytes),
+               raw.begin() + static_cast<ptrdiff_t>(off + kPhysicalPageBytes));
+  }
+  return out;
+}
+
 std::vector<fs::path> wal_segments(const fs::path& wal_dir) {
   std::vector<fs::path> out;
   if (!fs::exists(wal_dir)) return out;
@@ -113,12 +133,12 @@ TEST_F(WalTest, CommitRoundTripsThroughRecovery) {
   EXPECT_FALSE(rec.tail_truncated);
   EXPECT_EQ(rec.uncommitted_records_discarded, 0u);
 
-  Bytes a = read_all(data_dir / "a.heap");
+  Bytes a = logical_pages(data_dir / "a.heap");
   ASSERT_EQ(a.size(), 3 * kPageSize);
   EXPECT_EQ(a[0], 0x11);
   EXPECT_EQ(a[2 * kPageSize], 0x22);
   EXPECT_EQ(a[kPageSize], 0x00);  // untouched page stays zero (from extent)
-  Bytes b = read_all(data_dir / "b.idx");
+  Bytes b = logical_pages(data_dir / "b.idx");
   ASSERT_EQ(b.size(), 2 * kPageSize);
   EXPECT_EQ(b[kPageSize], 0x33);
   std::string catalog(reinterpret_cast<const char*>(
@@ -187,7 +207,7 @@ TEST_F(WalTest, TornTailTruncationSweep) {
       EXPECT_LT(rec.commits_applied, static_cast<uint64_t>(kCommits));
     }
     if (rec.commits_applied > 0) {
-      Bytes heap = read_all(tdata / "t.heap");
+      Bytes heap = logical_pages(tdata / "t.heap");
       ASSERT_EQ(heap.size(), kPageSize);
       // Last-applied commit's byte — proof that exactly the prefix ran.
       EXPECT_EQ(heap[0], static_cast<uint8_t>(rec.commits_applied));
@@ -230,7 +250,7 @@ TEST_F(WalTest, BitFlipSweepNeverReplaysCorruptRecords) {
     EXPECT_TRUE(rec.tail_truncated) << "flip at " << pos;
     EXPECT_LT(rec.commits_applied, static_cast<uint64_t>(kCommits));
     if (rec.commits_applied > 0) {
-      Bytes heap = read_all(tdata / "t.heap");
+      Bytes heap = logical_pages(tdata / "t.heap");
       ASSERT_EQ(heap.size(), kPageSize);
       EXPECT_EQ(heap[0], static_cast<uint8_t>(rec.commits_applied));
     }
@@ -283,7 +303,7 @@ TEST_F(WalTest, SegmentsRotateAndAllReplay) {
   EXPECT_GE(rec.segments_scanned, 3u);
   EXPECT_EQ(rec.commits_applied, static_cast<uint64_t>(kCommits));
   EXPECT_FALSE(rec.tail_truncated);
-  Bytes heap = read_all(data_dir / "t.heap");
+  Bytes heap = logical_pages(data_dir / "t.heap");
   EXPECT_EQ(heap[0], static_cast<uint8_t>(kCommits));
 }
 
@@ -364,7 +384,7 @@ TEST_F(WalTest, InjectedTornWriteBreaksLogButKeepsPrefix) {
   WalRecoveryStats rec = Wal::recover(wal_dir.string(), data_dir.string());
   EXPECT_EQ(rec.commits_applied, 2u);
   EXPECT_TRUE(rec.tail_truncated);  // the 10-byte torn prefix is detected
-  Bytes heap = read_all(data_dir / "t.heap");
+  Bytes heap = logical_pages(data_dir / "t.heap");
   EXPECT_EQ(heap[0], 2);  // never 0xee
 }
 
@@ -667,7 +687,7 @@ TEST_F(WalTest, SevenDigitSegmentNamesRecover) {
   WalRecoveryStats rec = Wal::recover(wal_dir.string(), data_dir.string());
   EXPECT_EQ(rec.commits_applied, 3u);
   EXPECT_FALSE(rec.tail_truncated);
-  Bytes page = read_all(data_dir / "t.heap");
+  Bytes page = logical_pages(data_dir / "t.heap");
   ASSERT_EQ(page.size(), kPageSize);
   EXPECT_EQ(page[0], 3);  // last committed counter value
 }
