@@ -295,6 +295,52 @@ inline double percentile(std::vector<double> xs, double p) {
   return xs[std::min(idx, xs.size() - 1)];
 }
 
+/// The standard latency summary every harness reports: mean and the
+/// p50/p99/p999 tail, computed with ONE sort instead of re-sorting per
+/// percentile. Nearest-rank, matching percentile() above. For p999 to be
+/// meaningful the sample needs >= ~1000 observations; with fewer it
+/// degrades to the max, which is still the honest answer.
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double max = 0;
+
+  static LatencySummary of(std::vector<double> xs) {
+    LatencySummary s;
+    if (xs.empty()) return s;
+    std::sort(xs.begin(), xs.end());
+    s.count = xs.size();
+    s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+             static_cast<double>(xs.size());
+    auto at = [&](double p) {
+      double rank = p / 100.0 * static_cast<double>(xs.size());
+      size_t idx = rank <= 1 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
+      return xs[std::min(idx, xs.size() - 1)];
+    };
+    s.p50 = at(50);
+    s.p99 = at(99);
+    s.p999 = at(99.9);
+    s.max = xs.back();
+    return s;
+  }
+
+  /// Appends the summary's fields to a JsonReport metrics row under
+  /// `prefix` (e.g. "query_ms_"), keeping metric naming uniform across
+  /// BENCH_*.json files.
+  void append_metrics(const std::string& prefix,
+                      std::vector<std::pair<std::string, double>>* metrics)
+      const {
+    metrics->emplace_back(prefix + "mean", mean);
+    metrics->emplace_back(prefix + "p50", p50);
+    metrics->emplace_back(prefix + "p99", p99);
+    metrics->emplace_back(prefix + "p999", p999);
+    metrics->emplace_back(prefix + "max", max);
+  }
+};
+
 /// Buckets a result size into the paper's decade bands (1, 10, ..., 10000).
 inline uint64_t result_band(uint64_t n) {
   uint64_t band = 1;

@@ -10,8 +10,8 @@
 // open_table()s the same manifest; the id sets must be identical.
 //
 // Emits BENCH_net.json (via bench::JsonReport): loopback queries/s plus
-// p50/p99 per-query latency for SELECT id and SELECT *, and the remote
-// ingest rate.
+// p50/p99/p999 per-query latency for SELECT id and SELECT *, and the
+// remote ingest rate.
 //
 // A final chaos pass re-runs the SELECT id workload with the socket-level
 // fault injector armed at --chaos-rate (default 1% per socket op: resets and
@@ -137,15 +137,15 @@ int main(int argc, char** argv) {
       lat_ms.push_back(t.elapsed_millis());
     }
     double qps = static_cast<double>(queries.size()) / total.elapsed_seconds();
-    double p50 = bench::percentile(lat_ms, 50);
-    double p99 = bench::percentile(lat_ms, 99);
+    auto lat = bench::LatencySummary::of(std::move(lat_ms));
     std::cout << name << ": " << std::fixed << std::setprecision(1) << qps
-              << " q/s, p50 " << std::setprecision(3) << p50 << " ms, p99 "
-              << p99 << " ms\n";
-    report.add(name, {{"queries_per_sec", qps},
-                      {"p50_ms", p50},
-                      {"p99_ms", p99},
-                      {"mean_ms", bench::mean(lat_ms)}});
+              << " q/s, p50 " << std::setprecision(3) << lat.p50
+              << " ms, p99 " << lat.p99 << " ms, p999 " << lat.p999
+              << " ms\n";
+    std::vector<std::pair<std::string, double>> metrics{
+        {"queries_per_sec", qps}};
+    lat.append_metrics("latency_ms_", &metrics);
+    report.add(name, std::move(metrics));
   };
   run_pass("remote/select_id", /*star=*/false);
   run_pass("remote/select_star", /*star=*/true);
@@ -190,26 +190,27 @@ int main(int argc, char** argv) {
 
     net::RemoteStats after = remote.stats();
     double qps = static_cast<double>(queries.size()) / seconds;
-    double p99 = bench::percentile(lat_ms, 99);
+    auto lat = bench::LatencySummary::of(std::move(lat_ms));
     std::cout << "remote/select_id_chaos(" << std::setprecision(3)
               << chaos_rate << "): " << std::fixed << std::setprecision(1)
-              << qps << " q/s, p99 " << std::setprecision(3) << p99
-              << " ms, retries " << (after.retries - before.retries)
-              << ", overloaded " << (after.overloaded - before.overloaded)
-              << ", exhausted " << failed << ", faults " << faults << "\n";
-    report.add("remote/select_id_chaos",
-               {{"fault_rate", chaos_rate},
-                {"queries_per_sec", qps},
-                {"p50_ms", bench::percentile(lat_ms, 50)},
-                {"p99_ms", p99},
-                {"retries", static_cast<double>(after.retries - before.retries)},
-                {"overloaded",
-                 static_cast<double>(after.overloaded - before.overloaded)},
-                {"exhausted", static_cast<double>(failed)},
-                {"server_sessions_shed",
-                 static_cast<double>(server.sessions_shed())},
-                {"server_dedup_hits",
-                 static_cast<double>(server.dedup_hits())}});
+              << qps << " q/s, p99 " << std::setprecision(3) << lat.p99
+              << " ms, p999 " << lat.p999 << " ms, retries "
+              << (after.retries - before.retries) << ", overloaded "
+              << (after.overloaded - before.overloaded) << ", exhausted "
+              << failed << ", faults " << faults << "\n";
+    std::vector<std::pair<std::string, double>> metrics{
+        {"fault_rate", chaos_rate}, {"queries_per_sec", qps}};
+    lat.append_metrics("latency_ms_", &metrics);
+    metrics.insert(
+        metrics.end(),
+        {{"retries", static_cast<double>(after.retries - before.retries)},
+         {"overloaded",
+          static_cast<double>(after.overloaded - before.overloaded)},
+         {"exhausted", static_cast<double>(failed)},
+         {"server_sessions_shed",
+          static_cast<double>(server.sessions_shed())},
+         {"server_dedup_hits", static_cast<double>(server.dedup_hits())}});
+    report.add("remote/select_id_chaos", std::move(metrics));
   }
   report.write();
 

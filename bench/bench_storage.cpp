@@ -123,20 +123,30 @@ void bench_wal_commits(bench::JsonReport& report, unsigned threads,
 
   Timer timer;
   std::vector<std::thread> workers;
+  std::vector<std::vector<double>> commit_ms(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&wal, t, commits_per_thread] {
+    commit_ms[t].reserve(static_cast<size_t>(commits_per_thread));
+    workers.emplace_back([&wal, &commit_ms, t, commits_per_thread] {
       Bytes page(storage::kPageSize, static_cast<uint8_t>(t + 1));
       for (int64_t i = 0; i < commits_per_thread; ++i) {
         storage::WalCommitRequest req;
         req.pages.push_back(storage::WalPageImage{
             "bench.tbl", static_cast<storage::PageNumber>(t + 1), page});
         req.extents.push_back(storage::WalFileExtent{"bench.tbl", 65});
+        Timer commit_timer;
         wal.commit(std::move(req)).wait();
+        commit_ms[t].push_back(commit_timer.elapsed_millis());
       }
     });
   }
   for (auto& w : workers) w.join();
   double seconds = timer.elapsed_seconds();
+
+  std::vector<double> all_ms;
+  for (auto& v : commit_ms) {
+    all_ms.insert(all_ms.end(), v.begin(), v.end());
+  }
+  auto lat = bench::LatencySummary::of(std::move(all_ms));
 
   auto stats = wal.stats();
   double total = static_cast<double>(stats.commits);
@@ -145,16 +155,21 @@ void bench_wal_commits(bench::JsonReport& report, unsigned threads,
       stats.groups > 0 ? total / static_cast<double>(stats.groups) : 0;
   std::printf(
       "wal commit  threads=%-3u %10.0f commits/s  avg group %.2f  "
-      "max group %llu  fsyncs %llu\n",
+      "max group %llu  fsyncs %llu  p50 %.3f ms  p99 %.3f ms  "
+      "p999 %.3f ms\n",
       threads, commits_per_sec, avg_group,
       static_cast<unsigned long long>(stats.max_group),
-      static_cast<unsigned long long>(stats.fsyncs));
+      static_cast<unsigned long long>(stats.fsyncs), lat.p50, lat.p99,
+      lat.p999);
+  std::vector<std::pair<std::string, double>> metrics{
+      {"commits_per_sec", commits_per_sec},
+      {"avg_group_commits", avg_group},
+      {"max_group_commits", static_cast<double>(stats.max_group)},
+      {"fsyncs", static_cast<double>(stats.fsyncs)},
+      {"seconds", seconds}};
+  lat.append_metrics("commit_ms_", &metrics);
   report.add("wal_commit/threads:" + std::to_string(threads),
-             {{"commits_per_sec", commits_per_sec},
-              {"avg_group_commits", avg_group},
-              {"max_group_commits", static_cast<double>(stats.max_group)},
-              {"fsyncs", static_cast<double>(stats.fsyncs)},
-              {"seconds", seconds}});
+             std::move(metrics));
 }
 
 /// Recovery-replay bandwidth: build a log of committed page images, then

@@ -25,6 +25,14 @@ export WRE_CRASH_SCHEDULES=${WRE_CRASH_SCHEDULES:-3}
 # randomized matrix lives in scripts/chaos_smoke.sh on the plain build.
 export WRE_CHAOS_SCHEDULES=${WRE_CHAOS_SCHEDULES:-3}
 
+# And for the multi-tenant scale scenario (scale_test, label scale): keep
+# the sanitized run small — the full-size open-loop sweep belongs to
+# bench_scale / scripts/scale_smoke.sh on the plain build.
+export WRE_SCALE_TENANTS=${WRE_SCALE_TENANTS:-12}
+export WRE_SCALE_RECORDS=${WRE_SCALE_RECORDS:-600}
+export WRE_SCALE_SECONDS=${WRE_SCALE_SECONDS:-1}
+export WRE_SCALE_RATE=${WRE_SCALE_RATE:-150}
+
 SANITIZERS="thread address"
 if [[ $# -gt 0 && ( "$1" == "thread" || "$1" == "address" ) ]]; then
   SANITIZERS="$1"

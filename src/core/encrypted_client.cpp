@@ -510,6 +510,35 @@ EncryptedQueryResult EncryptedConnection::select_ids(
   return result;
 }
 
+EncryptedQueryResult EncryptedConnection::select_ids_in(
+    const std::string& table, const std::string& column,
+    const std::vector<std::string>& values) {
+  if (values.empty()) {
+    throw WreError("select_ids_in: need at least one value");
+  }
+  const ColumnState& cs = column_state(table, column);
+  // Union of every value's expansion, one round trip. Duplicate tags are
+  // harmless (the server's IN probe dedups matches), but dropping them
+  // keeps the wire fan-out at the true union size.
+  std::vector<crypto::Tag> tags;
+  for (const std::string& value : values) {
+    auto expansion = search_tags_cached(cs, value);
+    tags.insert(tags.end(), expansion->begin(), expansion->end());
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+
+  EncryptedQueryResult result;
+  result.sql = tag_select_sql(table, column, tags, /*star=*/false);
+  result.tags_in_query = tags.size();
+  sql::ResultSet rs = transport_->tag_scan(
+      table, sql::to_lower(column) + "_tag", tags, /*star=*/false);
+  result.server_rows_returned = rs.rows.size();
+  result.ids.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) result.ids.push_back(row[0].as_int64());
+  return result;
+}
+
 EncryptedQueryResult EncryptedConnection::select_star_and(
     const std::string& table, const std::vector<Conjunct>& conjuncts) {
   if (conjuncts.empty()) {

@@ -160,6 +160,14 @@ class EncryptedConnection {
                                   const std::string& column,
                                   const std::string& value);
 
+  /// SELECT id FROM table WHERE column IN (v1, v2, ...): one server round
+  /// trip probing the union of every value's tag expansion. The IN-scan of
+  /// the multi-tenant workload — fan-out grows with values * lambda, which
+  /// is exactly what the tag index's multi-probe path is built for.
+  EncryptedQueryResult select_ids_in(const std::string& table,
+                                     const std::string& column,
+                                     const std::vector<std::string>& values);
+
   /// SELECT * FROM table WHERE column = value. Rows are decrypted and,
   /// because payloads are available, false positives are filtered out.
   EncryptedQueryResult select_star(const std::string& table,

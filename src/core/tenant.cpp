@@ -1,0 +1,43 @@
+#include "src/core/tenant.h"
+
+namespace wre::core {
+
+TenantPool::TenantPool(DbTransport& transport, ByteView service_master,
+                       TenantTableConfig config,
+                       std::function<void(uint64_t)> on_switch)
+    : transport_(&transport),
+      keyring_(service_master),
+      config_(std::move(config)),
+      on_switch_(std::move(on_switch)) {}
+
+EncryptedConnection& TenantPool::connection(uint64_t tenant_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    // First use: derive this tenant's keys and build its view of the
+    // shared table. The tenant secret is the tenant's own "master secret"
+    // — everything below it (per-column PRF/payload keys, salt layouts)
+    // derives exactly like the single-tenant path.
+    auto conn = std::make_unique<EncryptedConnection>(
+        *transport_, keyring_.tenant_secret(tenant_id));
+    if (on_switch_) on_switch_(tenant_id);
+    if (transport_->has_table(config_.table)) {
+      conn->attach_table(config_.table, config_.logical, config_.specs,
+                         config_.distributions, config_.range_specs);
+    } else {
+      conn->create_table(config_.table, config_.logical, config_.specs,
+                         config_.distributions, config_.range_specs);
+    }
+    it = tenants_.emplace(tenant_id, std::move(conn)).first;
+  } else if (on_switch_) {
+    on_switch_(tenant_id);
+  }
+  return *it->second;
+}
+
+size_t TenantPool::open_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace wre::core

@@ -1,0 +1,90 @@
+// Client-side multi-tenancy: one TenantPool turns a single service master
+// secret into per-tenant encrypted views of ONE shared server-side table.
+//
+// The model (the paper's deployment story scaled out): a service operator
+// holds one master secret and serves millions of end users ("tenants").
+// Each tenant's columns are encrypted under keys derived via
+// crypto::TenantKeyring — HKDF per tenant id — so two tenants' tag
+// namespaces are cryptographically disjoint even though their rows live
+// interleaved in the same physical table with the same physical schema.
+// A search by tenant A probes tags only A's PRF key can produce; B's rows
+// match only as negligible-probability 64-bit collisions, which A's
+// client-side filtering then discards like any other false positive.
+//
+// What the server learns: which physical rows/tags each request touched —
+// the same per-request leakage as single-tenant WRE — plus whatever tenant
+// id the client stamps into the wire extension (used only to scope the
+// idempotency cache). It never learns a key, a plaintext, or whether two
+// tenants' rows encode the same value (different PRF keys make equal
+// plaintexts land on independent tags).
+//
+// Usage:
+//   TenantPool pool(transport, service_master, config);
+//   pool.connection(42).insert(cfg.table, row);          // tenant 42's view
+//   pool.connection(7).select_ids(cfg.table, "city", "rome");
+//
+// Threading: connection() is internally locked, but the returned
+// EncryptedConnection has the same rules as any other (reads concurrent,
+// writes exclusive) and a shared DbTransport serializes round trips — for
+// parallel load, shard tenants across threads, each thread owning its own
+// TenantPool over its own transport (bench_scale does exactly this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/encrypted_client.h"
+#include "src/crypto/tenant_keys.h"
+
+namespace wre::core {
+
+/// The shared-table layout every tenant attaches to: one logical schema,
+/// one set of column specs, one registered distribution per encrypted
+/// column. (Tenants draw from the same plaintext universe — the paper's
+/// P_M is a property of the data domain, not of who encrypts it.)
+struct TenantTableConfig {
+  std::string table;
+  sql::Schema logical;
+  std::vector<EncryptedColumnSpec> specs;
+  std::map<std::string, PlaintextDistribution> distributions;
+  std::vector<RangeColumnSpec> range_specs;
+};
+
+class TenantPool {
+ public:
+  /// `on_switch(tenant_id)` — if provided — runs every time connection()
+  /// hands out a tenant's view, before any of that tenant's requests. Use
+  /// it to stamp the tenant id into the shared transport (e.g.
+  /// RemoteConnection::set_tenant_id), which core cannot do itself: the
+  /// DbTransport interface is tenant-agnostic by design.
+  TenantPool(DbTransport& transport, ByteView service_master,
+             TenantTableConfig config,
+             std::function<void(uint64_t)> on_switch = {});
+
+  /// The tenant's encrypted view of the shared table, created on first use:
+  /// derives the tenant's keys, then creates the server-side table if it
+  /// does not exist yet or attaches to it if it does.
+  EncryptedConnection& connection(uint64_t tenant_id);
+
+  /// Tenants with a live client-side view in this pool.
+  size_t open_tenants() const;
+
+  const TenantTableConfig& config() const { return config_; }
+
+ private:
+  DbTransport* transport_;
+  crypto::TenantKeyring keyring_;
+  TenantTableConfig config_;
+  std::function<void(uint64_t)> on_switch_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<EncryptedConnection>>
+      tenants_;
+};
+
+}  // namespace wre::core

@@ -10,7 +10,7 @@ Bytes hkdf_extract(ByteView salt, ByteView ikm) {
   return Bytes(prk.begin(), prk.end());
 }
 
-Bytes hkdf_expand(ByteView prk, ByteView info, size_t length) {
+Bytes hkdf_expand(const HmacSha256::Key& prk, ByteView info, size_t length) {
   constexpr size_t kHashLen = HmacSha256::kDigestSize;
   if (length > 255 * kHashLen) {
     throw CryptoError("hkdf_expand: requested length too large");
@@ -31,6 +31,10 @@ Bytes hkdf_expand(ByteView prk, ByteView info, size_t length) {
     ++counter;
   }
   return out;
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, size_t length) {
+  return hkdf_expand(HmacSha256::Key(prk), info, length);
 }
 
 Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, size_t length) {

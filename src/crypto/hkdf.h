@@ -3,6 +3,7 @@
 // single master secret.
 #pragma once
 
+#include "src/crypto/hmac_sha256.h"
 #include "src/util/bytes.h"
 
 namespace wre::crypto {
@@ -13,6 +14,11 @@ Bytes hkdf_extract(ByteView salt, ByteView ikm);
 /// HKDF-Expand: derives `length` bytes from `prk` under `info`.
 /// Throws CryptoError if length > 255 * 32.
 Bytes hkdf_expand(ByteView prk, ByteView info, size_t length);
+
+/// HKDF-Expand from a precomputed HMAC key (the PRK's ipad/opad midstates):
+/// bit-identical to the ByteView form, but skips the per-block key schedule
+/// — the hot path for bulk per-tenant derivation (TenantKeyring).
+Bytes hkdf_expand(const HmacSha256::Key& prk, ByteView info, size_t length);
 
 /// One-shot extract-then-expand.
 Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, size_t length);

@@ -1,0 +1,40 @@
+#include "src/crypto/tenant_keys.h"
+
+#include "src/crypto/hkdf.h"
+
+namespace wre::crypto {
+
+TenantKeyring::TenantKeyring(ByteView master_secret)
+    : prk_(hkdf_extract(to_bytes("wre-tenant-keyring-v1"), master_secret)) {}
+
+Bytes TenantKeyring::tenant_secret(uint64_t tenant_id) const {
+  // info = "tenant" || le64(tenant_id): the explicit fixed-width id keeps
+  // the label space prefix-free, so no two tenants share an info string.
+  Bytes info = to_bytes("tenant");
+  store_le64(info, tenant_id);
+  return hkdf_expand(prk_, info, 32);
+}
+
+std::shared_ptr<const KeyBundle> TenantKeyring::bundle(
+    uint64_t tenant_id) const {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(tenant_id);
+    if (it != cache_.end()) return it->second;
+  }
+  // Derive outside the lock: concurrent misses for different tenants must
+  // not serialize on the HKDF work.
+  auto derived =
+      std::make_shared<const KeyBundle>(KeyBundle::derive(tenant_secret(tenant_id)));
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cache_.size() >= kMaxCachedTenants) cache_.clear();
+  // On a lost race the first writer's (identical) bundle wins.
+  return cache_.emplace(tenant_id, std::move(derived)).first->second;
+}
+
+size_t TenantKeyring::cached_bundles() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cache_.size();
+}
+
+}  // namespace wre::crypto

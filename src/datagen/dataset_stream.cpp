@@ -1,0 +1,58 @@
+#include "src/datagen/dataset_stream.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace wre::datagen {
+
+DatasetStream::DatasetStream(const GeneratorOptions& options, int64_t total,
+                             int64_t start, size_t chunk_records)
+    : generator_(options),
+      total_(total),
+      position_(start),
+      chunk_records_(chunk_records) {
+  if (total < 0 || start < 0 || start > total) {
+    throw Error("DatasetStream: invalid range [" + std::to_string(start) +
+                ", " + std::to_string(total) + ")");
+  }
+  if (chunk_records == 0) {
+    throw Error("DatasetStream: chunk_records must be positive");
+  }
+}
+
+bool DatasetStream::next_chunk(std::vector<sql::Row>* chunk) {
+  chunk->clear();
+  if (position_ >= total_) return false;
+  int64_t n = std::min<int64_t>(static_cast<int64_t>(chunk_records_),
+                                total_ - position_);
+  chunk->reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    chunk->push_back(generator_.record(position_ + i));
+  }
+  position_ += n;
+  return true;
+}
+
+GeneratorOptions tenant_options(const GeneratorOptions& base,
+                                uint64_t tenant_id) {
+  GeneratorOptions opts = base;
+  // SplitMix64 finalizer over (seed, tenant): well-mixed, deterministic,
+  // and tenant 0 keeps a distinct stream from the base seed itself.
+  uint64_t z = base.seed + (tenant_id + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  opts.seed = z ^ (z >> 31);
+  return opts;
+}
+
+std::map<std::string, double> vocabulary_distribution(
+    const WeightedVocabulary& vocab) {
+  std::map<std::string, double> p;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    p[vocab.values()[i]] += vocab.probability(i);
+  }
+  return p;
+}
+
+}  // namespace wre::datagen

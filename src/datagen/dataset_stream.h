@@ -1,0 +1,77 @@
+// Streaming SPARTA-scale dataset generation: iterate a 10M-record
+// population chunk by chunk without ever materializing it.
+//
+// RecordGenerator derives record `i` purely from (seed, id), so a dataset
+// of any size is already a *function*, not a buffer. DatasetStream turns
+// that function into a resumable chunked iterator — the shape the bulk
+// ingest pipeline wants — with O(chunk) resident memory no matter the
+// total:
+//
+//   DatasetStream stream(options, /*total=*/10'000'000);
+//   std::vector<sql::Row> chunk;
+//   while (stream.next_chunk(&chunk)) pipeline.ingest(chunk);
+//
+// Determinism and resume: the records produced depend only on (options,
+// total, position), never on chunk size or how many times the stream was
+// re-created. stream(seek=K) produces exactly the suffix a fresh stream
+// produces after K records — an ingest interrupted at a known offset
+// resumes bit-identically (the crash-recovery story for a 10M-row load).
+//
+// Multi-tenant datasets: tenant_options() derives a per-tenant seed so
+// each tenant draws a *different* population from the same vocabulary
+// shapes, while vocabulary_distribution() exposes the exact P_M of those
+// shapes — the registered distribution stays correct for every tenant
+// because they share the vocabularies, only their draws differ.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/datagen/record_generator.h"
+#include "src/sql/schema.h"
+
+namespace wre::datagen {
+
+class DatasetStream {
+ public:
+  /// A stream of `total` records, generated from `options`, starting at
+  /// record `start` (0-based) — pass a non-zero start to resume.
+  DatasetStream(const GeneratorOptions& options, int64_t total,
+                int64_t start = 0, size_t chunk_records = 8192);
+
+  /// Fills `chunk` with the next up-to-chunk_records rows. Returns false
+  /// (leaving `chunk` empty) when the stream is exhausted. The chunk's
+  /// capacity is reused across calls — memory stays O(chunk).
+  bool next_chunk(std::vector<sql::Row>* chunk);
+
+  /// Next record id to be produced (== records consumed so far + start).
+  int64_t position() const { return position_; }
+  int64_t total() const { return total_; }
+  bool exhausted() const { return position_ >= total_; }
+
+  const RecordGenerator& generator() const { return generator_; }
+
+ private:
+  RecordGenerator generator_;
+  int64_t total_;
+  int64_t position_;
+  size_t chunk_records_;
+};
+
+/// Per-tenant generator options: same vocabulary shapes/sizes, but a seed
+/// mixed from (base seed, tenant id) — deterministic, and distinct tenants
+/// get distinct populations. Mixing is a SplitMix64 step, so adjacent
+/// tenant ids do not produce correlated seeds.
+GeneratorOptions tenant_options(const GeneratorOptions& base,
+                                uint64_t tenant_id);
+
+/// The exact probability each value of `vocab` is drawn with — P_M for a
+/// column generated from it, computed from the vocabulary itself in
+/// O(vocab) instead of scanning generated records. Feed the result to
+/// core::PlaintextDistribution::from_probabilities.
+std::map<std::string, double> vocabulary_distribution(
+    const WeightedVocabulary& vocab);
+
+}  // namespace wre::datagen

@@ -16,15 +16,17 @@ uint64_t steady_now_ms() {
 
 }  // namespace
 
-size_t DedupCache::Hash::operator()(const IdempotencyKey& k) const {
+size_t DedupCache::Hash::operator()(const DedupKey& k) const {
   // Keys are client-generated CSPRNG output: any 8 bytes are already a
-  // high-quality hash.
+  // high-quality hash. Fold in the tenant id so two tenants replaying the
+  // same key bytes still land in distinct buckets.
   uint64_t h;
-  std::memcpy(&h, k.data(), sizeof(h));
+  std::memcpy(&h, k.key.data(), sizeof(h));
+  h ^= k.tenant_id * 0x9e3779b97f4a7c15ull;
   return static_cast<size_t>(h);
 }
 
-bool DedupCache::begin(const IdempotencyKey& key, Frame* out) {
+bool DedupCache::begin(const DedupKey& key, Frame* out) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     auto it = map_.find(key);
@@ -51,7 +53,7 @@ bool DedupCache::begin(const IdempotencyKey& key, Frame* out) {
   }
 }
 
-void DedupCache::complete(const IdempotencyKey& key, const Frame& response) {
+void DedupCache::complete(const DedupKey& key, const Frame& response) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return;  // evicted under pathological pressure
@@ -65,7 +67,7 @@ void DedupCache::complete(const IdempotencyKey& key, const Frame& response) {
   cv_.notify_all();
 }
 
-void DedupCache::abort(const IdempotencyKey& key) {
+void DedupCache::abort(const DedupKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second.done) return;
@@ -83,7 +85,7 @@ void DedupCache::evict_locked(uint64_t now_ms) {
            cached_bytes_ > options_.max_bytes;
   };
   while (over() && !lru_.empty()) {
-    const IdempotencyKey& victim = lru_.front();
+    const DedupKey& victim = lru_.front();
     auto it = map_.find(victim);
     Entry& e = it->second;
     bool young = now_ms - e.touched_ms < options_.retain_ms;

@@ -41,6 +41,20 @@ namespace wre::net {
 /// The 16-byte client-generated idempotency key (RequestExt::key).
 using IdempotencyKey = std::array<uint8_t, 16>;
 
+/// Cache key: the idempotency key scoped by the tenant that sent it. Keys
+/// are CSPRNG output, so collisions across tenants are already negligible —
+/// the scoping is about *authority*, not entropy: tenant B must not be able
+/// to replay (or pre-poison) a response recorded for tenant A by guessing
+/// or observing A's key.
+struct DedupKey {
+  uint64_t tenant_id = 0;
+  IdempotencyKey key{};
+
+  friend bool operator==(const DedupKey& a, const DedupKey& b) {
+    return a.tenant_id == b.tenant_id && a.key == b.key;
+  }
+};
+
 class DedupCache {
  public:
   struct Options {
@@ -61,16 +75,16 @@ class DedupCache {
   /// the error frame — or abort(key). Returns false with *out set to the
   /// recorded response when the key was already executed (or finishes while
   /// we wait).
-  bool begin(const IdempotencyKey& key, Frame* out);
+  bool begin(const DedupKey& key, Frame* out);
 
   /// Records the response for a key claimed via begin() and wakes waiters.
-  void complete(const IdempotencyKey& key, const Frame& response);
+  void complete(const DedupKey& key, const Frame& response);
 
   /// Releases a claim *without* recording a response — for requests shed
   /// before execution (deadline/overload): the outcome is "never ran", so a
   /// retry must be allowed to execute rather than replay the shed error.
   /// Waiters re-race to claim the key.
-  void abort(const IdempotencyKey& key);
+  void abort(const DedupKey& key);
 
   /// Replayed-response count (a retry that did not re-execute).
   uint64_t hits() const;
@@ -80,14 +94,14 @@ class DedupCache {
 
  private:
   struct Hash {
-    size_t operator()(const IdempotencyKey& k) const;
+    size_t operator()(const DedupKey& k) const;
   };
   struct Entry {
     bool done = false;
     Frame response;
     /// Last-touch time, steady ms; guards the retain window.
     uint64_t touched_ms = 0;
-    std::list<IdempotencyKey>::iterator lru_it;
+    std::list<DedupKey>::iterator lru_it;
   };
 
   void evict_locked(uint64_t now_ms);
@@ -95,9 +109,9 @@ class DedupCache {
   Options options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::unordered_map<IdempotencyKey, Entry, Hash> map_;
+  std::unordered_map<DedupKey, Entry, Hash> map_;
   /// LRU order over *completed* entries only, oldest first.
-  std::list<IdempotencyKey> lru_;
+  std::list<DedupKey> lru_;
   size_t cached_bytes_ = 0;
   uint64_t hits_ = 0;
   uint64_t evictions_ = 0;

@@ -35,6 +35,11 @@ void RemoteConnection::disconnect() {
   sock_.reset();
 }
 
+void RemoteConnection::set_tenant_id(uint64_t tenant_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  options_.tenant_id = tenant_id;
+}
+
 RemoteStats RemoteConnection::stats() const {
   RemoteStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
@@ -101,10 +106,12 @@ Bytes RemoteConnection::roundtrip(Opcode request, ByteView payload,
   requests_.fetch_add(1, std::memory_order_relaxed);
 
   // One fresh key per logical request, constant across its retries — the
-  // unit the server's dedup cache makes exactly-once.
+  // unit the server's dedup cache makes exactly-once. The tenant id scopes
+  // that key server-side: retries replay only within our own tenant.
   RequestExt ext;
   ext.has_key = true;
   key_rng_.fill(ext.key);
+  ext.tenant_id = options_.tenant_id;
 
   const RetryOptions& rp = options_.retry;
   const auto start = std::chrono::steady_clock::now();

@@ -68,6 +68,11 @@ struct RemoteOptions {
   /// attempt's receive timeout is the tighter of this and what remains of
   /// the overall deadline.
   int response_timeout_ms = 60000;
+  /// Tenant this connection acts for, stamped into every request's wire
+  /// extension. Scopes the server's idempotency cache; 0 is the default
+  /// single-tenant space. Carries no cryptographic authority — the
+  /// tenant's keys stay client-side (crypto::TenantKeyring).
+  uint64_t tenant_id = 0;
   RetryOptions retry;
 };
 
@@ -88,6 +93,11 @@ class RemoteConnection final : public core::DbTransport {
 
   /// Drops the cached socket; the next request reconnects.
   void disconnect();
+
+  /// Switches the tenant stamped into subsequent requests. Serialized with
+  /// in-flight round trips, so a multi-tenant caller (core::TenantPool's
+  /// on_switch hook) can re-point one shared connection between requests.
+  void set_tenant_id(uint64_t tenant_id);
 
   RemoteStats stats() const;
 

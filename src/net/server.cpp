@@ -70,7 +70,9 @@ Server::Server(sql::Database& db, ServerOptions options)
     : db_(db),
       options_(std::move(options)),
       listener_(options_.host, options_.port),
-      dedup_(options_.dedup) {}
+      dedup_(options_.dedup),
+      batcher_(QueryBatcher::Options{options_.batch_window_ms,
+                                     options_.batch_max}) {}
 
 Server::~Server() { stop(); }
 
@@ -294,22 +296,25 @@ void Server::serve_session(Socket sock, uint64_t session_id) {
           // the same key replays the recorded response. A request shed
           // before execution (OverloadedError) aborts its claim instead —
           // "never ran" must stay retryable, not become a cached error.
+          // The key is scoped by tenant: replaying (or poisoning) another
+          // tenant's key is structurally impossible.
+          DedupKey dkey{ext.tenant_id, ext.key};
           Frame cached;
-          if (!dedup_.begin(ext.key, &cached)) {
+          if (!dedup_.begin(dkey, &cached)) {
             response = std::move(cached);
           } else {
             try {
               response = handle_request(fh.opcode, payload, deadline_ms);
-              dedup_.complete(ext.key, response);
+              dedup_.complete(dkey, response);
             } catch (const OverloadedError&) {
-              dedup_.abort(ext.key);
+              dedup_.abort(dkey);
               throw;
             } catch (const std::exception& e) {
               // Deterministic failure (bad SQL, duplicate PK, decode
               // error): record it so a retry replays the same error
               // instead of executing twice.
               response = error_frame(e);
-              dedup_.complete(ext.key, response);
+              dedup_.complete(dkey, response);
               if (dynamic_cast<const NetworkError*>(&e) != nullptr) {
                 protocol_errors_.fetch_add(1);
               }
@@ -513,8 +518,21 @@ Frame Server::handle_request(Opcode op, ByteView payload,
       if (!star) stmt.columns = {"id"};
       stmt.table = table;
       stmt.where = sql::Expr::in_list(tag_column, std::move(tags));
-      auto lock = lock_shared(deadline_ms);
-      sql::ResultSet rs = db_.execute_select(stmt);
+      // With batching enabled, scans landing in the same window execute
+      // under ONE shared-lock acquisition (the batch leader's); each item
+      // still gets its own result (or error). Disabled, run() degenerates
+      // to exactly the old lock-and-execute path.
+      sql::ResultSet rs = batcher_.run(
+          stmt, [this, deadline_ms](std::vector<QueryBatcher::Item*>& batch) {
+            auto lock = lock_shared(deadline_ms);
+            for (QueryBatcher::Item* it : batch) {
+              try {
+                it->result = db_.execute_select(*it->stmt);
+              } catch (...) {
+                it->error = std::current_exception();
+              }
+            }
+          });
       encode_result_set(rs, w);
       return Frame{Opcode::kOkResult, std::move(w.bytes())};
     }

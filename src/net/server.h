@@ -44,6 +44,7 @@
 #include <thread>
 
 #include "src/net/dedup_cache.h"
+#include "src/net/query_batcher.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
 #include "src/sql/database.h"
@@ -81,8 +82,17 @@ struct ServerOptions {
   /// with kOverloaded. The effective deadline is the tighter of this and
   /// the client's RequestExt deadline.
   uint32_t request_deadline_ms = 0;
-  /// Bounds on the idempotency-key replay cache (see dedup_cache.h).
+  /// Bounds on the idempotency-key replay cache (see dedup_cache.h). The
+  /// cache is keyed by (tenant id, idempotency key): one tenant's retries
+  /// can never replay another tenant's recorded responses.
   DedupCache::Options dedup;
+  /// Opt-in cross-tenant query batching (see query_batcher.h): kTagScan
+  /// requests arriving within this window share one lock acquisition.
+  /// 0 (the default) disables batching. Trades up to window_ms of added
+  /// latency for throughput near saturation — bench_scale measures both.
+  uint32_t batch_window_ms = 0;
+  /// Batch size that closes a batching window early.
+  size_t batch_max = 64;
 };
 
 class Server {
@@ -120,6 +130,11 @@ class Server {
   uint64_t dedup_hits() const { return dedup_.hits(); }
   /// Live sessions right now (admission-control gauge).
   uint64_t live_sessions() const { return live_sessions_.load(); }
+  /// Batched tag-scan executions (each covered >= 1 query); 0 when
+  /// batching is disabled.
+  uint64_t query_batches() const { return batcher_.batches(); }
+  /// Tag scans that actually shared a batch with another query.
+  uint64_t tag_scans_coalesced() const { return batcher_.coalesced(); }
 
  private:
   void accept_loop();
@@ -152,8 +167,12 @@ class Server {
   /// Timed so request deadlines can bound the wait (lock_shared/_unique).
   std::shared_timed_mutex db_mu_;
 
-  /// Idempotency-key replay cache (exactly-once retried mutations).
+  /// Idempotency-key replay cache (exactly-once retried mutations),
+  /// keyed by (tenant, key).
   DedupCache dedup_;
+
+  /// Opt-in cross-tenant kTagScan batching (disabled at window 0).
+  QueryBatcher batcher_;
 
   /// Live session sockets, so stop() can wake blocked reads. Sessions own
   /// their Socket; this maps session id -> raw fd wrapper for shutdown only.

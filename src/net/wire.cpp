@@ -73,18 +73,21 @@ Bytes encode_frame(Opcode opcode, ByteView payload) {
 Bytes encode_request_frame(Opcode opcode, ByteView payload,
                            const RequestExt& ext) {
   Bytes out;
-  out.reserve(kFrameHeaderBytes + 1 + kRequestExtBytes + payload.size());
+  out.reserve(kFrameHeaderBytes + 1 + kRequestExtTenantBytes + payload.size());
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(kWireVersionExt);
   out.push_back(static_cast<uint8_t>(opcode));
   store_le32(out, static_cast<uint32_t>(payload.size()));
-  out.push_back(static_cast<uint8_t>(kRequestExtBytes));
-  out.push_back(ext.has_key ? 0x01 : 0x00);  // flags
-  out.push_back(0);                          // reserved
+  out.push_back(static_cast<uint8_t>(kRequestExtTenantBytes));
+  uint8_t flags = ext.has_key ? 0x01 : 0x00;
+  flags |= 0x02;  // tenant id field present
+  out.push_back(flags);
+  out.push_back(0);  // reserved
   out.push_back(0);
   store_le32(out, ext.deadline_ms);
   out.insert(out.end(), ext.key.begin(), ext.key.end());
+  store_le64(out, ext.tenant_id);
   append(out, payload);
   return out;
 }
@@ -100,7 +103,12 @@ RequestExt parse_request_ext(ByteView body) {
   // body[1..2] reserved.
   ext.deadline_ms = load_le32(body.data() + 3);
   std::copy_n(body.begin() + 7, ext.key.size(), ext.key.begin());
-  // Bytes past kRequestExtBytes belong to a future revision: skip them.
+  // Tenant id: optional growth — a 23-byte body from an older client (or a
+  // body without flag bit 1) is the default tenant.
+  if ((body[0] & 0x02) != 0 && body.size() >= kRequestExtTenantBytes) {
+    ext.tenant_id = load_le64(body.data() + 23);
+  }
+  // Bytes past the known fields belong to a future revision: skip them.
   return ext;
 }
 

@@ -13,10 +13,13 @@
 // one):
 //
 //   8       1     ext_len — bytes of extension that follow (>= 23)
-//   9       1     flags (bit 0: idempotency key present)
+//   9       1     flags (bit 0: idempotency key present,
+//                        bit 1: tenant id present)
 //   10      2     reserved (zero)
 //   12      4     request deadline in ms, little-endian (0 = none)
 //   16      16    idempotency key (client-generated, random)
+//   32      8     tenant id, little-endian (present when ext_len >= 31 and
+//                 flag bit 1 is set; 0 = the default single-tenant space)
 //   ...           future fields — receivers skip bytes past the ones they
 //                 know, so the extension can grow without a version bump
 //
@@ -25,8 +28,12 @@
 // across retries of that request, and the server's dedup cache replays the
 // recorded response instead of re-executing a mutation it already applied.
 // The deadline lets the server stop queueing for a request whose client has
-// already given up. Servers accept both formats (a v1 frame simply has no
-// key and no deadline), so old clients keep working.
+// already given up. The tenant id scopes the idempotency key: the dedup
+// cache is keyed by (tenant, key), so one tenant can never replay — or
+// poison — another tenant's recorded responses. Servers accept both formats
+// (a v1 frame simply has no key, no deadline and tenant 0), and a 23-byte
+// v2 extension from an older client parses as tenant 0, so old clients keep
+// working.
 //
 // Integers are little-endian; strings and blobs are a u32 length followed by
 // raw bytes; sql::Value / sql::Schema use their own wire_encode hooks. All
@@ -59,8 +66,13 @@ inline constexpr uint8_t kWireVersion = 1;
 /// Extended format: header + request extension + payload (requests only).
 inline constexpr uint8_t kWireVersionExt = 2;
 inline constexpr size_t kFrameHeaderBytes = 8;
-/// Extension bytes following the ext_len byte in a v2 request frame.
+/// Minimum extension bytes following the ext_len byte in a v2 request frame
+/// (the original flags + deadline + idempotency-key form).
 inline constexpr size_t kRequestExtBytes = 23;
+/// Extension size including the trailing tenant id — what current clients
+/// encode. Receivers treat the tenant field as optional growth: a 23-byte
+/// body still parses (as tenant 0).
+inline constexpr size_t kRequestExtTenantBytes = 31;
 /// Sanity ceiling on ext_len (future growth stays small and fixed-size).
 inline constexpr size_t kMaxRequestExtBytes = 64;
 /// Default ceiling on one frame's payload. Requests above it are rejected
@@ -133,6 +145,12 @@ struct RequestExt {
   /// How long the client is still willing to wait, in ms (0 = no deadline).
   /// The server bounds its own queueing/lock waits by it.
   uint32_t deadline_ms = 0;
+  /// The tenant this request acts for. 0 is the default single-tenant
+  /// space (and what pre-tenant clients implicitly send). Scopes the
+  /// server's idempotency cache; carries no cryptographic authority — keys
+  /// never cross the wire, so a mislabelled tenant can only talk to tag
+  /// integers it cannot forge matches for.
+  uint64_t tenant_id = 0;
 };
 
 /// Renders a base (v1) frame: header + payload, ready for send().

@@ -9,6 +9,15 @@
 //              [--threads=0] [--read-timeout-ms=60000] [--max-frame-mb=64]
 //              [--query-threads=1] [--wal=1] [--checkpoint-interval-ms=60000]
 //              [--max-connections=0] [--request-deadline-ms=0]
+//              [--batch-window-ms=0] [--batch-max=64]
+//
+// Multi-tenancy: one wre_server serves any number of tenants over a shared
+// table — clients stamp a tenant id into each request (scoping the
+// idempotency cache) and hold per-tenant keys (crypto::TenantKeyring), so
+// tag namespaces are cryptographically disjoint without server-side
+// configuration. --batch-window-ms opts into cross-tenant query batching:
+// tag scans arriving within the window execute under one lock acquisition,
+// trading up to that much added latency for throughput near saturation.
 //
 // Overload protection: --max-connections caps live sessions (0 = unlimited;
 // extras are shed with a retryable overloaded error) and
@@ -62,6 +71,8 @@ struct Flags {
   long checkpoint_interval_ms = 60000;
   long max_connections = 0;
   long request_deadline_ms = 0;
+  long batch_window_ms = 0;
+  long batch_max = 64;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -71,7 +82,8 @@ struct Flags {
                "                  [--threads=N] [--read-timeout-ms=N]\n"
                "                  [--max-frame-mb=N] [--query-threads=N]\n"
                "                  [--wal=0|1] [--checkpoint-interval-ms=N]\n"
-               "                  [--max-connections=N] [--request-deadline-ms=N]\n",
+               "                  [--max-connections=N] [--request-deadline-ms=N]\n"
+               "                  [--batch-window-ms=N] [--batch-max=N]\n",
                message.c_str());
   std::exit(2);
 }
@@ -119,6 +131,10 @@ Flags parse_flags(int argc, char** argv) {
       flags.max_connections = parse_long(key, val);
     } else if (key == "--request-deadline-ms") {
       flags.request_deadline_ms = parse_long(key, val);
+    } else if (key == "--batch-window-ms") {
+      flags.batch_window_ms = parse_long(key, val);
+    } else if (key == "--batch-max") {
+      flags.batch_max = parse_long(key, val);
     } else {
       usage_error("unknown flag '" + key + "'");
     }
@@ -134,6 +150,12 @@ Flags parse_flags(int argc, char** argv) {
   }
   if (flags.request_deadline_ms < 0) {
     usage_error("--request-deadline-ms must be >= 0");
+  }
+  if (flags.batch_window_ms < 0) {
+    usage_error("--batch-window-ms must be >= 0");
+  }
+  if (flags.batch_max <= 0) {
+    usage_error("--batch-max must be positive");
   }
   return flags;
 }
@@ -189,6 +211,8 @@ int main(int argc, char** argv) {
     options.max_connections = static_cast<size_t>(flags.max_connections);
     options.request_deadline_ms =
         static_cast<uint32_t>(flags.request_deadline_ms);
+    options.batch_window_ms = static_cast<uint32_t>(flags.batch_window_ms);
+    options.batch_max = static_cast<size_t>(flags.batch_max);
 
     wre::net::Server server(db, options);
     server.start();
@@ -218,6 +242,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(server.deadline_rejects()),
                  static_cast<unsigned long long>(server.dedup_hits()),
                  static_cast<unsigned long long>(server.accept_retries()));
+    if (server.query_batches() > 0) {
+      std::fprintf(
+          stderr,
+          "wre_server: batching: %llu batches, %llu scans coalesced\n",
+          static_cast<unsigned long long>(server.query_batches()),
+          static_cast<unsigned long long>(server.tag_scans_coalesced()));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wre_server: fatal: %s\n", e.what());

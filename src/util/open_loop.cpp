@@ -1,0 +1,44 @@
+#include "src/util/open_loop.h"
+
+#include <thread>
+
+#include "src/util/error.h"
+
+namespace wre::util {
+
+OpenLoopPacer::OpenLoopPacer(double rate_per_sec, uint64_t seed,
+                             Clock::time_point start)
+    : rate_(rate_per_sec), rng_(seed), next_(start) {
+  if (!(rate_per_sec > 0)) {
+    throw Error("OpenLoopPacer: rate must be positive");
+  }
+  next_ += std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(rng_.next_exponential(rate_)));
+}
+
+OpenLoopPacer::Clock::time_point OpenLoopPacer::advance() {
+  Clock::time_point scheduled = next_;
+  next_ += std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(rng_.next_exponential(rate_)));
+  ++arrivals_;
+  return scheduled;
+}
+
+OpenLoopPacer::Clock::time_point OpenLoopPacer::next_arrival() {
+  Clock::time_point scheduled = advance();
+  Clock::time_point now = Clock::now();
+  if (scheduled > now) {
+    std::this_thread::sleep_until(scheduled);
+  } else {
+    // Behind schedule: do NOT re-time the arrival — returning the past
+    // scheduled time is what keeps queueing delay in the measurement.
+    ++late_;
+  }
+  return scheduled;
+}
+
+OpenLoopPacer::Clock::time_point OpenLoopPacer::peek_schedule_only() {
+  return advance();
+}
+
+}  // namespace wre::util

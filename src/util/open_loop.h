@@ -1,0 +1,68 @@
+// Open-loop arrival scheduling for load generation, immune to coordinated
+// omission.
+//
+// A closed-loop generator (issue, wait for the reply, issue again) lies
+// about tail latency: whenever the system stalls, the generator politely
+// stops offering load, so the stall is recorded as ONE slow request
+// instead of the dozens that would have arrived in the real world. The
+// open-loop fix is to fix the arrival schedule in advance — requests
+// arrive when the schedule says, whether or not the previous one finished
+// — and to measure each request's latency from its *scheduled* arrival
+// time, so queueing delay behind a stall is charged to every request it
+// actually delayed.
+//
+// OpenLoopPacer produces that schedule: Poisson arrivals (exponential
+// inter-arrival gaps) at a fixed mean rate, from a seeded PRNG so a run is
+// reproducible. next_arrival() returns the scheduled time of the next
+// request and sleeps until it — but NEVER skips or re-times a late
+// arrival: if the caller is behind, next_arrival() returns immediately
+// with the original (past) scheduled time, and the caller's
+// latency-from-scheduled-time measurement inflates accordingly. That
+// inflation is the point.
+//
+// Per-thread use: Poisson processes superpose — N independent pacers at
+// rate r/N are exactly one Poisson stream at rate r. Give each load thread
+// its own pacer (distinct seeds) and divide the target rate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace wre::util {
+
+class OpenLoopPacer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_per_sec` — mean arrival rate (> 0). `start` anchors the
+  /// schedule; the first arrival is one exponential gap after it.
+  OpenLoopPacer(double rate_per_sec, uint64_t seed,
+                Clock::time_point start = Clock::now());
+
+  /// Blocks until the next scheduled arrival (no-op if it is already in
+  /// the past) and returns that *scheduled* time — measure latency from
+  /// it, not from now().
+  Clock::time_point next_arrival();
+
+  /// The schedule alone (advances the stream, never sleeps) — for tests
+  /// and for callers with their own waiting strategy.
+  Clock::time_point peek_schedule_only();
+
+  /// Arrivals whose scheduled time had already passed when next_arrival()
+  /// was called — how far the caller fell behind the offered load.
+  uint64_t late_arrivals() const { return late_; }
+  uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  Clock::time_point advance();
+
+  double rate_;
+  Xoshiro256 rng_;
+  Clock::time_point next_;
+  uint64_t arrivals_ = 0;
+  uint64_t late_ = 0;
+};
+
+}  // namespace wre::util

@@ -175,6 +175,7 @@ TEST(Wire, RequestExtRoundTrip) {
   RequestExt ext;
   ext.has_key = true;
   ext.deadline_ms = 1234;
+  ext.tenant_id = 0x1122334455667788ull;
   for (size_t i = 0; i < ext.key.size(); ++i) {
     ext.key[i] = static_cast<uint8_t>(i * 3 + 1);
   }
@@ -183,7 +184,7 @@ TEST(Wire, RequestExtRoundTrip) {
 
   // header | ext_len | ext body | payload
   uint8_t header[kFrameHeaderBytes];
-  ASSERT_GE(frame.size(), kFrameHeaderBytes + 1 + kRequestExtBytes);
+  ASSERT_GE(frame.size(), kFrameHeaderBytes + 1 + kRequestExtTenantBytes);
   std::copy_n(frame.begin(), kFrameHeaderBytes, header);
   FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
   EXPECT_EQ(fh.version, kWireVersionExt);
@@ -192,20 +193,31 @@ TEST(Wire, RequestExtRoundTrip) {
   EXPECT_EQ(fh.payload_length, payload.size());
 
   size_t ext_len = frame[kFrameHeaderBytes];
-  ASSERT_EQ(ext_len, kRequestExtBytes);
+  ASSERT_EQ(ext_len, kRequestExtTenantBytes);
   RequestExt back = parse_request_ext(
       ByteView(frame.data() + kFrameHeaderBytes + 1, ext_len));
   EXPECT_TRUE(back.has_key);
   EXPECT_EQ(back.key, ext.key);
   EXPECT_EQ(back.deadline_ms, 1234u);
+  EXPECT_EQ(back.tenant_id, ext.tenant_id);
   EXPECT_EQ(Bytes(frame.end() - 2, frame.end()), payload);
 
   // Unknown trailing ext bytes (future growth) are skipped, not rejected.
   Bytes grown(frame.begin() + kFrameHeaderBytes + 1,
-              frame.begin() + kFrameHeaderBytes + 1 + kRequestExtBytes);
+              frame.begin() + kFrameHeaderBytes + 1 + kRequestExtTenantBytes);
   grown.push_back(0x77);
   RequestExt grown_back = parse_request_ext(grown);
   EXPECT_EQ(grown_back.key, ext.key);
+  EXPECT_EQ(grown_back.tenant_id, ext.tenant_id);
+
+  // Back-compat: a 23-byte body from a pre-tenant client parses as tenant 0
+  // even with the tenant flag bit clear.
+  Bytes legacy(frame.begin() + kFrameHeaderBytes + 1,
+               frame.begin() + kFrameHeaderBytes + 1 + kRequestExtBytes);
+  legacy[0] &= static_cast<uint8_t>(~0x02);  // clear the tenant flag
+  RequestExt legacy_back = parse_request_ext(legacy);
+  EXPECT_EQ(legacy_back.key, ext.key);
+  EXPECT_EQ(legacy_back.tenant_id, 0u);
 
   // Truncated extension bodies throw instead of reading garbage.
   Bytes trunc(frame.begin() + kFrameHeaderBytes + 1,
