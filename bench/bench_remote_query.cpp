@@ -19,11 +19,26 @@
 // the faults, plus the retry/overload/dedup counters from both sides.
 // --chaos-rate 0 skips the pass.
 //
+// Scale-out passes: --pipeline-depth replays a multi-probe SELECT workload
+// both sequentially and pipelined on a single connection (request frames
+// batched ahead of the responses); --connections fans the same workload
+// over a client-side connection pool; --shards spins up that many
+// in-process shard servers, re-ingests through the scatter-gather
+// transport, and re-runs the full WRE query path against the fleet —
+// checking shard-vs-single-server parity on every query. Each knob can be
+// set to 0/1 to skip its pass.
+//
 //   $ ./bench_remote_query [--records N] [--queries Q] [--lambda L]
-//       [--server-threads N] [--chaos-rate P] [--out BENCH_net.json]
+//       [--server-threads N] [--chaos-rate P] [--pipeline-depth D]
+//       [--connections C] [--shards S] [--out BENCH_net.json]
 #include <algorithm>
+#include <atomic>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <thread>
+
+#include "src/net/shard.h"
 
 #include "bench/bench_common.h"
 #include "src/net/net_fault.h"
@@ -49,6 +64,9 @@ int main(int argc, char** argv) {
   auto server_threads =
       static_cast<unsigned>(args.get_int("server-threads", 2));
   double chaos_rate = args.get_double("chaos-rate", 0.01);
+  int64_t pipeline_depth = args.get_int("pipeline-depth", 16);
+  int64_t n_connections = args.get_int("connections", 4);
+  int64_t n_shards = args.get_int("shards", 3);
   std::string out_path = args.get_string("out", "BENCH_net.json");
 
   std::cout << "# remote query bench: records=" << records
@@ -85,14 +103,13 @@ int main(int argc, char** argv) {
   conn.create_table("main", schema, specs, dists);
 
   // Remote bulk ingest: tags and ciphertext are computed client-side, then
-  // cross the wire as kInsertBatch frames.
+  // cross the wire as kInsertBatch frames. Rows are kept for the shard
+  // pass, which re-ingests the identical dataset into a fleet.
+  std::vector<sql::Row> rows;
+  rows.reserve(static_cast<size_t>(records));
+  for (int64_t id = 0; id < records; ++id) rows.push_back(gen.record(id));
   Timer ingest;
-  {
-    std::vector<sql::Row> rows;
-    rows.reserve(static_cast<size_t>(records));
-    for (int64_t id = 0; id < records; ++id) rows.push_back(gen.record(id));
-    conn.insert_bulk("main", rows);
-  }
+  conn.insert_bulk("main", rows);
   double ingest_s = ingest.elapsed_seconds();
   std::cout << "remote ingest: " << std::fixed << std::setprecision(1)
             << static_cast<double>(records) / ingest_s << " rows/s\n";
@@ -157,6 +174,233 @@ int main(int argc, char** argv) {
   report.add("remote/parity",
              {{"queries", static_cast<double>(queries.size())},
               {"mismatches", static_cast<double>(mismatches)}});
+
+  // ------------------------------------------------------------------
+  // Scale-out passes: pipelining, connection pooling, tag-space shards.
+  // The topology context block records the knobs so a BENCH_net.json is
+  // self-describing when topologies are compared across runs.
+  // ------------------------------------------------------------------
+  report.set_context("server_workers", std::to_string(server_threads));
+  report.set_context("server_batch_window_ms",
+                     std::to_string(server_options.batch_window_ms));
+  report.set_context("pipeline_depth", std::to_string(pipeline_depth));
+  report.set_context("client_connections", std::to_string(n_connections));
+  report.set_context("shards", std::to_string(n_shards));
+
+  // Raw multi-probe statements over the physical tag column — the shape
+  // EncryptedConnection's rewriter emits, minus client crypto, so the
+  // pipeline and pooling passes isolate the transport's contribution.
+  std::vector<std::string> probe_sqls;
+  if (pipeline_depth > 1 || n_connections > 1) {
+    auto tag_rs = remote.execute("SELECT fname_tag FROM main");
+    std::vector<uint64_t> live_tags;
+    live_tags.reserve(tag_rs.rows.size());
+    for (const auto& row : tag_rs.rows) live_tags.push_back(row[0].as_tag());
+    const size_t kProbesPerQuery = 8;
+    if (!live_tags.empty()) {
+      for (int64_t q = 0; q < n_queries; ++q) {
+        std::string sql = "SELECT id FROM main WHERE fname_tag IN (";
+        for (size_t j = 0; j < kProbesPerQuery; ++j) {
+          size_t at = (static_cast<size_t>(q) * kProbesPerQuery + j * 131) %
+                      live_tags.size();
+          if (j) sql += ", ";
+          sql += std::to_string(static_cast<int64_t>(live_tags[at]));
+        }
+        sql += ")";
+        probe_sqls.push_back(std::move(sql));
+      }
+    }
+  }
+
+  // Sequential baseline for the two transport passes: one statement at a
+  // time on the default single pooled connection.
+  double probe_qps_seq = 0;
+  std::vector<size_t> seq_row_counts;
+  if (!probe_sqls.empty()) {
+    remote.execute(probe_sqls[0]);  // warm
+    Timer seq;
+    for (const auto& s : probe_sqls) {
+      seq_row_counts.push_back(remote.execute(s).rows.size());
+    }
+    probe_qps_seq =
+        static_cast<double>(probe_sqls.size()) / seq.elapsed_seconds();
+  }
+
+  // Pipelined pass: same statements, same single connection, but every
+  // request frame in a depth-sized chunk is on the wire before the first
+  // response is read.
+  if (pipeline_depth > 1 && !probe_sqls.empty()) {
+    std::vector<size_t> pipe_row_counts;
+    Timer pipe;
+    for (size_t i = 0; i < probe_sqls.size();
+         i += static_cast<size_t>(pipeline_depth)) {
+      size_t end = std::min(probe_sqls.size(),
+                            i + static_cast<size_t>(pipeline_depth));
+      std::vector<std::string> chunk(probe_sqls.begin() + i,
+                                     probe_sqls.begin() + end);
+      for (auto& rs : remote.execute_pipelined(chunk)) {
+        pipe_row_counts.push_back(rs.rows.size());
+      }
+    }
+    double qps =
+        static_cast<double>(probe_sqls.size()) / pipe.elapsed_seconds();
+    if (pipe_row_counts != seq_row_counts) {
+      ++mismatches;
+      std::cout << "ERROR: pipelined pass returned different row counts "
+                   "than the sequential pass\n";
+    }
+    double speedup = probe_qps_seq > 0 ? qps / probe_qps_seq : 0;
+    std::cout << "remote/pipeline(depth=" << pipeline_depth << "): "
+              << std::fixed << std::setprecision(1) << probe_qps_seq
+              << " q/s sequential vs " << qps << " q/s pipelined ("
+              << std::setprecision(2) << speedup << "x)\n";
+    report.add("remote/pipeline",
+               {{"depth", static_cast<double>(pipeline_depth)},
+                {"sequential_qps", probe_qps_seq},
+                {"pipelined_qps", qps},
+                {"speedup", speedup}});
+  }
+
+  // Pooled-connections pass: the same statements fanned over N client
+  // threads sharing one RemoteConnection with N pooled channels.
+  if (n_connections > 1 && !probe_sqls.empty()) {
+    net::RemoteOptions pooled_options;
+    pooled_options.connections_per_shard = static_cast<size_t>(n_connections);
+    net::RemoteConnection pooled("127.0.0.1", server.port(), pooled_options);
+    pooled.ping();
+    pooled.execute(probe_sqls[0]);  // warm
+    std::atomic<size_t> errors{0};
+    Timer pool_timer;
+    std::vector<std::thread> clients;
+    for (int64_t w = 0; w < n_connections; ++w) {
+      clients.emplace_back([&, w] {
+        for (size_t i = static_cast<size_t>(w); i < probe_sqls.size();
+             i += static_cast<size_t>(n_connections)) {
+          try {
+            pooled.execute(probe_sqls[i]);
+          } catch (const std::exception&) {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    double qps =
+        static_cast<double>(probe_sqls.size()) / pool_timer.elapsed_seconds();
+    if (errors > 0) {
+      ++mismatches;
+      std::cout << "ERROR: " << errors
+                << " statements failed in the pooled-connections pass\n";
+    }
+    double speedup = probe_qps_seq > 0 ? qps / probe_qps_seq : 0;
+    std::cout << "remote/connections(n=" << n_connections << "): "
+              << std::fixed << std::setprecision(1) << qps << " q/s ("
+              << std::setprecision(2) << speedup << "x over one)\n";
+    report.add("remote/connections",
+               {{"connections", static_cast<double>(n_connections)},
+                {"queries_per_sec", qps},
+                {"speedup", speedup}});
+  }
+
+  // Shard pass: an in-process fleet of n_shards servers, each owning its
+  // hash slice of the tag space. The same records are re-ingested through
+  // the scatter-gather transport and the same WRE query workload re-run —
+  // with a parity check against the in-process single-database client, so
+  // the fleet must return exactly the ids the paper's model demands.
+  if (n_shards > 1) {
+    std::vector<std::unique_ptr<bench::ScratchDir>> shard_dirs;
+    std::vector<std::unique_ptr<sql::Database>> shard_dbs;
+    std::vector<std::unique_ptr<net::Server>> shard_servers;
+    std::vector<net::ShardEndpoint> endpoints;
+    for (int64_t i = 0; i < n_shards; ++i) {
+      shard_dirs.push_back(std::make_unique<bench::ScratchDir>(
+          "remote_shard" + std::to_string(i)));
+      shard_dbs.push_back(std::make_unique<sql::Database>(
+          shard_dirs.back()->str()));
+      net::ServerOptions shard_options;
+      shard_options.worker_threads = server_threads;
+      shard_options.shard_index = static_cast<uint32_t>(i);
+      shard_options.shard_count = static_cast<uint32_t>(n_shards);
+      shard_servers.push_back(
+          std::make_unique<net::Server>(*shard_dbs.back(), shard_options));
+      shard_servers.back()->start();
+      endpoints.push_back({"127.0.0.1", shard_servers.back()->port()});
+    }
+    net::RemoteOptions fleet_options;
+    fleet_options.connections_per_shard =
+        static_cast<size_t>(std::max<int64_t>(n_connections, 1));
+    net::RemoteConnection fleet(endpoints, fleet_options);
+    fleet.ping();
+    core::EncryptedConnection fleet_conn(fleet, secret);
+    fleet_conn.create_table("main", schema, specs, dists);
+    Timer shard_ingest;
+    fleet_conn.insert_bulk("main", rows);
+    double shard_ingest_s = shard_ingest.elapsed_seconds();
+
+    size_t shard_mismatches = 0;
+    for (const auto& q : queries) {
+      auto fleet_ids =
+          sorted(fleet_conn.select_ids("main", q.column, q.value).ids);
+      auto local_ids =
+          sorted(local.select_ids("main", q.column, q.value).ids);
+      if (fleet_ids != local_ids) ++shard_mismatches;
+    }
+    if (shard_mismatches != 0) {
+      mismatches += shard_mismatches;
+      std::cout << "ERROR: " << shard_mismatches << "/" << queries.size()
+                << " queries differ between the shard fleet and the "
+                   "in-process client\n";
+    }
+
+    // Throughput at equal client parallelism against both topologies: the
+    // single server behind `conn` (re-wrapped over a same-sized pool) and
+    // the fleet. Both are warm from the parity passes.
+    auto threaded_qps = [&](core::EncryptedConnection& c) {
+      std::atomic<size_t> errors{0};
+      int64_t n_threads = std::max<int64_t>(n_connections, 1);
+      Timer t;
+      std::vector<std::thread> clients;
+      for (int64_t w = 0; w < n_threads; ++w) {
+        clients.emplace_back([&, w] {
+          for (size_t i = static_cast<size_t>(w); i < queries.size();
+               i += static_cast<size_t>(n_threads)) {
+            try {
+              c.select_ids("main", queries[i].column, queries[i].value);
+            } catch (const std::exception&) {
+              ++errors;
+            }
+          }
+        });
+      }
+      for (auto& cl : clients) cl.join();
+      double qps = static_cast<double>(queries.size()) / t.elapsed_seconds();
+      return errors == 0 ? qps : 0.0;
+    };
+    net::RemoteOptions single_options;
+    single_options.connections_per_shard = fleet_options.connections_per_shard;
+    net::RemoteConnection single_pooled("127.0.0.1", server.port(),
+                                        single_options);
+    core::EncryptedConnection single_conn(single_pooled, secret);
+    single_conn.open_table("main");
+    double qps_single = threaded_qps(single_conn);
+    double qps_fleet = threaded_qps(fleet_conn);
+    double speedup = qps_single > 0 ? qps_fleet / qps_single : 0;
+    std::cout << "remote/shards(n=" << n_shards << "): " << std::fixed
+              << std::setprecision(1) << qps_single
+              << " q/s single-server vs " << qps_fleet << " q/s sharded ("
+              << std::setprecision(2) << speedup << "x), ingest "
+              << std::setprecision(1)
+              << static_cast<double>(records) / shard_ingest_s << " rows/s\n";
+    report.add("remote/shards",
+               {{"shards", static_cast<double>(n_shards)},
+                {"single_server_qps", qps_single},
+                {"sharded_qps", qps_fleet},
+                {"speedup", speedup},
+                {"ingest_rows_per_sec",
+                 static_cast<double>(records) / shard_ingest_s},
+                {"parity_mismatches", static_cast<double>(shard_mismatches)}});
+    for (auto& s : shard_servers) s->stop();
+  }
 
   // Chaos pass: same SELECT id workload with socket faults injected on both
   // sides of the loopback hop. The retry loop (idempotency keys + backoff)

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Smoke test of tag-space sharding as actually deployed:
+#
+#   1. start three real wre_server processes on ephemeral ports, each
+#      declaring its slice with --shard-index/--shard-count,
+#   2. run the external-fleet parity test: rows scattered by tag hash,
+#      kTagScans gathered across the fleet, every result checked
+#      row-for-row against a single unsharded local database,
+#   3. SIGKILL the last shard, then require the degraded-fleet semantics:
+#      probes owned by survivors still answer, probes owned by the corpse
+#      retry per-shard and surface RetriesExhaustedError,
+#   4. SIGTERM the survivors and require clean drains (exit 0).
+#
+#   scripts/shard_smoke.sh [build_dir]   # default build dir: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+SERVER=${BUILD_DIR}/src/net/wre_server
+TEST=${BUILD_DIR}/tests/shard_test
+[[ -x ${SERVER} ]] || { echo "missing ${SERVER} (build first)"; exit 1; }
+[[ -x ${TEST} ]] || { echo "missing ${TEST} (build first)"; exit 1; }
+
+SHARDS=3
+DATA_DIR=$(mktemp -d)
+declare -a PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill -9 "${pid}" 2>/dev/null || true
+  done
+  rm -rf "${DATA_DIR}"
+}
+trap cleanup EXIT
+
+ENDPOINTS=""
+for i in $(seq 0 $((SHARDS - 1))); do
+  mkdir -p "${DATA_DIR}/shard${i}"
+  LOG=${DATA_DIR}/shard${i}.log
+  "${SERVER}" --dir="${DATA_DIR}/shard${i}" --port=0 \
+      --shard-index="${i}" --shard-count="${SHARDS}" >"${LOG}" 2>&1 &
+  PIDS+=($!)
+
+  # Each server prints "LISTENING <port>" once it accepts connections.
+  PORT=""
+  for _ in $(seq 1 50); do
+    PORT=$(awk '/^LISTENING /{print $2; exit}' "${LOG}" || true)
+    [[ -n ${PORT} ]] && break
+    kill -0 "${PIDS[i]}" 2>/dev/null || { cat "${LOG}"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n ${PORT} ]] || { echo "shard ${i} never reported a port"; cat "${LOG}"; exit 1; }
+  echo "== shard ${i}/${SHARDS} pid ${PIDS[i]} on 127.0.0.1:${PORT} =="
+  ENDPOINTS+="${ENDPOINTS:+,}127.0.0.1:${PORT}"
+done
+
+echo "== scatter-gather parity across the fleet =="
+WRE_SHARD_ENDPOINTS=${ENDPOINTS} "${TEST}" \
+    --gtest_filter='ExternalShardFleet.ScatterGatherParityAgainstLocalDatabase'
+
+echo "== SIGKILL shard $((SHARDS - 1)), degraded-fleet semantics =="
+kill -9 "${PIDS[$((SHARDS - 1))]}"
+wait "${PIDS[$((SHARDS - 1))]}" 2>/dev/null || true
+WRE_SHARD_ENDPOINTS=${ENDPOINTS} "${TEST}" \
+    --gtest_filter='ExternalShardFleet.DeadShardFailsTypedWhileSurvivorsServe'
+
+echo "== draining survivors (SIGTERM) =="
+for i in $(seq 0 $((SHARDS - 2))); do
+  kill -TERM "${PIDS[i]}"
+done
+for i in $(seq 0 $((SHARDS - 2))); do
+  EXIT_CODE=0
+  wait "${PIDS[i]}" || EXIT_CODE=$?
+  cat "${DATA_DIR}/shard${i}.log"
+  if [[ ${EXIT_CODE} -ne 0 ]]; then
+    echo "shard ${i} exited ${EXIT_CODE} on SIGTERM (expected clean drain)"
+    exit 1
+  fi
+done
+echo "== shard smoke passed =="

@@ -1,0 +1,159 @@
+// Pipelined request channels and per-shard connection pooling.
+//
+// PipelinedChannel is one TCP connection that allows multiple in-flight
+// request frames. The wire protocol carries no sequence numbers: the
+// server guarantees responses come back in request order (the epoll core
+// executes each connection's pipeline FIFO), so a ticket is just the
+// request's position in the stream. submit() writes a frame and returns a
+// ticket; await() reads responses in order until the ticket's arrives,
+// parking any it reads past in a small reorder map.
+//
+// A channel is intentionally NOT thread-safe. Concurrent send and recv on
+// one socket would force destructive teardown (close on error) to race
+// with a blocked recv on the same fd — the classic close/reuse hazard.
+// Instead, ChannelPool hands out *exclusive leases*: one thread owns a
+// channel for a whole submit…await burst, and concurrency comes from the
+// pool width (RemoteOptions::connections_per_shard), not from sharing a
+// socket. This matches the scatter-gather client's shape exactly: it
+// leases one channel per shard, bursts the sub-requests, then awaits.
+//
+// Error model: any transport failure (send, recv, decode) poisons the
+// channel — every outstanding and future call throws NetworkError, and
+// the pool drops the carcass instead of returning it. Server-reported
+// errors (kError frames) leave the stream aligned and the channel healthy;
+// they are returned as ordinary responses for the caller to interpret.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/shard.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+
+namespace wre::net {
+
+class PipelinedChannel {
+ public:
+  struct Response {
+    Opcode opcode = Opcode::kError;
+    Bytes payload;
+  };
+
+  /// `recv_timeout_ms` bounds each response read (0 = wait forever);
+  /// await() may tighten it per call with its deadline hint.
+  PipelinedChannel(ShardEndpoint endpoint, size_t max_frame_bytes,
+                   int recv_timeout_ms);
+
+  PipelinedChannel(const PipelinedChannel&) = delete;
+  PipelinedChannel& operator=(const PipelinedChannel&) = delete;
+
+  /// Encodes one request frame into the channel's output buffer (connecting
+  /// lazily) and returns its ticket. Frames are corked until flush() — a
+  /// submit burst costs one send syscall, not one per frame. Throws
+  /// NetworkError on connect failure (channel is then dead).
+  uint64_t submit(Opcode op, ByteView payload, const RequestExt& ext);
+
+  /// Sends every corked frame in one write. await() flushes implicitly, but
+  /// a caller that submits to several channels before awaiting any (the
+  /// scatter client) must flush each explicitly so all servers start
+  /// working at once. Throws NetworkError on send failure (channel dead).
+  void flush();
+
+  /// Blocks until `ticket`'s response has been read, reading (and parking)
+  /// any earlier in-flight responses on the way. `deadline_hint_ms`, if
+  /// non-zero, tightens the receive timeout for reads done by this call.
+  /// Tickets must be awaited at most once. Throws NetworkError on
+  /// transport failure (channel is then dead).
+  Response await(uint64_t ticket, uint64_t deadline_hint_ms = 0);
+
+  /// Requests submitted but not yet awaited/read.
+  size_t in_flight() const { return next_ticket_ - next_response_; }
+
+  bool dead() const { return dead_; }
+
+  /// Marks the channel dead without throwing — for when the transport
+  /// itself worked but the response was out-of-protocol (e.g. an
+  /// unexpected opcode), so the stream can no longer be trusted.
+  void poison(std::string why);
+
+ private:
+  [[noreturn]] void die(const std::string& why);
+  Response read_one(uint64_t deadline_hint_ms);
+
+  ShardEndpoint endpoint_;
+  size_t max_frame_bytes_;
+  int recv_timeout_ms_;
+
+  std::optional<Socket> sock_;
+  Bytes outbuf_;  // encoded frames corked since the last flush
+  bool dead_ = false;
+  std::string death_reason_;
+  uint64_t next_ticket_ = 0;    // next ticket submit() hands out
+  uint64_t next_response_ = 0;  // ticket the next wire response answers
+  std::map<uint64_t, Response> parked_;  // read past while awaiting later
+};
+
+/// A small pool of channels to one shard. acquire() returns an exclusive
+/// RAII lease; releasing returns the channel for reuse unless it died or
+/// still has un-awaited responses. Demand beyond `target_size` creates
+/// temporary channels that are simply dropped on release, so the pool
+/// never blocks.
+class ChannelPool {
+ public:
+  class Lease {
+   public:
+    Lease(std::shared_ptr<PipelinedChannel> ch, ChannelPool* pool)
+        : ch_(std::move(ch)), pool_(pool) {}
+    ~Lease() {
+      if (ch_ && pool_) pool_->release(std::move(ch_));
+    }
+    Lease(Lease&& other) noexcept
+        : ch_(std::move(other.ch_)), pool_(other.pool_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    PipelinedChannel* operator->() { return ch_.get(); }
+    PipelinedChannel& operator*() { return *ch_; }
+
+   private:
+    std::shared_ptr<PipelinedChannel> ch_;
+    ChannelPool* pool_;
+  };
+
+  ChannelPool(ShardEndpoint endpoint, size_t target_size,
+              size_t max_frame_bytes, int recv_timeout_ms);
+
+  /// Exclusive lease on an idle (or freshly created) channel. Never blocks
+  /// and never throws — connect errors surface from the lease's first
+  /// submit().
+  Lease acquire();
+
+  /// Drops all idle channels; leased ones die with their lease.
+  void clear();
+
+  const ShardEndpoint& endpoint() const { return endpoint_; }
+
+ private:
+  friend class Lease;
+  void release(std::shared_ptr<PipelinedChannel> ch);
+
+  ShardEndpoint endpoint_;
+  size_t target_size_;
+  size_t max_frame_bytes_;
+  int recv_timeout_ms_;
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<PipelinedChannel>> idle_;
+};
+
+}  // namespace wre::net

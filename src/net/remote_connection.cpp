@@ -1,9 +1,12 @@
 #include "src/net/remote_connection.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <limits>
 #include <thread>
+
+#include "src/util/error.h"
 
 namespace wre::net {
 
@@ -16,28 +19,47 @@ uint64_t elapsed_ms_since(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+bool looks_like_select(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  return sql.size() - i >= 6 && sql::to_lower(sql.substr(i, 6)) == "select";
+}
+
 }  // namespace
 
 RemoteConnection::RemoteConnection(std::string host, uint16_t port,
                                    RemoteOptions options)
-    : host_(std::move(host)),
-      port_(port),
-      options_(options),
+    : RemoteConnection(
+          std::vector<ShardEndpoint>{ShardEndpoint{std::move(host), port}},
+          options) {}
+
+RemoteConnection::RemoteConnection(std::vector<ShardEndpoint> shards,
+                                   RemoteOptions options)
+    : options_(options),
+      tenant_id_(options.tenant_id),
       jitter_rng_(options.retry.jitter_seed),
-      budget_(options.retry.budget_tokens) {}
+      budget_(options.retry.budget_tokens) {
+  if (shards.empty()) throw NetworkError("remote: empty shard map");
+  pools_.reserve(shards.size());
+  for (ShardEndpoint& ep : shards) {
+    pools_.push_back(std::make_unique<ChannelPool>(
+        std::move(ep), options_.connections_per_shard,
+        options_.max_frame_bytes, options_.response_timeout_ms));
+  }
+}
 
 void RemoteConnection::ping() {
-  roundtrip(Opcode::kPing, {}, Opcode::kOkPong);
+  broadcast(Opcode::kPing, {}, Opcode::kOkPong);
 }
 
 void RemoteConnection::disconnect() {
-  std::lock_guard<std::mutex> lk(mu_);
-  sock_.reset();
+  for (auto& pool : pools_) pool->clear();
 }
 
 void RemoteConnection::set_tenant_id(uint64_t tenant_id) {
-  std::lock_guard<std::mutex> lk(mu_);
-  options_.tenant_id = tenant_id;
+  tenant_id_.store(tenant_id, std::memory_order_relaxed);
 }
 
 RemoteStats RemoteConnection::stats() const {
@@ -46,194 +68,414 @@ RemoteStats RemoteConnection::stats() const {
   s.retries = retries_.load(std::memory_order_relaxed);
   s.overloaded = overloaded_.load(std::memory_order_relaxed);
   s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  s.fanouts = fanouts_.load(std::memory_order_relaxed);
   return s;
 }
 
-Socket& RemoteConnection::socket_locked() {
-  if (!sock_) {
-    sock_.emplace(Socket::connect(host_, port_));
-  }
-  return *sock_;
-}
-
-Bytes RemoteConnection::roundtrip_once(Opcode request, ByteView payload,
-                                       Opcode expected, const RequestExt& ext,
-                                       uint64_t remaining_ms,
-                                       std::optional<StatusCode>* status,
-                                       std::string* message) {
-  Socket& sock = socket_locked();
-  // Per-attempt receive timeout: the tighter of the response timeout and
-  // what remains of the overall deadline, so one slow attempt cannot eat
-  // the whole retry window.
-  uint64_t timeout = options_.response_timeout_ms > 0
-                         ? static_cast<uint64_t>(options_.response_timeout_ms)
-                         : 0;
-  if (remaining_ms > 0 && (timeout == 0 || remaining_ms < timeout)) {
-    timeout = remaining_ms;
-  }
-  if (timeout > 0) {
-    sock.set_recv_timeout_ms(static_cast<int>(
-        std::min<uint64_t>(timeout, std::numeric_limits<int>::max())));
-  }
-  sock.send_all(encode_request_frame(request, payload, ext));
-
-  uint8_t header[kFrameHeaderBytes];
-  sock.recv_all(header, sizeof(header));
-  FrameHeader fh = decode_frame_header(header, options_.max_frame_bytes);
-  Bytes body(fh.payload_length);
-  if (fh.payload_length > 0) sock.recv_all(body.data(), body.size());
-
-  if (fh.opcode == Opcode::kError) {
-    // A server-side error leaves the stream aligned; keep the connection
-    // and hand the status to the retry loop (only kOverloaded retries).
-    WireReader r(body);
-    *status = static_cast<StatusCode>(r.u16());
-    *message = r.string();
-    r.expect_end();
-    return {};
-  }
-  if (fh.opcode != expected) {
-    throw NetworkError(std::string("wire: expected ") + opcode_name(expected) +
-                       " response to " + opcode_name(request) + ", got " +
-                       opcode_name(fh.opcode));
-  }
-  return body;
-}
-
-Bytes RemoteConnection::roundtrip(Opcode request, ByteView payload,
-                                  Opcode expected) {
-  std::lock_guard<std::mutex> lk(mu_);
-  requests_.fetch_add(1, std::memory_order_relaxed);
-
-  // One fresh key per logical request, constant across its retries — the
-  // unit the server's dedup cache makes exactly-once. The tenant id scopes
-  // that key server-side: retries replay only within our own tenant.
-  RequestExt ext;
-  ext.has_key = true;
-  key_rng_.fill(ext.key);
-  ext.tenant_id = options_.tenant_id;
+std::vector<Bytes> RemoteConnection::scatter(Opcode request,
+                                             const std::vector<Sub>& subs,
+                                             Opcode expected) {
+  requests_.fetch_add(subs.size(), std::memory_order_relaxed);
 
   const RetryOptions& rp = options_.retry;
   const auto start = std::chrono::steady_clock::now();
-  uint32_t backoff_ms = std::max<uint32_t>(1, rp.initial_backoff_ms);
-  std::string last_error = "no error recorded";
-  int attempt = 0;
+  const uint64_t tenant = tenant_id_.load(std::memory_order_relaxed);
+
+  // Per-sub retry state. Each sub carries one fresh idempotency key that
+  // stays constant across its retries — the unit the server's dedup cache
+  // makes exactly-once. The tenant id scopes that key server-side.
+  struct Pend {
+    const Sub* sub = nullptr;
+    RequestExt ext;
+    uint64_t ticket = 0;
+    bool inflight = false;
+    bool done = false;
+    Bytes result;
+    std::exception_ptr terminal;
+    std::string last_error = "no error recorded";
+    int attempts = 0;  // completed attempts
+    uint32_t backoff_ms = 0;
+  };
+  std::vector<Pend> pend(subs.size());
+  {
+    std::lock_guard<std::mutex> lk(retry_mu_);
+    for (size_t i = 0; i < subs.size(); ++i) {
+      pend[i].sub = &subs[i];
+      pend[i].ext.has_key = true;
+      key_rng_.fill(pend[i].ext.key);
+      pend[i].ext.tenant_id = tenant;
+      pend[i].backoff_ms = std::max<uint32_t>(1, rp.initial_backoff_ms);
+    }
+  }
+
+  auto settle_exhausted = [this](Pend& p, std::string msg, int attempts,
+                                 uint64_t elapsed) {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      throw RetriesExhaustedError(std::move(msg), attempts, elapsed);
+    } catch (...) {
+      p.terminal = std::current_exception();
+    }
+  };
+  auto remaining_of_deadline = [&rp](uint64_t elapsed) -> uint64_t {
+    if (rp.overall_deadline_ms == 0) return 0;  // 0 = unbounded
+    return rp.overall_deadline_ms > elapsed ? rp.overall_deadline_ms - elapsed
+                                            : 1;
+  };
 
   for (;;) {
-    ++attempt;
-    uint64_t elapsed = elapsed_ms_since(start);
-    uint64_t remaining = 0;
-    if (rp.overall_deadline_ms > 0) {
-      if (elapsed >= rp.overall_deadline_ms) {
-        exhausted_.fetch_add(1, std::memory_order_relaxed);
-        throw RetriesExhaustedError(
+    // Submit phase: group still-active subs by shard and burst each
+    // group down one leased channel — every frame is on the wire before
+    // any response is awaited, so shards and pipelined requests overlap.
+    std::map<uint32_t, std::vector<Pend*>> by_shard;
+    for (Pend& p : pend) {
+      if (p.done || p.terminal) continue;
+      uint64_t elapsed = elapsed_ms_since(start);
+      if (rp.overall_deadline_ms > 0 && elapsed >= rp.overall_deadline_ms) {
+        settle_exhausted(
+            p,
             "remote: overall deadline of " +
                 std::to_string(rp.overall_deadline_ms) + " ms expired after " +
                 std::to_string(elapsed) + " ms and " +
-                std::to_string(attempt - 1) + " attempts (last error: " +
-                last_error + ")",
-            attempt - 1, elapsed);
+                std::to_string(p.attempts) + " attempts (last error: " +
+                p.last_error + ")",
+            p.attempts, elapsed);
+        continue;
       }
-      remaining = rp.overall_deadline_ms - elapsed;
+      by_shard[p.sub->shard].push_back(&p);
     }
-    ext.deadline_ms = static_cast<uint32_t>(
-        std::min<uint64_t>(remaining, std::numeric_limits<uint32_t>::max()));
+    if (by_shard.empty()) break;
 
-    std::optional<StatusCode> status;
-    std::string message;
-    try {
-      Bytes body =
-          roundtrip_once(request, payload, expected, ext, remaining, &status,
-                         &message);
-      if (!status) {
-        // Success refunds a fraction of a retry token (capped): steady
-        // traffic slowly re-earns the right to retry.
-        budget_ = std::min(rp.budget_tokens, budget_ + 0.1);
-        return body;
+    std::map<uint32_t, ChannelPool::Lease> leases;
+    for (auto& [shard, group] : by_shard) {
+      auto [lease_it, inserted] = leases.emplace(shard, pools_[shard]->acquire());
+      ChannelPool::Lease& lease = lease_it->second;
+      for (size_t gi = 0; gi < group.size(); ++gi) {
+        Pend& p = *group[gi];
+        ++p.attempts;
+        p.ext.deadline_ms = static_cast<uint32_t>(std::min<uint64_t>(
+            remaining_of_deadline(elapsed_ms_since(start)),
+            std::numeric_limits<uint32_t>::max()));
+        try {
+          p.ticket = lease->submit(request, p.sub->payload, p.ext);
+          p.inflight = true;
+        } catch (const NetworkError& e) {
+          // The channel died; every later submit on it would fail the
+          // same way, so charge the whole rest of the group one attempt
+          // and move on to the next shard.
+          for (size_t gj = gi; gj < group.size(); ++gj) {
+            Pend& q = *group[gj];
+            if (gj > gi) ++q.attempts;
+            q.last_error = e.what();
+            q.inflight = false;
+          }
+          break;
+        }
       }
-      if (*status != StatusCode::kOverloaded) {
-        // Deterministic server-side failure (bad SQL, duplicate key,
-        // malformed payload): retrying cannot change the outcome.
-        rethrow_status(*status, message);
+      // Uncork the burst now — not lazily at the first await — so every
+      // shard's server is working before we block on any response.
+      try {
+        if (!lease->dead()) lease->flush();
+      } catch (const NetworkError& e) {
+        for (Pend* pp : group) {
+          if (pp->inflight) {
+            pp->last_error = e.what();
+            pp->inflight = false;
+          }
+        }
       }
-      // Overloaded: the server shed us before executing — retryable.
-      overloaded_.fetch_add(1, std::memory_order_relaxed);
-      last_error = message;
-    } catch (const NetworkError& e) {
-      // Transport failure: the socket state is unknowable; always drop it
-      // so the next attempt reconnects. Thanks to the idempotency key this
-      // is safe even when the request mutates.
-      sock_.reset();
-      last_error = e.what();
     }
 
-    uint64_t now_elapsed = elapsed_ms_since(start);
-    if (attempt >= rp.max_attempts) {
-      exhausted_.fetch_add(1, std::memory_order_relaxed);
-      throw RetriesExhaustedError(
-          "remote: " + std::to_string(attempt) + " attempts failed over " +
-              std::to_string(now_elapsed) + " ms (last error: " + last_error +
-              ")",
-          attempt, now_elapsed);
+    // Await phase: responses come back in ticket order per channel. A
+    // transport failure poisons that channel, so the rest of its group
+    // fails fast instead of timing out one by one.
+    for (auto& [shard, group] : by_shard) {
+      ChannelPool::Lease& lease = leases.at(shard);
+      for (Pend* pp : group) {
+        Pend& p = *pp;
+        if (!p.inflight) continue;
+        p.inflight = false;
+        try {
+          PipelinedChannel::Response resp = lease->await(
+              p.ticket, remaining_of_deadline(elapsed_ms_since(start)));
+          if (resp.opcode == Opcode::kError) {
+            // A server-side error leaves the stream aligned; keep the
+            // channel and hand the status to the retry logic (only
+            // kOverloaded retries).
+            WireReader r(resp.payload);
+            auto status = static_cast<StatusCode>(r.u16());
+            std::string message = r.string();
+            r.expect_end();
+            if (status != StatusCode::kOverloaded) {
+              // Deterministic server-side failure (bad SQL, duplicate
+              // key, malformed payload): retrying cannot change the
+              // outcome.
+              try {
+                rethrow_status(status, message);
+              } catch (...) {
+                p.terminal = std::current_exception();
+              }
+            } else {
+              overloaded_.fetch_add(1, std::memory_order_relaxed);
+              p.last_error = message;
+            }
+          } else if (resp.opcode != expected) {
+            p.last_error = std::string("wire: expected ") +
+                           opcode_name(expected) + " response to " +
+                           opcode_name(request) + ", got " +
+                           opcode_name(resp.opcode);
+            lease->poison(p.last_error);
+          } else {
+            p.done = true;
+            p.result = std::move(resp.payload);
+            // Success refunds a fraction of a retry token (capped):
+            // steady traffic slowly re-earns the right to retry.
+            std::lock_guard<std::mutex> lk(retry_mu_);
+            budget_ = std::min(rp.budget_tokens, budget_ + 0.1);
+          }
+        } catch (const NetworkError& e) {
+          p.last_error = e.what();
+        }
+      }
     }
-    if (budget_ < 1.0) {
-      exhausted_.fetch_add(1, std::memory_order_relaxed);
-      throw RetriesExhaustedError(
-          "remote: retry budget exhausted after " + std::to_string(attempt) +
-              " attempts over " + std::to_string(now_elapsed) +
-              " ms (last error: " + last_error + ")",
-          attempt, now_elapsed);
-    }
-    budget_ -= 1.0;
-    retries_.fetch_add(1, std::memory_order_relaxed);
+    leases.clear();  // healthy channels return to their pools; dead ones drop
 
-    // Backoff with jitter in [backoff/2, backoff), capped by the remaining
-    // deadline so the last sleep cannot blow through it.
-    uint64_t sleep_ms = backoff_ms / 2 + jitter_rng_.next_below(
-                                             backoff_ms / 2 + 1);
-    if (rp.overall_deadline_ms > 0) {
-      uint64_t left = rp.overall_deadline_ms > now_elapsed
-                          ? rp.overall_deadline_ms - now_elapsed
-                          : 0;
-      sleep_ms = std::min(sleep_ms, left);
+    // Retry bookkeeping: attempt cap, then budget, then jittered backoff.
+    // One sleep per round (the max of the failing subs' backoffs) — each
+    // sub still owns its own doubling schedule.
+    uint64_t round_sleep = 0;
+    for (Pend& p : pend) {
+      if (p.done || p.terminal) continue;
+      uint64_t now_elapsed = elapsed_ms_since(start);
+      if (p.attempts >= rp.max_attempts) {
+        settle_exhausted(p,
+                         "remote: " + std::to_string(p.attempts) +
+                             " attempts failed over " +
+                             std::to_string(now_elapsed) +
+                             " ms (last error: " + p.last_error + ")",
+                         p.attempts, now_elapsed);
+        continue;
+      }
+      bool budget_ok = false;
+      uint64_t sleep_ms = 0;
+      {
+        std::lock_guard<std::mutex> lk(retry_mu_);
+        if (budget_ >= 1.0) {
+          budget_ok = true;
+          budget_ -= 1.0;
+          // Jitter in [backoff/2, backoff), capped below by the
+          // remaining deadline so the last sleep cannot blow through it.
+          sleep_ms = p.backoff_ms / 2 +
+                     jitter_rng_.next_below(p.backoff_ms / 2 + 1);
+        }
+      }
+      if (!budget_ok) {
+        settle_exhausted(p,
+                         "remote: retry budget exhausted after " +
+                             std::to_string(p.attempts) + " attempts over " +
+                             std::to_string(now_elapsed) +
+                             " ms (last error: " + p.last_error + ")",
+                         p.attempts, now_elapsed);
+        continue;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (rp.overall_deadline_ms > 0) {
+        uint64_t left = rp.overall_deadline_ms > now_elapsed
+                            ? rp.overall_deadline_ms - now_elapsed
+                            : 0;
+        sleep_ms = std::min(sleep_ms, left);
+      }
+      round_sleep = std::max(round_sleep, sleep_ms);
+      p.backoff_ms = std::min(p.backoff_ms * 2, rp.max_backoff_ms);
     }
-    if (sleep_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    if (round_sleep > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(round_sleep));
     }
-    backoff_ms = std::min(backoff_ms * 2, rp.max_backoff_ms);
   }
+
+  for (Pend& p : pend) {
+    if (p.terminal) std::rethrow_exception(p.terminal);
+  }
+  std::vector<Bytes> out;
+  out.reserve(pend.size());
+  for (Pend& p : pend) out.push_back(std::move(p.result));
+  return out;
+}
+
+Bytes RemoteConnection::roundtrip(uint32_t shard, Opcode request,
+                                  ByteView payload, Opcode expected) {
+  std::vector<Sub> subs(1);
+  subs[0].shard = shard;
+  subs[0].payload.assign(payload.begin(), payload.end());
+  return std::move(scatter(request, subs, expected)[0]);
+}
+
+std::vector<Bytes> RemoteConnection::broadcast(Opcode request,
+                                               ByteView payload,
+                                               Opcode expected) {
+  std::vector<Sub> subs(pools_.size());
+  for (uint32_t s = 0; s < pools_.size(); ++s) {
+    subs[s].shard = s;
+    subs[s].payload.assign(payload.begin(), payload.end());
+  }
+  if (subs.size() > 1) fanouts_.fetch_add(1, std::memory_order_relaxed);
+  return scatter(request, subs, expected);
+}
+
+sql::ResultSet RemoteConnection::broadcast_result(Opcode request,
+                                                  ByteView payload) {
+  std::vector<Bytes> bodies = broadcast(request, payload, Opcode::kOkResult);
+  sql::ResultSet merged;
+  for (size_t s = 0; s < bodies.size(); ++s) {
+    WireReader r(bodies[s]);
+    sql::ResultSet rs = decode_result_set(r);
+    r.expect_end();
+    if (s == 0) {
+      merged = std::move(rs);
+    } else {
+      for (sql::Row& row : rs.rows) merged.rows.push_back(std::move(row));
+    }
+  }
+  return merged;
+}
+
+void RemoteConnection::ensure_topology() {
+  if (pools_.size() <= 1 || !options_.verify_topology) return;
+  std::lock_guard<std::mutex> lk(topo_mu_);
+  if (topology_verified_) return;
+  std::vector<Bytes> infos =
+      broadcast(Opcode::kShardInfo, {}, Opcode::kOkShardInfo);
+  for (uint32_t s = 0; s < infos.size(); ++s) {
+    WireReader r(infos[s]);
+    uint32_t index = r.u32();
+    uint32_t count = r.u32();
+    r.expect_end();
+    if (index != s || count != pools_.size()) {
+      const ShardEndpoint& ep = pools_[s]->endpoint();
+      throw NetworkError(
+          "shard map: " + ep.host + ":" + std::to_string(ep.port) +
+          " reports shard " + std::to_string(index) + " of " +
+          std::to_string(count) + " but the endpoint map places it at " +
+          std::to_string(s) + " of " + std::to_string(pools_.size()) +
+          " (check --shard-index/--shard-count)");
+    }
+  }
+  topology_verified_ = true;
+}
+
+RemoteConnection::ShardKey RemoteConnection::shard_key_for(
+    const std::string& table) {
+  std::string key = sql::to_lower(table);
+  {
+    std::lock_guard<std::mutex> lk(schema_mu_);
+    auto it = shard_key_cache_.find(key);
+    if (it != shard_key_cache_.end()) return it->second;
+  }
+  // DDL broadcasts keep shards uniform, so shard 0's schema is canonical.
+  WireWriter w;
+  w.string(table);
+  Bytes body = roundtrip(0, Opcode::kTableSchema, w.bytes(), Opcode::kOkSchema);
+  WireReader r(body);
+  sql::Schema schema = r.schema();
+  r.expect_end();
+  ShardKey sk;
+  sk.index = shard_key_index(schema);
+  if (sk.index) sk.column = schema.column(*sk.index).name;
+  std::lock_guard<std::mutex> lk(schema_mu_);
+  shard_key_cache_[key] = sk;
+  return sk;
+}
+
+std::vector<sql::ResultSet> RemoteConnection::execute_pipelined(
+    const std::vector<std::string>& sqls) {
+  const uint32_t n = shard_count();
+  if (n > 1) ensure_topology();
+  std::vector<Sub> subs;
+  subs.reserve(sqls.size() * n);
+  for (const std::string& sql : sqls) {
+    if (n > 1 && !looks_like_select(sql)) {
+      throw NetworkError(
+          "remote: sharded transport supports only SELECT through "
+          "execute_pipelined(); mutations must go through insert_batch");
+    }
+    WireWriter w;
+    w.string(sql);
+    for (uint32_t s = 0; s < n; ++s) {
+      Sub sub;
+      sub.shard = s;
+      sub.payload = w.bytes();
+      subs.push_back(std::move(sub));
+    }
+  }
+  if (n > 1 && !sqls.empty()) {
+    fanouts_.fetch_add(sqls.size(), std::memory_order_relaxed);
+  }
+  std::vector<Bytes> bodies = scatter(Opcode::kExecSql, subs, Opcode::kOkResult);
+  std::vector<sql::ResultSet> out(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    for (uint32_t s = 0; s < n; ++s) {
+      WireReader r(bodies[i * n + s]);
+      sql::ResultSet rs = decode_result_set(r);
+      r.expect_end();
+      if (s == 0) {
+        out[i] = std::move(rs);
+      } else {
+        for (sql::Row& row : rs.rows) out[i].rows.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
 }
 
 sql::ResultSet RemoteConnection::execute(const std::string& sql) {
   WireWriter w;
   w.string(sql);
-  Bytes body = roundtrip(Opcode::kExecSql, w.bytes(), Opcode::kOkResult);
-  WireReader r(body);
-  sql::ResultSet rs = decode_result_set(r);
-  r.expect_end();
-  return rs;
+  if (shard_count() == 1) {
+    Bytes body = roundtrip(0, Opcode::kExecSql, w.bytes(), Opcode::kOkResult);
+    WireReader r(body);
+    sql::ResultSet rs = decode_result_set(r);
+    r.expect_end();
+    return rs;
+  }
+  ensure_topology();
+  if (!looks_like_select(sql)) {
+    // Row concatenation is only correct for plain row-returning SELECTs,
+    // and a broadcast INSERT/UPDATE would run once per shard.
+    throw NetworkError(
+        "remote: sharded transport supports only SELECT through execute(); "
+        "mutations must go through insert_batch/create_table");
+  }
+  return broadcast_result(Opcode::kExecSql, w.bytes());
 }
 
 void RemoteConnection::create_table(const std::string& table,
                                     const sql::Schema& schema) {
+  if (shard_count() > 1) ensure_topology();
   WireWriter w;
   w.string(table);
   w.schema(schema);
-  roundtrip(Opcode::kCreateTable, w.bytes(), Opcode::kOkUnit);
+  broadcast(Opcode::kCreateTable, w.bytes(), Opcode::kOkUnit);
+  ShardKey sk;
+  sk.index = shard_key_index(schema);
+  if (sk.index) sk.column = schema.column(*sk.index).name;
+  std::lock_guard<std::mutex> lk(schema_mu_);
+  shard_key_cache_[sql::to_lower(table)] = sk;
 }
 
 void RemoteConnection::create_index(const std::string& table,
                                     const std::string& column) {
+  if (shard_count() > 1) ensure_topology();
   WireWriter w;
   w.string(table);
   w.string(column);
-  roundtrip(Opcode::kCreateIndex, w.bytes(), Opcode::kOkUnit);
+  broadcast(Opcode::kCreateIndex, w.bytes(), Opcode::kOkUnit);
 }
 
 bool RemoteConnection::has_table(const std::string& table) {
+  if (shard_count() > 1) ensure_topology();
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kHasTable, w.bytes(), Opcode::kOkBool);
+  Bytes body = roundtrip(0, Opcode::kHasTable, w.bytes(), Opcode::kOkBool);
   WireReader r(body);
   bool present = r.u8() != 0;
   r.expect_end();
@@ -241,19 +483,25 @@ bool RemoteConnection::has_table(const std::string& table) {
 }
 
 uint64_t RemoteConnection::row_count(const std::string& table) {
+  if (shard_count() > 1) ensure_topology();
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kRowCount, w.bytes(), Opcode::kOkCount);
-  WireReader r(body);
-  uint64_t n = r.u64();
-  r.expect_end();
-  return n;
+  std::vector<Bytes> bodies =
+      broadcast(Opcode::kRowCount, w.bytes(), Opcode::kOkCount);
+  uint64_t total = 0;
+  for (const Bytes& body : bodies) {
+    WireReader r(body);
+    total += r.u64();
+    r.expect_end();
+  }
+  return total;
 }
 
 sql::Schema RemoteConnection::table_schema(const std::string& table) {
+  if (shard_count() > 1) ensure_topology();
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kTableSchema, w.bytes(), Opcode::kOkSchema);
+  Bytes body = roundtrip(0, Opcode::kTableSchema, w.bytes(), Opcode::kOkSchema);
   WireReader r(body);
   sql::Schema schema = r.schema();
   r.expect_end();
@@ -262,28 +510,76 @@ sql::Schema RemoteConnection::table_schema(const std::string& table) {
 
 std::vector<int64_t> RemoteConnection::insert_batch(
     const std::string& table, const std::vector<sql::Row>& rows) {
-  WireWriter w;
-  w.string(table);
-  w.u32(static_cast<uint32_t>(rows.size()));
-  for (const sql::Row& row : rows) w.row(row);
-  Bytes body = roundtrip(Opcode::kInsertBatch, w.bytes(), Opcode::kOkIds);
-  WireReader r(body);
-  uint32_t n = r.u32();
-  std::vector<int64_t> ids;
-  ids.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) ids.push_back(r.i64());
-  r.expect_end();
+  const uint32_t n = shard_count();
+  if (n == 1) {
+    WireWriter w;
+    w.string(table);
+    w.u32(static_cast<uint32_t>(rows.size()));
+    for (const sql::Row& row : rows) w.row(row);
+    Bytes body = roundtrip(0, Opcode::kInsertBatch, w.bytes(), Opcode::kOkIds);
+    WireReader r(body);
+    uint32_t count = r.u32();
+    std::vector<int64_t> ids;
+    ids.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) ids.push_back(r.i64());
+    r.expect_end();
+    return ids;
+  }
+
+  ensure_topology();
+  ShardKey sk = shard_key_for(table);
+  // Partition rows by the hash of their shard-key tag; rows the key
+  // cannot place (tag-less table, short row, non-integer value — the
+  // owning shard will report the schema error) go to shard 0.
+  std::vector<std::vector<uint32_t>> members(n);
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    uint32_t s = 0;
+    if (sk.index && *sk.index < rows[i].size() &&
+        rows[i][*sk.index].type() == sql::ValueType::kInt64) {
+      s = shard_for_tag(rows[i][*sk.index].as_tag(), n);
+    }
+    members[s].push_back(i);
+  }
+  std::vector<Sub> subs;
+  std::vector<const std::vector<uint32_t>*> sub_members;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (members[s].empty()) continue;
+    WireWriter w;
+    w.string(table);
+    w.u32(static_cast<uint32_t>(members[s].size()));
+    for (uint32_t i : members[s]) w.row(rows[i]);
+    Sub sub;
+    sub.shard = s;
+    sub.payload = w.bytes();
+    subs.push_back(std::move(sub));
+    sub_members.push_back(&members[s]);
+  }
+  if (subs.size() > 1) fanouts_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Bytes> bodies = scatter(Opcode::kInsertBatch, subs, Opcode::kOkIds);
+  // Reassemble the per-shard id lists into input order.
+  std::vector<int64_t> ids(rows.size());
+  for (size_t k = 0; k < bodies.size(); ++k) {
+    const std::vector<uint32_t>& idx = *sub_members[k];
+    WireReader r(bodies[k]);
+    uint32_t count = r.u32();
+    if (count != idx.size()) {
+      throw NetworkError("remote: shard " + std::to_string(subs[k].shard) +
+                         " returned " + std::to_string(count) + " ids for " +
+                         std::to_string(idx.size()) + " inserted rows");
+    }
+    for (uint32_t j = 0; j < count; ++j) ids[idx[j]] = r.i64();
+    r.expect_end();
+  }
   return ids;
 }
 
 void RemoteConnection::scan(const std::string& table,
                             const std::function<void(const sql::Row&)>& fn) {
+  if (shard_count() > 1) ensure_topology();
   WireWriter w;
   w.string(table);
-  Bytes body = roundtrip(Opcode::kScanTable, w.bytes(), Opcode::kOkResult);
-  WireReader r(body);
-  sql::ResultSet rs = decode_result_set(r);
-  r.expect_end();
+  sql::ResultSet rs = broadcast_result(Opcode::kScanTable, w.bytes());
   for (const sql::Row& row : rs.rows) fn(row);
 }
 
@@ -291,17 +587,71 @@ sql::ResultSet RemoteConnection::tag_scan(const std::string& table,
                                           const std::string& tag_column,
                                           const std::vector<uint64_t>& tags,
                                           bool star) {
-  WireWriter w;
-  w.string(table);
-  w.string(tag_column);
-  w.u8(star ? 1 : 0);
-  w.u32(static_cast<uint32_t>(tags.size()));
-  for (uint64_t t : tags) w.u64(t);
-  Bytes body = roundtrip(Opcode::kTagScan, w.bytes(), Opcode::kOkResult);
-  WireReader r(body);
-  sql::ResultSet rs = decode_result_set(r);
-  r.expect_end();
-  return rs;
+  const uint32_t n = shard_count();
+  auto encode = [&](const std::vector<uint64_t>& probe) {
+    WireWriter w;
+    w.string(table);
+    w.string(tag_column);
+    w.u8(star ? 1 : 0);
+    w.u32(static_cast<uint32_t>(probe.size()));
+    for (uint64_t t : probe) w.u64(t);
+    return w.bytes();
+  };
+  if (n == 1) {
+    Bytes body = roundtrip(0, Opcode::kTagScan, encode(tags), Opcode::kOkResult);
+    WireReader r(body);
+    sql::ResultSet rs = decode_result_set(r);
+    r.expect_end();
+    return rs;
+  }
+
+  ensure_topology();
+  ShardKey sk = shard_key_for(table);
+  std::vector<Sub> subs;
+  if (sk.index && sql::to_lower(tag_column) == sk.column) {
+    // Probing the shard-key column: each probe tag names exactly one
+    // shard, so partition the list and only visit shards that own a tag.
+    std::vector<std::vector<uint64_t>> per_shard(n);
+    for (uint64_t t : tags) per_shard[shard_for_tag(t, n)].push_back(t);
+    for (uint32_t s = 0; s < n; ++s) {
+      if (per_shard[s].empty()) continue;
+      Sub sub;
+      sub.shard = s;
+      sub.payload = encode(per_shard[s]);
+      subs.push_back(std::move(sub));
+    }
+    if (subs.empty()) {
+      // Empty probe list: ask shard 0 so the caller still gets columns.
+      Sub sub;
+      sub.payload = encode(tags);
+      subs.push_back(std::move(sub));
+    }
+  } else {
+    // Probing a non-key tag column: rows are placed by a different
+    // column's tag, so every shard may own matches — broadcast the full
+    // list. Results are still disjoint (each row lives on one shard).
+    for (uint32_t s = 0; s < n; ++s) {
+      Sub sub;
+      sub.shard = s;
+      sub.payload = encode(tags);
+      subs.push_back(std::move(sub));
+    }
+  }
+  if (subs.size() > 1) fanouts_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<Bytes> bodies = scatter(Opcode::kTagScan, subs, Opcode::kOkResult);
+  sql::ResultSet merged;
+  for (size_t k = 0; k < bodies.size(); ++k) {
+    WireReader r(bodies[k]);
+    sql::ResultSet rs = decode_result_set(r);
+    r.expect_end();
+    if (k == 0) {
+      merged = std::move(rs);
+    } else {
+      for (sql::Row& row : rs.rows) merged.rows.push_back(std::move(row));
+    }
+  }
+  return merged;
 }
 
 }  // namespace wre::net

@@ -1,7 +1,12 @@
 #include "src/net/server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <thread>
 
@@ -10,6 +15,21 @@
 namespace wre::net {
 
 namespace {
+
+/// epoll user-data tags for the two non-connection descriptors; Conn
+/// pointers are never 0 or 1.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+/// Requests executed per worker batch. One batch per connection is in
+/// flight at a time (preserves response order); taking everything parsed
+/// so far amortizes the event-thread/worker handoff across a pipeline.
+constexpr size_t kMaxBatchRequests = 64;
+
+/// Bytes pulled off one socket per readiness event, so one firehose
+/// client cannot starve the rest of the loop (level-triggered epoll
+/// re-reports whatever is left).
+constexpr size_t kReadBudgetBytes = 256u << 10;
 
 /// Conservative write detection for ExecSql: only statements that are
 /// syntactically reads take the shared lock; everything else (INSERT,
@@ -54,16 +74,6 @@ bool request_mutates(Opcode op, ByteView payload) {
   }
 }
 
-/// Decrements the live-session gauge on every serve_session exit path.
-class LiveSessionGuard {
- public:
-  explicit LiveSessionGuard(std::atomic<uint64_t>& gauge) : gauge_(gauge) {}
-  ~LiveSessionGuard() { gauge_.fetch_sub(1); }
-
- private:
-  std::atomic<uint64_t>& gauge_;
-};
-
 }  // namespace
 
 Server::Server(sql::Database& db, ServerOptions options)
@@ -79,16 +89,22 @@ Server::~Server() { stop(); }
 void Server::start() {
   if (running_.exchange(true)) return;
   draining_.store(false);
-  // A session occupies its worker for the connection's whole lifetime
-  // (blocking reads), so the auto-sized pool is floored at 4: on a 1-core
-  // host "one per hardware thread" would let a single idle client starve
-  // every later connection until the read timeout fires.
+  drain_started_ = false;
   unsigned workers = options_.worker_threads;
   if (workers == 0) {
     workers = std::max(4u, std::thread::hardware_concurrency());
   }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    running_.store(false);
+    throw NetworkError("server: failed to create event-loop descriptors");
+  }
   pool_ = std::make_unique<util::ThreadPool>(workers);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  event_thread_ = std::thread([this] { event_loop(); });
   if (options_.checkpoint_interval_ms > 0) {
     checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
   }
@@ -122,229 +138,636 @@ void Server::stop() {
   checkpoint_cv_.notify_all();
   if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
   listener_.close();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    // Wake sessions blocked in recv. Only the read side is shut down: a
-    // session mid-request still flushes its response before exiting.
-    std::lock_guard<std::mutex> lk(sessions_mu_);
-    for (auto& [id, sock] : sessions_) sock->shutdown_read();
-  }
-  // The pool destructor finishes every queued/in-flight session task.
+  wake_event_thread();
+  // The event thread finishes requests already received, flushes their
+  // responses, closes every connection, then exits.
+  if (event_thread_.joinable()) event_thread_.join();
+  // Workers may still be finishing batches whose connections died; the
+  // pool destructor drains them (their completions go nowhere).
   pool_.reset();
+  conns_.clear();
+  lru_.clear();
+  doomed_.clear();
+  {
+    std::lock_guard<std::mutex> lk(completions_mu_);
+    completions_.clear();
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
   running_.store(false);
 }
 
-void Server::accept_loop() {
-  uint32_t backoff_ms = 1;
-  while (!draining_.load()) {
-    std::optional<Socket> sock;
-    try {
-      sock = listener_.accept();
-      backoff_ms = 1;
-    } catch (const std::exception&) {
-      // Transient accept() failure (EMFILE/ENFILE under fd pressure, an
-      // ECONNABORTED storm): the one thing the accept loop must never do
-      // is exit — that would leave the server alive but unreachable.
-      // Back off (capped) and try again; pending connections wait in the
-      // kernel backlog meanwhile.
-      accept_retries_.fetch_add(1);
-      if (draining_.load()) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, 200u);
-      continue;
-    }
-    if (!sock) break;  // listener closed: clean shutdown
-    sessions_accepted_.fetch_add(1);
+void Server::wake_event_thread() {
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
 
-    // Admission control: past the cap, shedding with a retryable error is
-    // kinder than queueing — the client backs off instead of timing out.
-    if (options_.max_connections > 0 &&
-        live_sessions_.load() >= options_.max_connections) {
-      shed_connection(std::move(*sock));
-      continue;
+void Server::add_listener() {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev) == 0) {
+    listener_registered_ = true;
+  }
+}
+
+void Server::pause_accept() {
+  if (listener_registered_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+    listener_registered_ = false;
+  }
+  accept_resume_ = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(accept_backoff_ms_);
+  accept_backoff_ms_ = std::min(accept_backoff_ms_ * 2, 200u);
+}
+
+void Server::event_loop() {
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+  add_listener();
+
+  std::vector<epoll_event> events(128);
+  while (true) {
+    if (draining_.load(std::memory_order_acquire) && !drain_started_) {
+      begin_drain();
     }
-    live_sessions_.fetch_add(1);
-    uint64_t id = next_session_id_.fetch_add(1);
-    // shared_ptr: std::function requires copyable captures.
-    auto owned = std::make_shared<Socket>(std::move(*sock));
+    for (uint64_t id : doomed_) conns_.erase(id);
+    doomed_.clear();
+    if (drain_started_ && conns_.empty()) break;
+
+    if (!listener_registered_ && !drain_started_ &&
+        std::chrono::steady_clock::now() >= accept_resume_) {
+      add_listener();
+    }
+
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself is broken: the server is unusable
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == kListenerTag) {
+        accept_ready();
+        continue;
+      }
+      if (ev.data.u64 == kWakeTag) {
+        uint64_t v;
+        while (::read(wake_fd_, &v, sizeof(v)) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      Conn* c = static_cast<Conn*>(ev.data.ptr);
+      if (c->dead) continue;
+      if (ev.events & (EPOLLERR | EPOLLHUP)) {
+        kill_conn(c);
+        continue;
+      }
+      if (ev.events & EPOLLOUT) conn_writable(c);
+      if (c->dead) continue;
+      if (ev.events & (EPOLLIN | EPOLLRDHUP)) conn_readable(c);
+    }
+    drain_completions();
+    reap_idle();
+  }
+}
+
+int Server::next_timeout_ms() const {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  const auto now = std::chrono::steady_clock::now();
+  long best = -1;
+  if (options_.read_timeout_ms > 0 && !lru_.empty()) {
+    auto deadline = lru_.front()->last_activity +
+                    milliseconds(options_.read_timeout_ms);
+    best = std::max(0L,
+                    static_cast<long>(
+                        duration_cast<milliseconds>(deadline - now).count()) +
+                        1);
+  }
+  if (!listener_registered_ && !drain_started_) {
+    long ms = std::max(
+        0L, static_cast<long>(
+                duration_cast<milliseconds>(accept_resume_ - now).count()) +
+                1);
+    best = best < 0 ? ms : std::min(best, ms);
+  }
+  if (drain_started_) {
+    // Completions arrive via the eventfd; this is only a backstop.
+    best = best < 0 ? 100 : std::min(best, 100L);
+  }
+  if (best < 0) return -1;
+  return static_cast<int>(std::min(best, 60000L));
+}
+
+void Server::accept_ready() {
+  // Bounded burst per readiness event; level-triggered epoll re-reports
+  // whatever is still pending.
+  for (int burst = 0; burst < 64; ++burst) {
+    Socket sock;
+    Listener::AcceptStatus st;
     try {
-      pool_->submit(
-          [this, owned, id] { serve_session(std::move(*owned), id); });
-    } catch (const std::exception&) {
-      live_sessions_.fetch_sub(1);  // pool draining: session never runs
+      st = listener_.try_accept(&sock);
+    } catch (const NetworkError&) {
+      accept_retries_.fetch_add(1);
+      pause_accept();
+      return;
+    }
+    switch (st) {
+      case Listener::AcceptStatus::kAccepted: {
+        accept_backoff_ms_ = 1;
+        sessions_accepted_.fetch_add(1);
+        // Admission control: past the cap, shedding with a retryable error
+        // is kinder than queueing — the client backs off instead of timing
+        // out.
+        if (options_.max_connections > 0 &&
+            live_sessions_.load() >= options_.max_connections) {
+          shed_connection(std::move(sock),
+                          "server: at capacity (" +
+                              std::to_string(options_.max_connections) +
+                              " connections); retry after backoff");
+          continue;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->id = next_conn_id_.fetch_add(1);
+        conn->sock = std::move(sock);
+        conn->counted = true;
+        live_sessions_.fetch_add(1);
+        register_conn(std::move(conn));
+        continue;
+      }
+      case Listener::AcceptStatus::kWouldBlock:
+        return;
+      case Listener::AcceptStatus::kRetryLater:
+        // Transient failure (ECONNABORTED storm, injected fault): the one
+        // thing the accept path must never do is hot-spin or die. Pause
+        // the listener briefly; pending connections park in the backlog.
+        accept_retries_.fetch_add(1);
+        pause_accept();
+        return;
+      case Listener::AcceptStatus::kFdExhausted: {
+        accept_retries_.fetch_add(1);
+        if (reserve_.held()) {
+          // Briefly release the reserve fd so accept() has a slot to land
+          // in, shed the pending connection with a proactive overload
+          // frame, and take the reserve back — instead of leaving the peer
+          // parked in the backlog while we back off.
+          reserve_.release();
+          Socket pending;
+          if (listener_.try_accept(&pending) ==
+              Listener::AcceptStatus::kAccepted) {
+            sessions_accepted_.fetch_add(1);
+            shed_connection(
+                std::move(pending),
+                "server: out of file descriptors; retry after backoff");
+          }
+          reserve_.reacquire();
+        }
+        pause_accept();
+        return;
+      }
+      case Listener::AcceptStatus::kClosed:
+        if (listener_registered_) {
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+          listener_registered_ = false;
+        }
+        return;
     }
   }
 }
 
-void Server::shed_connection(Socket sock) {
+void Server::shed_connection(Socket sock, const std::string& reason) {
   sessions_shed_.fetch_add(1);
   try {
-    OverloadedError e("server: at capacity (" +
-                      std::to_string(options_.max_connections) +
-                      " connections); retry after backoff");
+    OverloadedError e(reason);
     Frame f = error_frame(e);
-    sock.send_all(encode_frame(f.opcode, f.payload));
+    Bytes frame = encode_frame(f.opcode, f.payload);
+    // Best effort on a non-blocking socket: the ~60-byte frame virtually
+    // always fits a fresh socket buffer in one call.
+    size_t off = 0;
+    for (int spin = 0; off < frame.size() && spin < 8; ++spin) {
+      ssize_t n = sock.send_some(
+          ByteView(frame.data() + off, frame.size() - off));
+      if (n < 0) break;
+      off += static_cast<size_t>(n);
+    }
   } catch (const std::exception&) {
     // Peer already gone — it was going to learn about the shed either way.
   }
   // Socket closes on return; the client sees the error frame, then EOF.
 }
 
-void Server::serve_session(Socket sock, uint64_t session_id) {
-  LiveSessionGuard live(live_sessions_);
-  if (draining_.load()) return;  // accepted but never served: drain fast
-  if (options_.read_timeout_ms > 0) {
+void Server::register_conn(std::unique_ptr<Conn> conn) {
+  Conn* c = conn.get();
+  c->last_activity = std::chrono::steady_clock::now();
+  lru_.push_back(c);
+  c->lru_it = std::prev(lru_.end());
+  conns_.emplace(c->id, std::move(conn));
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.ptr = c;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c->sock.fd(), &ev) != 0) {
+    kill_conn(c);
+    return;
+  }
+  c->registered = true;
+  c->interest = EPOLLIN | EPOLLRDHUP;
+}
+
+void Server::touch(Conn* c) {
+  c->last_activity = std::chrono::steady_clock::now();
+  lru_.splice(lru_.end(), lru_, c->lru_it);
+}
+
+void Server::kill_conn(Conn* c) {
+  if (c->dead) return;
+  c->dead = true;
+  if (c->registered) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->sock.fd(), nullptr);
+    c->registered = false;
+  }
+  c->sock.close();
+  lru_.erase(c->lru_it);
+  if (c->counted) {
+    live_sessions_.fetch_sub(1);
+    c->counted = false;
+  }
+  // A connection with a worker batch in flight stays in conns_ until the
+  // completion arrives (the batch must not write into freed memory);
+  // everything else is erased at the end of the current event batch.
+  if (!c->worker_active) doomed_.push_back(c->id);
+}
+
+void Server::update_interest(Conn* c) {
+  if (c->dead || !c->registered) return;
+  uint32_t want = 0;
+  // Backpressure: a connection with a full pipeline queue is not read
+  // until it drains (EPOLLRDHUP is dropped too, or a half-closed peer
+  // would busy-wake the loop while its pipeline executes).
+  const bool can_read = !c->parse_dead && !c->saw_eof && !drain_started_ &&
+                        c->pending.size() < options_.max_pipelined_requests;
+  if (can_read) want |= EPOLLIN | EPOLLRDHUP;
+  if (c->outbuf_off < c->outbuf.size()) want |= EPOLLOUT;
+  if (want == c->interest) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = c;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->sock.fd(), &ev) == 0) {
+    c->interest = want;
+  }
+}
+
+void Server::conn_readable(Conn* c) {
+  if (c->dead) return;
+  uint8_t buf[64 * 1024];
+  size_t budget = kReadBudgetBytes;
+  bool got_any = false;
+  while (budget > 0 && !c->parse_dead && !c->saw_eof &&
+         c->pending.size() < options_.max_pipelined_requests) {
+    ssize_t n;
     try {
-      sock.set_recv_timeout_ms(options_.read_timeout_ms);
+      n = c->sock.recv_some(buf, std::min(sizeof(buf), budget));
     } catch (const NetworkError&) {
+      kill_conn(c);  // peer reset (or injected fault): nothing to answer
       return;
     }
-  }
-  {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
-    // Re-checked under the registry lock: stop() sets draining_ before it
-    // sweeps the registry, so a session registering after the sweep is
-    // guaranteed to see the flag here and exit instead of blocking in
-    // recv until the read timeout — which would stall the pool drain.
-    if (draining_.load()) return;
-    sessions_.emplace(session_id, &sock);
-  }
-
-  while (!draining_.load()) {
-    Frame response;
-    bool fatal = false;
-
-    uint8_t header[kFrameHeaderBytes];
-    try {
-      if (!sock.recv_all_or_eof(header, sizeof(header))) break;
-    } catch (const NetworkError&) {
-      break;  // read timeout or mid-header disconnect: nothing to answer
+    if (n < 0) break;  // EAGAIN: drained the socket
+    if (n == 0) {
+      c->saw_eof = true;
+      break;
     }
+    got_any = true;
+    budget -= static_cast<size_t>(n);
+    c->inbuf.insert(c->inbuf.end(), buf, buf + n);
+    parse_frames(c);
+  }
+  if (got_any) touch(c);
+  maybe_dispatch(c);
+  flush_outbuf(c);
+  if (c->dead) return;
+  if (c->saw_eof && c->pending.empty() && !c->worker_active &&
+      c->outbuf_off >= c->outbuf.size()) {
+    // Clean hangup between frames — or mid-frame, which closes silently
+    // exactly like the blocking server did.
+    kill_conn(c);
+    return;
+  }
+  update_interest(c);
+}
 
+void Server::conn_writable(Conn* c) {
+  if (c->dead) return;
+  const size_t before = c->outbuf_off;
+  flush_outbuf(c);
+  if (c->dead) return;
+  if (c->outbuf_off != before || c->outbuf.empty()) {
+    touch(c);  // the peer is consuming responses: that is activity
+  }
+  maybe_dispatch(c);  // outbuf drained below the cap: resume execution
+  flush_outbuf(c);
+  if (c->dead) return;
+  update_interest(c);
+}
+
+void Server::parse_frames(Conn* c) {
+  // Renders a protocol-fatal error response at parse time: it is answered
+  // in order (after any earlier requests), then the connection closes —
+  // the stream position past the bad bytes is unrecoverable.
+  auto push_fatal = [&](const std::exception& e) {
+    protocol_errors_.fetch_add(1);
+    PendingRequest pr;
+    pr.preformed = true;
+    pr.fatal = true;
+    Frame f = error_frame(e);
+    pr.preformed_bytes = encode_frame(f.opcode, f.payload);
+    c->pending.push_back(std::move(pr));
+    c->parse_dead = true;
+  };
+
+  while (!c->parse_dead &&
+         c->pending.size() < options_.max_pipelined_requests) {
+    const size_t avail = c->inbuf.size() - c->inbuf_off;
+    if (avail < kFrameHeaderBytes) break;
+    const uint8_t* p = c->inbuf.data() + c->inbuf_off;
+    uint8_t hdr[kFrameHeaderBytes];
+    std::memcpy(hdr, p, kFrameHeaderBytes);
     FrameHeader fh{};
     try {
-      fh = decode_frame_header(header, options_.max_frame_bytes);
+      fh = decode_frame_header(hdr, options_.max_frame_bytes);
     } catch (const std::exception& e) {
-      // Bad magic / version / oversized length: the payload cannot be
-      // skipped, so the stream position is unrecoverable. Answer with an
-      // error frame, then drop the session.
-      protocol_errors_.fetch_add(1);
-      response = error_frame(e);
-      fatal = true;
+      // Bad magic / version / oversized length: refused before the payload
+      // is read.
+      push_fatal(e);
+      break;
     }
-
+    size_t need = kFrameHeaderBytes;
     // A v2 frame interposes the request extension (ext_len byte + body)
     // between header and payload. An ext_len outside the sane range means
     // the stream is garbage, not just this request — treat like a bad
     // header.
     RequestExt ext;
-    if (!fatal && fh.version == kWireVersionExt) {
-      uint8_t ext_len = 0;
-      uint8_t ext_body[kMaxRequestExtBytes];
-      try {
-        sock.recv_all(&ext_len, 1);
-        if (ext_len >= kRequestExtBytes && ext_len <= kMaxRequestExtBytes) {
-          sock.recv_all(ext_body, ext_len);
-        }
-      } catch (const NetworkError&) {
-        break;  // disconnected mid-extension
-      }
+    if (fh.version == kWireVersionExt) {
+      if (avail < need + 1) break;
+      const uint8_t ext_len = p[need];
+      ++need;
       if (ext_len < kRequestExtBytes || ext_len > kMaxRequestExtBytes) {
-        protocol_errors_.fetch_add(1);
-        response = error_frame(NetworkError(
+        push_fatal(NetworkError(
             "wire: request extension length " + std::to_string(ext_len) +
             " outside [" + std::to_string(kRequestExtBytes) + ", " +
             std::to_string(kMaxRequestExtBytes) + "]"));
-        fatal = true;
+        break;
+      }
+      if (avail < need + ext_len) break;
+      try {
+        ext = parse_request_ext(ByteView(p + need, ext_len));
+      } catch (const std::exception& e) {
+        push_fatal(e);
+        break;
+      }
+      need += ext_len;
+    }
+    if (avail - need < fh.payload_length) break;  // wait for the payload
+    PendingRequest req;
+    req.op = fh.opcode;
+    req.ext = ext;
+    req.payload.assign(p + need, p + need + fh.payload_length);
+    c->pending.push_back(std::move(req));
+    c->inbuf_off += need + fh.payload_length;
+  }
+  if (c->inbuf_off == c->inbuf.size()) {
+    c->inbuf.clear();
+    c->inbuf_off = 0;
+  } else if (c->inbuf_off > (256u << 10)) {
+    c->inbuf.erase(c->inbuf.begin(),
+                   c->inbuf.begin() + static_cast<long>(c->inbuf_off));
+    c->inbuf_off = 0;
+  }
+}
+
+void Server::maybe_dispatch(Conn* c) {
+  if (c->dead || c->worker_active || c->close_after_flush) return;
+  // Parse-time protocol errors are answered right here, in arrival order —
+  // no worker round-trip for a frame that never decoded.
+  while (!c->pending.empty() && c->pending.front().preformed) {
+    PendingRequest& pr = c->pending.front();
+    c->outbuf.insert(c->outbuf.end(), pr.preformed_bytes.begin(),
+                     pr.preformed_bytes.end());
+    const bool fatal = pr.fatal;
+    c->pending.pop_front();
+    if (fatal) {
+      c->close_after_flush = true;
+      c->pending.clear();  // nothing past a fatal frame is answerable
+      return;
+    }
+  }
+  if (c->pending.empty()) return;
+  if (c->outbuf.size() - c->outbuf_off >= options_.max_outbuf_bytes) {
+    return;  // backpressure: the peer must drain its responses first
+  }
+  std::vector<PendingRequest> batch;
+  while (!c->pending.empty() && !c->pending.front().preformed &&
+         batch.size() < kMaxBatchRequests) {
+    batch.push_back(std::move(c->pending.front()));
+    c->pending.pop_front();
+  }
+  c->worker_active = true;
+  const uint64_t id = c->id;
+  // shared_ptr: std::function requires copyable captures.
+  auto work = std::make_shared<std::vector<PendingRequest>>(std::move(batch));
+  try {
+    pool_->submit([this, id, work] {
+      Completion comp;
+      comp.conn_id = id;
+      for (const PendingRequest& req : *work) {
+        Bytes out = process_request(req);
+        comp.bytes.insert(comp.bytes.end(), out.begin(), out.end());
+        ++comp.frames;
+      }
+      {
+        std::lock_guard<std::mutex> lk(completions_mu_);
+        completions_.push_back(std::move(comp));
+      }
+      wake_event_thread();
+    });
+  } catch (const std::exception&) {
+    // Pool draining: put the batch back so drain accounting stays sane.
+    for (auto it = work->rbegin(); it != work->rend(); ++it) {
+      c->pending.push_front(std::move(*it));
+    }
+    c->worker_active = false;
+  }
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lk(completions_mu_);
+    ready.swap(completions_);
+  }
+  for (Completion& comp : ready) {
+    auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) continue;
+    Conn* c = it->second.get();
+    c->worker_active = false;
+    if (c->dead) {
+      // Killed mid-batch; its erase was deferred until now.
+      doomed_.push_back(c->id);
+      continue;
+    }
+    c->outbuf.insert(c->outbuf.end(), comp.bytes.begin(), comp.bytes.end());
+    frames_served_.fetch_add(comp.frames);
+    touch(c);
+    maybe_dispatch(c);
+    flush_outbuf(c);
+    if (c->dead) continue;
+    update_interest(c);
+  }
+}
+
+void Server::flush_outbuf(Conn* c) {
+  if (c->dead) return;
+  while (c->outbuf_off < c->outbuf.size()) {
+    ByteView rest(c->outbuf.data() + c->outbuf_off,
+                  c->outbuf.size() - c->outbuf_off);
+    ssize_t n;
+    try {
+      n = c->sock.send_some(rest);
+    } catch (const NetworkError&) {
+      kill_conn(c);  // peer is gone; nothing to flush
+      return;
+    }
+    if (n < 0) break;  // kernel buffer full: resume on EPOLLOUT
+    c->outbuf_off += static_cast<size_t>(n);
+  }
+  if (c->outbuf_off >= c->outbuf.size()) {
+    c->outbuf.clear();
+    c->outbuf_off = 0;
+    if (c->close_after_flush ||
+        ((drain_started_ || c->saw_eof) && c->pending.empty() &&
+         !c->worker_active)) {
+      kill_conn(c);
+    }
+  } else if (c->outbuf_off > (1u << 20)) {
+    c->outbuf.erase(c->outbuf.begin(),
+                    c->outbuf.begin() + static_cast<long>(c->outbuf_off));
+    c->outbuf_off = 0;
+  }
+}
+
+void Server::reap_idle() {
+  if (options_.read_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto timeout = std::chrono::milliseconds(options_.read_timeout_ms);
+  while (!lru_.empty()) {
+    Conn* c = lru_.front();
+    if (now - c->last_activity < timeout) break;
+    if (c->worker_active || !c->pending.empty()) {
+      // Mid-request is not idle: the timeout clocks gaps between requests,
+      // exactly like the old per-recv SO_RCVTIMEO did.
+      touch(c);
+      continue;
+    }
+    kill_conn(c);
+  }
+}
+
+void Server::begin_drain() {
+  drain_started_ = true;
+  if (listener_registered_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+    listener_registered_ = false;
+  }
+  // One final read pass: requests already on the wire — including a whole
+  // pipelined burst — get parsed, executed and answered before the close.
+  std::vector<Conn*> all;
+  all.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) all.push_back(conn.get());
+  for (Conn* c : all) {
+    if (c->dead) continue;
+    conn_readable(c);
+    if (c->dead) continue;
+    if (c->pending.empty() && !c->worker_active &&
+        c->outbuf_off >= c->outbuf.size()) {
+      kill_conn(c);  // idle: the client sees the close promptly
+    } else {
+      update_interest(c);  // stops reading; drain finishes what it has
+    }
+  }
+}
+
+Bytes Server::process_request(const PendingRequest& req) {
+  // Effective deadline: the tighter of the server flag and what the client
+  // says it is still willing to wait.
+  uint32_t deadline_ms = options_.request_deadline_ms;
+  if (req.ext.deadline_ms > 0 &&
+      (deadline_ms == 0 || req.ext.deadline_ms < deadline_ms)) {
+    deadline_ms = req.ext.deadline_ms;
+  }
+  Frame response;
+  // The frame boundary is intact here: any failure — unknown opcode, a
+  // payload that flunks bounds checks, SQL/storage errors from execution —
+  // gets an error response and the session continues.
+  try {
+    if (!is_request_opcode(static_cast<uint8_t>(req.op))) {
+      throw NetworkError("wire: unknown request opcode " +
+                         std::to_string(static_cast<int>(req.op)));
+    }
+    if (req.ext.has_key && request_mutates(req.op, req.payload)) {
+      // Exactly-once: first arrival executes and records; a retry of
+      // the same key replays the recorded response. A request shed
+      // before execution (OverloadedError) aborts its claim instead —
+      // "never ran" must stay retryable, not become a cached error.
+      // The key is scoped by tenant: replaying (or poisoning) another
+      // tenant's key is structurally impossible.
+      DedupKey dkey{req.ext.tenant_id, req.ext.key};
+      Frame cached;
+      if (!dedup_.begin(dkey, &cached)) {
+        response = std::move(cached);
       } else {
         try {
-          ext = parse_request_ext(ByteView(ext_body, ext_len));
+          response = handle_request(req.op, req.payload, deadline_ms);
+          dedup_.complete(dkey, response);
+        } catch (const OverloadedError&) {
+          dedup_.abort(dkey);
+          throw;
         } catch (const std::exception& e) {
-          protocol_errors_.fetch_add(1);
+          // Deterministic failure (bad SQL, duplicate PK, decode
+          // error): record it so a retry replays the same error
+          // instead of executing twice.
           response = error_frame(e);
-          fatal = true;
-        }
-      }
-    }
-
-    if (!fatal) {
-      Bytes payload(fh.payload_length);
-      try {
-        if (fh.payload_length > 0) {
-          sock.recv_all(payload.data(), payload.size());
-        }
-      } catch (const NetworkError&) {
-        break;  // disconnected mid-payload
-      }
-      // Effective deadline: the tighter of the server flag and what the
-      // client says it is still willing to wait.
-      uint32_t deadline_ms = options_.request_deadline_ms;
-      if (ext.deadline_ms > 0 &&
-          (deadline_ms == 0 || ext.deadline_ms < deadline_ms)) {
-        deadline_ms = ext.deadline_ms;
-      }
-      // From here the frame boundary is intact: any failure — unknown
-      // opcode, a payload that flunks bounds checks, SQL/storage errors
-      // from execution — gets an error response and the session continues.
-      try {
-        if (!is_request_opcode(static_cast<uint8_t>(fh.opcode))) {
-          throw NetworkError("wire: unknown request opcode " +
-                             std::to_string(static_cast<int>(fh.opcode)));
-        }
-        if (ext.has_key && request_mutates(fh.opcode, payload)) {
-          // Exactly-once: first arrival executes and records; a retry of
-          // the same key replays the recorded response. A request shed
-          // before execution (OverloadedError) aborts its claim instead —
-          // "never ran" must stay retryable, not become a cached error.
-          // The key is scoped by tenant: replaying (or poisoning) another
-          // tenant's key is structurally impossible.
-          DedupKey dkey{ext.tenant_id, ext.key};
-          Frame cached;
-          if (!dedup_.begin(dkey, &cached)) {
-            response = std::move(cached);
-          } else {
-            try {
-              response = handle_request(fh.opcode, payload, deadline_ms);
-              dedup_.complete(dkey, response);
-            } catch (const OverloadedError&) {
-              dedup_.abort(dkey);
-              throw;
-            } catch (const std::exception& e) {
-              // Deterministic failure (bad SQL, duplicate PK, decode
-              // error): record it so a retry replays the same error
-              // instead of executing twice.
-              response = error_frame(e);
-              dedup_.complete(dkey, response);
-              if (dynamic_cast<const NetworkError*>(&e) != nullptr) {
-                protocol_errors_.fetch_add(1);
-              }
-            }
+          dedup_.complete(dkey, response);
+          if (dynamic_cast<const NetworkError*>(&e) != nullptr) {
+            protocol_errors_.fetch_add(1);
           }
-        } else {
-          response = handle_request(fh.opcode, payload, deadline_ms);
         }
-      } catch (const OverloadedError& e) {
-        // A shed request is load, not a protocol violation.
-        response = error_frame(e);
-      } catch (const NetworkError& e) {
-        protocol_errors_.fetch_add(1);
-        response = error_frame(e);
-      } catch (const std::exception& e) {
-        response = error_frame(e);
       }
+    } else {
+      response = handle_request(req.op, req.payload, deadline_ms);
     }
-
-    try {
-      sock.send_all(encode_frame(response.opcode, response.payload));
-    } catch (const NetworkError&) {
-      break;  // peer is gone; nothing to flush
-    }
-    if (fatal) break;
-    frames_served_.fetch_add(1);
+  } catch (const OverloadedError& e) {
+    // A shed request is load, not a protocol violation.
+    response = error_frame(e);
+  } catch (const NetworkError& e) {
+    protocol_errors_.fetch_add(1);
+    response = error_frame(e);
+  } catch (const std::exception& e) {
+    response = error_frame(e);
   }
-
-  std::lock_guard<std::mutex> lk(sessions_mu_);
-  sessions_.erase(session_id);
+  return encode_frame(response.opcode, response.payload);
 }
 
 Frame Server::error_frame(const std::exception& e) {
@@ -405,6 +828,12 @@ Frame Server::handle_request(Opcode op, ByteView payload,
     case Opcode::kPing: {
       r.expect_end();
       return Frame{Opcode::kOkPong, {}};
+    }
+    case Opcode::kShardInfo: {
+      r.expect_end();
+      w.u32(options_.shard_index);
+      w.u32(options_.shard_count);
+      return Frame{Opcode::kOkShardInfo, std::move(w.bytes())};
     }
     case Opcode::kExecSql: {
       std::string sql = r.string();
@@ -510,7 +939,9 @@ Frame Server::handle_request(Opcode op, ByteView payload,
       }
       std::vector<sql::Value> tags;
       tags.reserve(ntags);
-      for (uint32_t i = 0; i < ntags; ++i) tags.push_back(sql::Value::tag(r.u64()));
+      for (uint32_t i = 0; i < ntags; ++i) {
+        tags.push_back(sql::Value::tag(r.u64()));
+      }
       r.expect_end();
 
       sql::SelectStmt stmt;
@@ -551,8 +982,7 @@ Frame Server::handle_request(Opcode op, ByteView payload,
       return Frame{Opcode::kOkResult, std::move(w.bytes())};
     }
     default:
-      throw NetworkError("wire: opcode " +
-                         std::string(opcode_name(op)) +
+      throw NetworkError("wire: opcode " + std::string(opcode_name(op)) +
                          " is not a request");
   }
 }

@@ -1,14 +1,19 @@
-// wre_server's serving core: hosts one sql::Database behind a TCP accept
+// wre_server's serving core: hosts one sql::Database behind an epoll event
 // loop speaking the binary wire protocol (src/net/wire.h).
 //
-// Threading model:
-//   - a dedicated accept thread pulls connections off the Listener and
-//     dispatches each session onto the shared util::ThreadPool, so the
-//     number of concurrently *served* sessions is bounded by the pool size
-//     (excess connections queue — FIFO — until a worker frees up);
-//   - each session worker loops read-frame -> dispatch -> write-response
-//     until the client hangs up, a read times out, a frame is malformed, or
-//     the server drains;
+// Threading model (DESIGN.md §5.8):
+//   - ONE event thread owns every socket: it runs epoll_wait over the
+//     listener, a wakeup eventfd, and all connections (level-triggered,
+//     non-blocking). Partial frame reads and writes are per-connection
+//     state that resumes on readiness — no thread is ever parked on a
+//     socket, so an idle or stalled client costs a few kilobytes, not a
+//     worker;
+//   - a small util::ThreadPool executes ready requests, so crypto/storage
+//     work never blocks the event thread. Each connection has at most one
+//     batch of requests in flight at a time (FIFO), which preserves
+//     response order — pipelined clients correlate responses to requests
+//     by order, no sequence id needed. A batch takes every request parsed
+//     so far, so a deep pipeline amortizes the handoff;
 //   - the engine's single-writer rule is enforced with a shared mutex:
 //     statements that mutate (INSERT / CREATE / batched inserts) hold it
 //     exclusively, everything else shares it, so concurrent WRE searches
@@ -16,32 +21,49 @@
 //     concurrent read path (DESIGN.md §5.2).
 //
 // Fault tolerance (DESIGN.md §5.6):
-//   - the accept loop survives transient accept() failures (EMFILE,
-//     ECONNABORTED storms) by backing off and retrying instead of dying;
+//   - the accept loop survives transient accept() failures (ECONNABORTED
+//     storms, injected faults) by pausing the listener briefly; on
+//     EMFILE/ENFILE it releases a reserve fd to accept the pending
+//     connection and shed it with a proactive kOverloaded frame instead of
+//     hot-spinning while the peer hangs in the backlog;
 //   - admission control: beyond max_connections live sessions, new
-//     connections are shed with a retryable kOverloaded error frame instead
-//     of queueing unboundedly — the client backs off and retries;
+//     connections are shed with a retryable kOverloaded error frame;
 //   - per-request deadlines (server flag and/or the client's v2 request
 //     extension) bound how long a request may wait for the database lock;
 //     expiry sheds the request with kOverloaded *before* it executes;
-//   - a DedupCache keyed by the client's idempotency key replays recorded
+//   - a DedupCache keyed by (tenant, idempotency key) replays recorded
 //     responses for retried mutations, so a retry after a lost ACK cannot
-//     double-apply (exactly-once ingest).
+//     double-apply (exactly-once ingest);
+//   - backpressure: a connection with too many parsed-but-unexecuted
+//     requests stops being read; one with too many unflushed response
+//     bytes stops executing. A client that never reads its responses is
+//     eventually idle-reaped (it is not sending either) — it never delays
+//     any other connection.
+//
+// Sharding: a shard is simply a Server owning a hash-partition of the tag
+// space. shard_index/shard_count are topology metadata the server reports
+// through the kShardInfo handshake so a scatter-gather client can verify
+// each endpoint agrees on the map; routing itself is client-side
+// (src/net/shard.h).
 //
 // Shutdown (stop(), also wired to SIGTERM in wre_server): the listener
-// stops accepting, idle sessions are woken and closed, in-flight requests
-// run to completion and their responses are flushed, then the workers join.
+// stops accepting, idle connections are closed, requests already received
+// — including a whole pipelined burst — run to completion and their
+// responses are flushed, then the workers join.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/net/dedup_cache.h"
 #include "src/net/query_batcher.h"
@@ -56,24 +78,25 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back with Server::port().
   uint16_t port = 0;
-  /// Session worker threads (0 = one per hardware thread, floored at 4: an
-  /// idle connection occupies its worker, so the pool bounds the number of
-  /// concurrently *connected* clients, not just in-flight requests).
+  /// Request-execution worker threads (0 = one per hardware thread,
+  /// floored at 4). Workers only run ready requests — connections live on
+  /// the event thread — so the pool bounds CPU concurrency, not the number
+  /// of connected clients.
   unsigned worker_threads = 0;
   /// Per-request payload ceiling; oversized frames are refused before their
   /// payload is read (the client gets a kNetwork error, then the session
   /// closes — the stream offset is unrecoverable past a bad header).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Idle/read timeout per connection in milliseconds (0 = no timeout): a
-  /// session that sends nothing for this long is closed.
+  /// Idle timeout per connection in milliseconds (0 = no timeout): a
+  /// connection with no traffic for this long is closed by the event
+  /// loop's timer sweep (the epoll replacement for SO_RCVTIMEO).
   int read_timeout_ms = 60000;
   /// Background checkpoint period in milliseconds (0 = disabled). Each tick
   /// runs Database::checkpoint() under a *shared* lock — that excludes
   /// writers (they hold the lock exclusively) while letting reads proceed —
   /// bounding how much WAL a crash would replay.
   uint32_t checkpoint_interval_ms = 0;
-  /// Admission control: cap on live sessions (accepted and not yet
-  /// finished, including those queued for a pool worker). 0 = unlimited.
+  /// Admission control: cap on live connections. 0 = unlimited.
   /// Connections beyond the cap are shed with a retryable kOverloaded
   /// error frame instead of silently queueing.
   size_t max_connections = 0;
@@ -93,6 +116,18 @@ struct ServerOptions {
   uint32_t batch_window_ms = 0;
   /// Batch size that closes a batching window early.
   size_t batch_max = 64;
+  /// Backpressure: per-connection cap on parsed-but-unexecuted pipelined
+  /// requests. Past it the server stops reading that connection until its
+  /// queue drains.
+  size_t max_pipelined_requests = 128;
+  /// Backpressure: per-connection cap on buffered unsent response bytes.
+  /// Past it request execution for that connection pauses until the peer
+  /// drains (a never-reading client is idle-reaped, not ballooned).
+  size_t max_outbuf_bytes = 8u << 20;
+  /// Shard topology this server believes it is part of (reported through
+  /// the kShardInfo handshake; defaults describe an unsharded server).
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
 };
 
 class Server {
@@ -105,7 +140,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Launches the accept loop. Idempotent.
+  /// Launches the event loop. Idempotent.
   void start();
 
   /// Graceful drain; see the header comment. Idempotent, thread-safe with
@@ -120,7 +155,8 @@ class Server {
   uint64_t frames_served() const { return frames_served_.load(); }
   uint64_t protocol_errors() const { return protocol_errors_.load(); }
   uint64_t checkpoints() const { return checkpoints_.load(); }
-  /// Connections refused by admission control (max_connections).
+  /// Connections refused by admission control (max_connections) or shed
+  /// under fd exhaustion.
   uint64_t sessions_shed() const { return sessions_shed_.load(); }
   /// Requests shed because a deadline expired before the lock was held.
   uint64_t deadline_rejects() const { return deadline_rejects_.load(); }
@@ -128,7 +164,7 @@ class Server {
   uint64_t accept_retries() const { return accept_retries_.load(); }
   /// Mutations answered from the idempotency cache instead of re-executed.
   uint64_t dedup_hits() const { return dedup_.hits(); }
-  /// Live sessions right now (admission-control gauge).
+  /// Live connections right now (admission-control gauge).
   uint64_t live_sessions() const { return live_sessions_.load(); }
   /// Batched tag-scan executions (each covered >= 1 query); 0 when
   /// batching is disabled.
@@ -137,11 +173,88 @@ class Server {
   uint64_t tag_scans_coalesced() const { return batcher_.coalesced(); }
 
  private:
-  void accept_loop();
+  /// One parsed request, or a pre-formed response from the frame parser
+  /// (malformed header/extension — answered without touching a worker).
+  struct PendingRequest {
+    Opcode op = Opcode::kPing;
+    Bytes payload;
+    RequestExt ext;
+    /// Response already rendered at parse time (protocol errors).
+    bool preformed = false;
+    Bytes preformed_bytes;
+    /// The stream position past this request is unrecoverable: flush the
+    /// response, then close.
+    bool fatal = false;
+  };
+
+  /// Per-connection state machine, owned by the event thread.
+  struct Conn {
+    uint64_t id = 0;
+    Socket sock;
+    /// Unparsed received bytes (consumed from the front via `inbuf_off`).
+    Bytes inbuf;
+    size_t inbuf_off = 0;
+    /// Parsed requests awaiting execution, in arrival order.
+    std::deque<PendingRequest> pending;
+    /// Encoded responses awaiting the socket (consumed via `outbuf_off`).
+    Bytes outbuf;
+    size_t outbuf_off = 0;
+    /// A worker batch for this connection is in flight.
+    bool worker_active = false;
+    /// Peer half-closed; finish pending work, flush, then close.
+    bool saw_eof = false;
+    /// Protocol-fatal or shed: close once outbuf drains.
+    bool close_after_flush = false;
+    /// Stream is unrecoverable — stop parsing inbuf entirely.
+    bool parse_dead = false;
+    /// Counted in live_sessions_ (shed connections are not).
+    bool counted = false;
+    /// Torn down mid-batch; destroyed when the batch completes.
+    bool dead = false;
+    /// Registered with epoll (deregistered when dead).
+    bool registered = false;
+    /// Last epoll event mask registered for this socket.
+    uint32_t interest = 0;
+    std::chrono::steady_clock::time_point last_activity;
+    std::list<Conn*>::iterator lru_it;
+  };
+
+  /// One finished worker batch, handed back to the event thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    Bytes bytes;       // concatenated encoded response frames
+    uint32_t frames = 0;
+  };
+
+  void event_loop();
   void checkpoint_loop();
-  void serve_session(Socket sock, uint64_t session_id);
-  /// Answers an over-capacity connection with kOverloaded and closes it.
-  void shed_connection(Socket sock);
+
+  // --- event-thread helpers (all run on the event thread only) ---
+  void accept_ready();
+  void register_conn(std::unique_ptr<Conn> conn);
+  void conn_readable(Conn* c);
+  void conn_writable(Conn* c);
+  void parse_frames(Conn* c);
+  void maybe_dispatch(Conn* c);
+  void flush_outbuf(Conn* c);
+  void update_interest(Conn* c);
+  void touch(Conn* c);
+  void kill_conn(Conn* c);
+  void drain_completions();
+  void reap_idle();
+  int next_timeout_ms() const;
+  void begin_drain();
+  void add_listener();
+  void pause_accept();
+  void wake_event_thread();
+  /// Best-effort overload frame + close for a connection that will never
+  /// be served (admission control / fd exhaustion).
+  void shed_connection(Socket sock, const std::string& reason);
+
+  // --- worker-side ---
+  /// Executes one request end-to-end (dedup wrapper + handle_request) and
+  /// returns the encoded response frame. Never throws.
+  Bytes process_request(const PendingRequest& req);
   /// Decodes and executes one request frame; returns the response frame.
   /// `deadline_ms` (0 = none) bounds the db-lock wait; expiry throws
   /// OverloadedError before any state changes.
@@ -155,13 +268,34 @@ class Server {
   sql::Database& db_;
   ServerOptions options_;
   Listener listener_;
+  ReserveFd reserve_;
   std::unique_ptr<util::ThreadPool> pool_;
-  std::thread accept_thread_;
+  std::thread event_thread_;
   std::thread checkpoint_thread_;
   std::mutex checkpoint_mu_;
   std::condition_variable checkpoint_cv_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+
+  // Event-loop state (event thread only, except the completion queue).
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool drain_started_ = false;
+  bool listener_registered_ = false;
+  /// Accept backoff after transient failures (steady_clock; zero = none).
+  std::chrono::steady_clock::time_point accept_resume_{};
+  uint32_t accept_backoff_ms_ = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  /// Connections in ascending last_activity order (uniform timeout makes
+  /// strict LRU exact: touching always moves to the back).
+  std::list<Conn*> lru_;
+  /// Killed connections whose erase is deferred to the end of the current
+  /// event batch (so stale epoll_event pointers stay dereferenceable).
+  std::vector<uint64_t> doomed_;
+
+  /// Worker -> event thread handoff.
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
 
   /// Single-writer exclusion over db_ (see the threading model above).
   /// Timed so request deadlines can bound the wait (lock_shared/_unique).
@@ -174,11 +308,6 @@ class Server {
   /// Opt-in cross-tenant kTagScan batching (disabled at window 0).
   QueryBatcher batcher_;
 
-  /// Live session sockets, so stop() can wake blocked reads. Sessions own
-  /// their Socket; this maps session id -> raw fd wrapper for shutdown only.
-  std::mutex sessions_mu_;
-  std::map<uint64_t, Socket*> sessions_;
-
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
@@ -187,7 +316,7 @@ class Server {
   std::atomic<uint64_t> deadline_rejects_{0};
   std::atomic<uint64_t> accept_retries_{0};
   std::atomic<uint64_t> live_sessions_{0};
-  std::atomic<uint64_t> next_session_id_{0};
+  std::atomic<uint64_t> next_conn_id_{0};
 };
 
 }  // namespace wre::net

@@ -1,0 +1,67 @@
+#include "src/net/shard.h"
+
+#include "src/util/error.h"
+
+namespace wre::net {
+
+uint32_t shard_for_tag(uint64_t tag, uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  // splitmix64 finalizer: full-avalanche, so consecutive integers (range
+  // buckets, benchmark ids) spread as evenly as PRF output does.
+  uint64_t x = tag;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % shard_count);
+}
+
+std::vector<ShardEndpoint> parse_endpoints(const std::string& spec) {
+  std::vector<ShardEndpoint> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) {
+      throw NetworkError("shard map: empty endpoint in \"" + spec + "\"");
+    }
+    size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size()) {
+      throw NetworkError("shard map: \"" + item +
+                         "\" is not host:port");
+    }
+    unsigned long port = 0;
+    for (size_t i = colon + 1; i < item.size(); ++i) {
+      char c = item[i];
+      if (c < '0' || c > '9') {
+        throw NetworkError("shard map: bad port in \"" + item + "\"");
+      }
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+      if (port > 65535) {
+        throw NetworkError("shard map: port out of range in \"" + item + "\"");
+      }
+    }
+    out.push_back(ShardEndpoint{item.substr(0, colon),
+                                static_cast<uint16_t>(port)});
+  }
+  if (out.empty()) throw NetworkError("shard map: no endpoints");
+  return out;
+}
+
+std::optional<size_t> shard_key_index(const sql::Schema& schema) {
+  static constexpr std::string_view kSuffix = "_tag";
+  for (size_t i = 0; i < schema.column_count(); ++i) {
+    const std::string& name = schema.column(i).name;
+    if (name.size() > kSuffix.size() &&
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+            0) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wre::net

@@ -1,0 +1,57 @@
+// Tag-space sharding: the pure routing rules shared by the scatter-gather
+// client (src/net/remote_connection.h) and tooling.
+//
+// A shard is an ordinary wre_server owning a hash-partition of the tag
+// space. WRE search tags are independent PRF outputs, so a multi-probe
+// query fans out embarrassingly well: each probe tag names exactly one
+// shard, the client scatters the per-shard tag sublists concurrently and
+// concatenates the disjoint result sets.
+//
+// Row placement: a physical WRE row has one search tag per encrypted
+// column, so a pure tag partition cannot hold for every column at once.
+// The *shard key* is the first `*_tag` column in schema order; rows are
+// placed by the hash of its value. Queries probing the shard-key column
+// partition their tag list per shard; queries on any other tag column
+// broadcast the full list (each shard returns the matches it owns — the
+// union is still exact and disjoint). Tables with no tag column (e.g. the
+// client's `_wre_manifest`) live wholly on shard 0.
+//
+// Leakage note (paper §I-A): the shard map is a public deterministic
+// function of the tag integer the server already sees, so per-shard tag
+// distributions reveal nothing beyond the single-server multi-probe
+// profile the paper analyzes — sharding splits the observer, not the
+// leakage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sql/schema.h"
+
+namespace wre::net {
+
+/// One shard's address. The position in the endpoint list IS the shard
+/// index — every client must use the same ordering (the kShardInfo
+/// handshake verifies this).
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Maps a search tag to its owning shard. Tags go through a splitmix64
+/// finalizer before the modulo: PRF tags are already uniform, but
+/// bucketized range tags and plaintext benchmark integers are not, and a
+/// skewed partition would turn fan-out into a hot shard.
+uint32_t shard_for_tag(uint64_t tag, uint32_t shard_count);
+
+/// Parses a "host:port,host:port,..." shard map (list order = shard
+/// order). Throws NetworkError on malformed input or an empty list.
+std::vector<ShardEndpoint> parse_endpoints(const std::string& spec);
+
+/// Index of the shard-key column: the first `*_tag` column in schema
+/// order, or nullopt for tag-less tables (which route to shard 0).
+std::optional<size_t> shard_key_index(const sql::Schema& schema);
+
+}  // namespace wre::net

@@ -1,6 +1,7 @@
 #include "src/net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -131,6 +132,67 @@ void Socket::recv_all(uint8_t* out, size_t n) {
   }
 }
 
+void Socket::set_nonblocking(bool on) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("Socket::set_nonblocking: F_GETFL");
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) < 0) {
+    throw_errno("Socket::set_nonblocking: F_SETFL");
+  }
+}
+
+ssize_t Socket::send_some(ByteView data) {
+  if (NetFaultInjector::instance().armed()) {
+    auto plan = NetFaultInjector::instance().on_send(data.size());
+    injected_sleep_ms(plan.delay_ms);
+    if (plan.torn) {
+      // Same semantics as send_all: a strict prefix escapes, then the
+      // connection dies — the peer sees a frame torn mid-stream.
+      ByteView prefix = data.subspan(0, plan.torn_prefix);
+      size_t sent = 0;
+      while (sent < prefix.size()) {
+        ssize_t n = ::send(fd_, prefix.data() + sent, prefix.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<size_t>(n);
+      }
+      close();
+      throw NetworkError("Socket::send_some: injected torn write (" +
+                         std::to_string(sent) + "/" +
+                         std::to_string(data.size()) + " bytes)");
+    }
+    if (plan.reset) {
+      close();
+      throw NetworkError("Socket::send_some: injected connection reset");
+    }
+  }
+  for (;;) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("Socket::send_some");
+  }
+}
+
+ssize_t Socket::recv_some(uint8_t* out, size_t n) {
+  if (NetFaultInjector::instance().armed()) {
+    auto plan = NetFaultInjector::instance().on_recv();
+    injected_sleep_ms(plan.stall_ms);
+    if (plan.reset) {
+      close();
+      throw NetworkError("Socket::recv_some: injected connection reset");
+    }
+  }
+  for (;;) {
+    ssize_t r = ::recv(fd_, out, n, 0);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("Socket::recv_some");
+  }
+}
+
 void Socket::set_recv_timeout_ms(int ms) {
   timeval tv{};
   tv.tv_sec = ms / 1000;
@@ -239,6 +301,43 @@ std::optional<Socket> Listener::accept() {
   return std::nullopt;
 }
 
+Listener::AcceptStatus Listener::try_accept(Socket* out) {
+  if (stopping_.load(std::memory_order_acquire)) return AcceptStatus::kClosed;
+  if (NetFaultInjector::instance().armed() &&
+      NetFaultInjector::instance().on_accept()) {
+    // Models accept() failing with a transient, resource-exhaustion style
+    // error (EMFILE/ENFILE): the caller's backoff path is what gets
+    // exercised; pending connections park in the kernel backlog meanwhile.
+    return AcceptStatus::kRetryLater;
+  }
+  if (!nonblocking_) {
+    // try_accept is only called by the epoll server, which polls fd()
+    // readiness itself — the listening socket must never block it.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    nonblocking_ = true;
+  }
+  int client = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return AcceptStatus::kWouldBlock;
+    }
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+      return AcceptStatus::kRetryLater;
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return AcceptStatus::kFdExhausted;
+    }
+    if (errno == EBADF || errno == EINVAL) return AcceptStatus::kClosed;
+    throw_errno("Listener::try_accept");
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = Socket(client);
+  return AcceptStatus::kAccepted;
+}
+
 void Listener::close() {
   // Signal first, then kick both wake-up channels: the kernel stops
   // accepting at shutdown(), and the pipe write covers the window where
@@ -249,6 +348,21 @@ void Listener::close() {
     uint8_t byte = 1;
     [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
   }
+}
+
+ReserveFd::ReserveFd() { reacquire(); }
+
+ReserveFd::~ReserveFd() { release(); }
+
+void ReserveFd::release() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ReserveFd::reacquire() {
+  if (fd_ < 0) fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
 
 }  // namespace wre::net

@@ -50,6 +50,20 @@ class Socket {
   /// read timeout. Expiry surfaces as NetworkError("...timed out...").
   void set_recv_timeout_ms(int ms);
 
+  /// O_NONBLOCK on/off — the epoll server runs every accepted socket
+  /// non-blocking and resumes partial frames on readiness.
+  void set_nonblocking(bool on);
+
+  /// Non-blocking single send. Returns bytes written (>= 0), or -1 when the
+  /// kernel buffer is full (EAGAIN — retry on EPOLLOUT). Hard failures
+  /// (peer reset, injected faults) throw NetworkError.
+  ssize_t send_some(ByteView data);
+
+  /// Non-blocking single recv into `out`. Returns bytes read (> 0), 0 on
+  /// clean EOF, or -1 when no data is available (EAGAIN — retry on
+  /// EPOLLIN). Hard failures throw NetworkError.
+  ssize_t recv_some(uint8_t* out, size_t n);
+
   /// Half-close or full-close without releasing the descriptor; used to
   /// wake a thread blocked in recv on this socket.
   void shutdown_read();
@@ -81,13 +95,47 @@ class Listener {
   /// Blocks until a connection arrives or close() is called.
   std::optional<Socket> accept();
 
+  /// Non-blocking accept for the epoll server, which polls fd() itself.
+  enum class AcceptStatus {
+    kAccepted,     // *out holds the new connection
+    kWouldBlock,   // nothing pending
+    kRetryLater,   // transient failure (ECONNABORTED storm, injected fault)
+    kFdExhausted,  // EMFILE/ENFILE — the caller should shed and back off
+    kClosed,       // the listener was close()d
+  };
+  AcceptStatus try_accept(Socket* out);
+
+  /// The listening descriptor, for callers that poll readiness themselves.
+  int fd() const { return fd_; }
+
   void close();
 
  private:
   int fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // close() writes, accept() polls
   uint16_t port_ = 0;
+  bool nonblocking_ = false;  // set lazily by the first try_accept()
   std::atomic<bool> stopping_{false};
+};
+
+/// Holds one spare descriptor so an accept loop hitting EMFILE can briefly
+/// release it, accept the pending connection, answer it with an overload
+/// shed, and close it — instead of leaving the peer hanging in the backlog.
+class ReserveFd {
+ public:
+  ReserveFd();
+  ~ReserveFd();
+  ReserveFd(const ReserveFd&) = delete;
+  ReserveFd& operator=(const ReserveFd&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+  /// Closes the spare descriptor, freeing one fd-table slot.
+  void release();
+  /// Re-opens the spare (best effort — may fail under continued pressure).
+  void reacquire();
+
+ private:
+  int fd_ = -1;
 };
 
 }  // namespace wre::net

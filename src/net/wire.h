@@ -96,16 +96,20 @@ enum class Opcode : uint8_t {
                         //    u32 ntags, u64 tags — the prepared multi-probe
                         //    path: no SQL rendering/parsing for WRE searches
   kScanTable = 0x0A,    // -> kOkResult; payload: table (heap-order full scan)
+  kShardInfo = 0x0B,    // -> kOkShardInfo; empty payload — topology handshake
+                        //    so a sharded client can verify each endpoint
+                        //    agrees on (shard index, shard count)
 
   // Responses.
-  kOkResult = 0x80,  // result set (columns, rows, counters)
-  kOkBool = 0x81,    // u8
-  kOkIds = 0x82,     // u32 n, n * i64
-  kOkSchema = 0x83,  // schema
-  kOkUnit = 0x84,    // empty
-  kOkCount = 0x85,   // u64
-  kOkPong = 0x86,    // empty
-  kError = 0xFF,     // u16 status code, string message
+  kOkResult = 0x80,     // result set (columns, rows, counters)
+  kOkBool = 0x81,       // u8
+  kOkIds = 0x82,        // u32 n, n * i64
+  kOkSchema = 0x83,     // schema
+  kOkUnit = 0x84,       // empty
+  kOkCount = 0x85,      // u64
+  kOkPong = 0x86,       // empty
+  kOkShardInfo = 0x87,  // u32 shard index, u32 shard count
+  kError = 0xFF,        // u16 status code, string message
 };
 
 const char* opcode_name(Opcode op);

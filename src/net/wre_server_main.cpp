@@ -10,6 +10,15 @@
 //              [--query-threads=1] [--wal=1] [--checkpoint-interval-ms=60000]
 //              [--max-connections=0] [--request-deadline-ms=0]
 //              [--batch-window-ms=0] [--batch-max=64]
+//              [--shard-index=0] [--shard-count=1]
+//
+// Sharding: a fleet of wre_servers can split the tag space horizontally.
+// Each process declares its position with --shard-index/--shard-count and
+// answers the kShardInfo handshake with it; the scatter-gather client
+// (RemoteConnection with a shard map) verifies every endpoint against the
+// map before the first sharded operation, so a mis-wired fleet fails
+// loudly instead of scattering rows to the wrong servers. The server
+// itself does not filter by tag — placement is entirely the client's job.
 //
 // Multi-tenancy: one wre_server serves any number of tenants over a shared
 // table — clients stamp a tenant id into each request (scoping the
@@ -73,6 +82,8 @@ struct Flags {
   long request_deadline_ms = 0;
   long batch_window_ms = 0;
   long batch_max = 64;
+  long shard_index = 0;
+  long shard_count = 1;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -83,7 +94,8 @@ struct Flags {
                "                  [--max-frame-mb=N] [--query-threads=N]\n"
                "                  [--wal=0|1] [--checkpoint-interval-ms=N]\n"
                "                  [--max-connections=N] [--request-deadline-ms=N]\n"
-               "                  [--batch-window-ms=N] [--batch-max=N]\n",
+               "                  [--batch-window-ms=N] [--batch-max=N]\n"
+               "                  [--shard-index=N] [--shard-count=N]\n",
                message.c_str());
   std::exit(2);
 }
@@ -135,6 +147,10 @@ Flags parse_flags(int argc, char** argv) {
       flags.batch_window_ms = parse_long(key, val);
     } else if (key == "--batch-max") {
       flags.batch_max = parse_long(key, val);
+    } else if (key == "--shard-index") {
+      flags.shard_index = parse_long(key, val);
+    } else if (key == "--shard-count") {
+      flags.shard_count = parse_long(key, val);
     } else {
       usage_error("unknown flag '" + key + "'");
     }
@@ -156,6 +172,12 @@ Flags parse_flags(int argc, char** argv) {
   }
   if (flags.batch_max <= 0) {
     usage_error("--batch-max must be positive");
+  }
+  if (flags.shard_count <= 0) {
+    usage_error("--shard-count must be positive");
+  }
+  if (flags.shard_index < 0 || flags.shard_index >= flags.shard_count) {
+    usage_error("--shard-index must be in [0, --shard-count)");
   }
   return flags;
 }
@@ -213,6 +235,8 @@ int main(int argc, char** argv) {
         static_cast<uint32_t>(flags.request_deadline_ms);
     options.batch_window_ms = static_cast<uint32_t>(flags.batch_window_ms);
     options.batch_max = static_cast<size_t>(flags.batch_max);
+    options.shard_index = static_cast<uint32_t>(flags.shard_index);
+    options.shard_count = static_cast<uint32_t>(flags.shard_count);
 
     wre::net::Server server(db, options);
     server.start();

@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "src/net/channel.h"
 #include "src/net/remote_connection.h"
 #include "src/net/server.h"
 #include "src/net/socket.h"
@@ -606,6 +607,124 @@ TEST_F(NetServerTest, ConcurrentClientsSeeConsistentResults) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(server_->sessions_accepted(), static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(NetServerTest, V1FramedClientMatchesV2Client) {
+  // Pre-extension (v1) frames carry no idempotency key, deadline or tenant
+  // id. The epoll core must serve them exactly like v2 traffic: same
+  // results, same session reuse, zero protocol errors.
+  RemoteConnection v2 = client();
+  v2.create_table("kv", kv_schema());
+  std::vector<sql::Row> rows;
+  for (int64_t i = 0; i < 30; ++i) {
+    rows.push_back({sql::Value::int64(i), sql::Value::int64(i % 3),
+                    sql::Value::blob(Bytes{static_cast<uint8_t>(i)})});
+  }
+  v2.insert_batch("kv", rows);
+
+  Socket s = Socket::connect("127.0.0.1", server_->port());
+  auto v1_roundtrip = [&](Opcode op, const Bytes& payload, Opcode expected) {
+    s.send_all(encode_frame(op, payload));
+    uint8_t header[kFrameHeaderBytes];
+    s.recv_all(header, sizeof(header));
+    FrameHeader fh = decode_frame_header(header, kDefaultMaxFrameBytes);
+    EXPECT_EQ(fh.opcode, expected);
+    Bytes body(fh.payload_length);
+    if (fh.payload_length > 0) s.recv_all(body.data(), body.size());
+    return body;
+  };
+
+  v1_roundtrip(Opcode::kPing, {}, Opcode::kOkPong);
+
+  WireWriter count_w;
+  count_w.string("kv");
+  Bytes count_body =
+      v1_roundtrip(Opcode::kRowCount, count_w.bytes(), Opcode::kOkCount);
+  WireReader count_r(count_body);
+  EXPECT_EQ(count_r.u64(), 30u);
+
+  const std::string sql = "SELECT id FROM kv WHERE tag IN (1)";
+  WireWriter sql_w;
+  sql_w.string(sql);
+  Bytes sql_body =
+      v1_roundtrip(Opcode::kExecSql, sql_w.bytes(), Opcode::kOkResult);
+  WireReader sql_r(sql_body);
+  sql::ResultSet via_v1 = decode_result_set(sql_r);
+  sql_r.expect_end();
+  EXPECT_EQ(via_v1.rows, v2.execute(sql).rows);
+  EXPECT_EQ(server_->protocol_errors(), 0u);
+}
+
+TEST(NetServerIsolation, StalledClientDoesNotDelayOthers) {
+  // Regression for the thread-per-connection failure mode: a client that
+  // requests a response far larger than the server's output buffer cap and
+  // then never reads must not hold a worker — or the event thread —
+  // hostage while a concurrent client runs under a tight deadline.
+  TempDir dir;
+  sql::Database db(dir.str());
+  ServerOptions options;
+  options.worker_threads = 1;  // one stalled worker would stall everyone
+  options.read_timeout_ms = 5000;
+  Server server(db, options);
+  server.start();
+
+  {
+    RemoteConnection setup("127.0.0.1", server.port());
+    setup.create_table("kv", kv_schema());
+    std::vector<sql::Row> rows;
+    for (int64_t i = 0; i < 8192; ++i) {
+      rows.push_back({sql::Value::int64(i), sql::Value::int64(0),
+                      sql::Value::blob(Bytes(2048, 0xCD))});
+    }
+    setup.insert_batch("kv", rows);  // 16 MiB of payload > 8 MiB outbuf cap
+  }
+
+  // The stall: ask for the full table, read nothing.
+  Socket stalled = Socket::connect("127.0.0.1", server.port());
+  WireWriter w;
+  w.string("kv");
+  stalled.send_all(encode_frame(Opcode::kScanTable, w.bytes()));
+
+  // A concurrent client with no retries and a short response timeout: if
+  // the stalled scan blocked the worker or the event loop, these fail.
+  RemoteOptions strict;
+  strict.response_timeout_ms = 2000;
+  strict.retry.max_attempts = 1;
+  RemoteConnection probe("127.0.0.1", server.port(), strict);
+  for (int i = 0; i < 20; ++i) {
+    probe.ping();
+    EXPECT_EQ(probe.row_count("kv"), 8192u);
+  }
+  // Release the stalled connection before draining — a drain flushes what
+  // it can, and this client will never read its 16 MiB.
+  stalled.close();
+  server.stop();
+}
+
+TEST(NetServerDrain, DrainAnswersAlreadySubmittedPipeline) {
+  // SIGTERM mid-pipeline: every request the client already put on the wire
+  // is executed and flushed before the connection closes — a drain is a
+  // barrier, not a guillotine.
+  TempDir dir;
+  sql::Database db(dir.str());
+  Server server(db, {});
+  server.start();
+
+  PipelinedChannel ch(ShardEndpoint{"127.0.0.1", server.port()},
+                      kDefaultMaxFrameBytes, /*recv_timeout_ms=*/5000);
+  RequestExt ext;
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < 50; ++i) {
+    tickets.push_back(ch.submit(Opcode::kPing, {}, ext));
+  }
+  ch.flush();  // all 50 frames are on the wire before the drain starts
+  std::thread stopper([&] { server.stop(); });
+  int answered = 0;
+  for (uint64_t t : tickets) {
+    if (ch.await(t, 5000).opcode == Opcode::kOkPong) ++answered;
+  }
+  stopper.join();
+  EXPECT_EQ(answered, 50);
 }
 
 }  // namespace
