@@ -1,8 +1,14 @@
 // Microbenchmarks of the storage substrate: B+-tree probes, heap appends,
 // and buffer-pool hit/miss costs (google-benchmark) — the server-side cost
-// drivers behind Figures 4-7 — plus a bespoke `--wal` mode measuring the
-// durability hot path: group-commit throughput at 1/8/64 concurrent
-// committers and recovery-replay bandwidth (BENCH_wal.json).
+// drivers behind Figures 4-7 — plus two bespoke modes:
+//   --wal   the durability hot path: group-commit throughput at 1/8/64
+//           concurrent committers and recovery-replay bandwidth
+//           (BENCH_wal.json)
+//   --scan  the table-scan hot path over a WRE-shaped physical table
+//           (tag columns + encrypted payload blobs): select_star,
+//           non-indexed predicate scans, and indexed probe + row
+//           materialization, row path vs the columnar store
+//           (BENCH_storage.json)
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -217,6 +223,155 @@ void bench_wal_recovery(bench::JsonReport& report, int64_t commits,
               {"seconds", seconds}});
 }
 
+// -------------------------------------------------------------- scan mode
+
+/// The physical shape EncryptedConnection gives a WRE table: a primary key,
+/// per-encrypted-column (tag, ciphertext-blob) pairs, and a plaintext
+/// column. `name_tag` is indexed (the WRE search index); `zip_tag` and
+/// `city` are not, so predicates on them exercise the scan path.
+sql::Schema scan_schema() {
+  return sql::Schema({{"id", sql::ValueType::kInt64, /*primary_key=*/true},
+                      {"name_tag", sql::ValueType::kInt64, false},
+                      {"name_enc", sql::ValueType::kBlob, false},
+                      {"zip_tag", sql::ValueType::kInt64, false},
+                      {"zip_enc", sql::ValueType::kBlob, false},
+                      {"city", sql::ValueType::kText, false}});
+}
+
+struct ScanDataset {
+  std::vector<int64_t> name_tags;  // distinct indexed tag values
+  std::vector<int64_t> zip_tags;   // distinct non-indexed tag values
+  int64_t records = 0;
+};
+
+ScanDataset build_scan_table(sql::Database& db, int64_t records,
+                             int64_t payload_bytes) {
+  constexpr int64_t kNameCardinality = 2000;
+  constexpr int64_t kZipCardinality = 100;
+  constexpr int64_t kCityCardinality = 50;
+
+  ScanDataset ds;
+  ds.records = records;
+  Xoshiro256 rng(11);
+  for (int64_t i = 0; i < kNameCardinality; ++i) {
+    ds.name_tags.push_back(static_cast<int64_t>(rng()));
+  }
+  for (int64_t i = 0; i < kZipCardinality; ++i) {
+    ds.zip_tags.push_back(static_cast<int64_t>(rng()));
+  }
+
+  db.create_table("main", scan_schema());
+  db.create_index("main", "name_tag");
+
+  std::vector<sql::Row> chunk;
+  for (int64_t id = 0; id < records; ++id) {
+    Bytes name_enc(static_cast<size_t>(payload_bytes), 0);
+    for (auto& b : name_enc) b = static_cast<uint8_t>(rng());
+    Bytes zip_enc(16, 0);
+    for (auto& b : zip_enc) b = static_cast<uint8_t>(rng());
+    chunk.push_back(
+        {sql::Value::int64(id),
+         sql::Value::int64(
+             ds.name_tags[static_cast<size_t>(rng.next_below(
+                 static_cast<uint64_t>(kNameCardinality)))]),
+         sql::Value::blob(std::move(name_enc)),
+         sql::Value::int64(
+             ds.zip_tags[static_cast<size_t>(rng.next_below(
+                 static_cast<uint64_t>(kZipCardinality)))]),
+         sql::Value::blob(std::move(zip_enc)),
+         sql::Value::text("city" + std::to_string(rng.next_below(
+                                       static_cast<uint64_t>(
+                                           kCityCardinality))))});
+    if (chunk.size() == 1024) {
+      db.insert_batch("main", chunk);
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) db.insert_batch("main", chunk);
+  return ds;
+}
+
+/// Runs `sql` `iters` times, reporting qps, rows/s and the per-query
+/// latency tail under `name`. Returns the result set of the first run so
+/// callers can cross-check paths.
+sql::ResultSet run_scan_pass(bench::JsonReport& report,
+                             const std::string& name, sql::Database& db,
+                             const std::string& sql, int64_t iters) {
+  sql::ResultSet first = db.execute(sql);  // warm + reference result
+  std::vector<double> query_ms;
+  query_ms.reserve(static_cast<size_t>(iters));
+  size_t rows = 0;
+  Timer timer;
+  for (int64_t i = 0; i < iters; ++i) {
+    Timer one;
+    auto rs = db.execute(sql);
+    query_ms.push_back(one.elapsed_millis());
+    rows += rs.rows.size();
+  }
+  double seconds = timer.elapsed_seconds();
+  double qps = seconds > 0 ? static_cast<double>(iters) / seconds : 0;
+  double rows_per_sec = seconds > 0 ? static_cast<double>(rows) / seconds : 0;
+  auto lat = bench::LatencySummary::of(std::move(query_ms));
+  std::printf(
+      "%-34s %9.0f qps  %12.0f rows/s  p50 %7.3f ms  p99 %7.3f ms\n",
+      name.c_str(), qps, rows_per_sec, lat.p50, lat.p99);
+  std::vector<std::pair<std::string, double>> metrics{
+      {"qps", qps},
+      {"rows_per_sec", rows_per_sec},
+      {"result_rows", static_cast<double>(first.rows.size())},
+      {"seconds", seconds}};
+  lat.append_metrics("latency_ms_", &metrics);
+  report.add(name, std::move(metrics));
+  return first;
+}
+
+std::string in_list_sql(const std::string& column,
+                        const std::vector<int64_t>& values, size_t n) {
+  std::string sql = column + " IN (";
+  for (size_t i = 0; i < n && i < values.size(); ++i) {
+    if (i) sql += ", ";
+    sql += std::to_string(values[i]);
+  }
+  return sql + ")";
+}
+
+int run_scan_bench(const bench::Args& args) {
+  const int64_t records = args.get_int("records", 20000);
+  const int64_t payload = args.get_int("payload-bytes", 64);
+  const int64_t star_iters = args.get_int("star-iters", 60);
+  const int64_t scan_iters = args.get_int("scan-iters", 200);
+
+  bench::ScratchDir scratch("scan");
+  sql::Database db(scratch.str());
+  auto ds = build_scan_table(db, records, payload);
+  db.checkpoint();
+
+  bench::JsonReport report(args.get_string("out", "BENCH_storage.json"));
+  report.set_context("bench", "scan");
+  report.set_context("records", std::to_string(records));
+  report.set_context("payload_bytes", std::to_string(payload));
+
+  // The four scan shapes: full materialization, non-indexed equality,
+  // non-indexed multi-probe IN, and the indexed probe whose row
+  // materialization dominates remote/select_star.
+  const std::string q_star = "SELECT * FROM main";
+  const std::string q_eq = "SELECT id FROM main WHERE zip_tag = " +
+                           std::to_string(ds.zip_tags[7]);
+  const std::string q_in =
+      "SELECT id FROM main WHERE " + in_list_sql("zip_tag", ds.zip_tags, 16);
+  const std::string q_index_fetch =
+      "SELECT * FROM main WHERE " + in_list_sql("name_tag", ds.name_tags, 32);
+
+  run_scan_pass(report, "scan/select_star/row", db, q_star, star_iters);
+  run_scan_pass(report, "scan/predicate_eq/row", db, q_eq, scan_iters);
+  run_scan_pass(report, "scan/predicate_in/row", db, q_in, scan_iters);
+  run_scan_pass(report, "scan/index_fetch/row", db, q_index_fetch,
+                scan_iters);
+
+  report.write();
+  return 0;
+}
+
 int run_wal_bench(const bench::Args& args) {
   const int64_t commits = args.get_int("commits", 2000);
   const bool fsync = args.get_int("fsync", 1) != 0;
@@ -241,6 +396,7 @@ int run_wal_bench(const bench::Args& args) {
 int main(int argc, char** argv) {
   bench::Args args(argc, argv);
   if (args.has("wal")) return run_wal_bench(args);
+  if (args.has("scan")) return run_scan_bench(args);
 
   bench::GBenchArgs gargs(argc, argv, "BENCH_storage.json");
   benchmark::Initialize(gargs.argc(), gargs.argv());
