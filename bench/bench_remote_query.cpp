@@ -28,9 +28,14 @@
 // checking shard-vs-single-server parity on every query. Each knob can be
 // set to 0/1 to skip its pass.
 //
+// A columnar sweep re-runs the workload with the server's in-memory
+// column store enabled (--scans full-table SELECT * iterations per path,
+// 0 skips it), gating on row-vs-columnar result parity before reporting
+// the scan speedup.
+//
 //   $ ./bench_remote_query [--records N] [--queries Q] [--lambda L]
 //       [--server-threads N] [--chaos-rate P] [--pipeline-depth D]
-//       [--connections C] [--shards S] [--out BENCH_net.json]
+//       [--connections C] [--shards S] [--scans K] [--out BENCH_net.json]
 #include <algorithm>
 #include <atomic>
 #include <iomanip>
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
   int64_t pipeline_depth = args.get_int("pipeline-depth", 16);
   int64_t n_connections = args.get_int("connections", 4);
   int64_t n_shards = args.get_int("shards", 3);
+  int64_t n_scans = args.get_int("scans", 20);
   std::string out_path = args.get_string("out", "BENCH_net.json");
 
   std::cout << "# remote query bench: records=" << records
@@ -174,6 +180,96 @@ int main(int argc, char** argv) {
   report.add("remote/parity",
              {{"queries", static_cast<double>(queries.size())},
               {"mismatches", static_cast<double>(mismatches)}});
+
+  // ------------------------------------------------------------------
+  // Columnar sweep: the same remote workload with the server's in-memory
+  // column store enabled (DESIGN.md §5.9). The tag predicates keep their
+  // index plan either way; what moves is the full-table SELECT *, which
+  // the server now late-materializes straight from packed column
+  // segments into the response frame. Row-path results are captured
+  // before the flip and every columnar answer is compared against them —
+  // the column store must be invisible in the results.
+  // ------------------------------------------------------------------
+  if (n_scans > 0) {
+    std::vector<std::vector<int64_t>> row_ids;
+    std::vector<std::vector<sql::Row>> row_stars;
+    row_ids.reserve(queries.size());
+    row_stars.reserve(queries.size());
+    for (const auto& q : queries) {
+      row_ids.push_back(sorted(conn.select_ids("main", q.column, q.value).ids));
+      row_stars.push_back(conn.select_star("main", q.column, q.value).rows);
+    }
+    const std::string scan_sql = "SELECT * FROM main";
+    sql::ResultSet scan_ref = remote.execute(scan_sql);
+
+    auto scan_pass = [&](const std::string& name) {
+      std::vector<double> lat_ms;
+      lat_ms.reserve(static_cast<size_t>(n_scans));
+      Timer total;
+      for (int64_t i = 0; i < n_scans; ++i) {
+        Timer t;
+        remote.execute(scan_sql);
+        lat_ms.push_back(t.elapsed_millis());
+      }
+      double qps = static_cast<double>(n_scans) / total.elapsed_seconds();
+      auto lat = bench::LatencySummary::of(std::move(lat_ms));
+      std::cout << name << ": " << std::fixed << std::setprecision(1) << qps
+                << " scans/s (" << scan_ref.rows.size() << " rows), p50 "
+                << std::setprecision(3) << lat.p50 << " ms, p99 " << lat.p99
+                << " ms\n";
+      std::vector<std::pair<std::string, double>> metrics{
+          {"scans_per_sec", qps},
+          {"rows", static_cast<double>(scan_ref.rows.size())}};
+      lat.append_metrics("latency_ms_", &metrics);
+      report.add(name, std::move(metrics));
+      return qps;
+    };
+    remote.execute(scan_sql);  // warm
+    double scan_qps_row = scan_pass("remote/scan_star");
+
+    db.set_columnar_enabled(true);
+
+    // Parity gate on the columnar path: ids, decrypted star rows, and the
+    // full scan must all match the row-path captures exactly.
+    size_t columnar_mismatches = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto& q = queries[i];
+      if (sorted(conn.select_ids("main", q.column, q.value).ids) !=
+          row_ids[i]) {
+        ++columnar_mismatches;
+      }
+      if (conn.select_star("main", q.column, q.value).rows != row_stars[i]) {
+        ++columnar_mismatches;
+      }
+    }
+    sql::ResultSet scan_col = remote.execute(scan_sql);
+    if (scan_col.columns != scan_ref.columns ||
+        scan_col.rows != scan_ref.rows) {
+      ++columnar_mismatches;
+    }
+    if (columnar_mismatches != 0) {
+      mismatches += columnar_mismatches;
+      std::cout << "ERROR: " << columnar_mismatches
+                << " columnar results differ from the row path\n";
+    } else {
+      std::cout << "columnar parity: ids, star rows and full scan identical "
+                   "to the row path\n";
+    }
+
+    double scan_qps_col = scan_pass("remote/scan_star_columnar");
+    run_pass("remote/select_star_columnar", /*star=*/true);
+    double speedup = scan_qps_row > 0 ? scan_qps_col / scan_qps_row : 0;
+    std::cout << "remote/scan_star speedup: " << std::fixed
+              << std::setprecision(2) << speedup << "x columnar over row\n";
+    report.add("remote/columnar",
+               {{"scan_speedup", speedup},
+                {"parity_mismatches",
+                 static_cast<double>(columnar_mismatches)}});
+
+    // The scale-out and chaos passes below predate the column store;
+    // keep them on the row path so their numbers stay comparable.
+    db.set_columnar_enabled(false);
+  }
 
   // ------------------------------------------------------------------
   // Scale-out passes: pipelining, connection pooling, tag-space shards.

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "src/columnar/store_manager.h"
 #include "src/storage/bptree.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/heap_file.h"
@@ -335,6 +336,40 @@ std::string in_list_sql(const std::string& column,
   return sql + ")";
 }
 
+/// net::encode_result_set's layout, replicated locally so the bench can
+/// measure and cross-check the wire fast path without linking wre_net.
+Bytes wire_encode_result(const sql::ResultSet& rs) {
+  Bytes out;
+  store_le32(out, static_cast<uint32_t>(rs.columns.size()));
+  for (const std::string& c : rs.columns) {
+    store_le32(out, static_cast<uint32_t>(c.size()));
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  store_le32(out, static_cast<uint32_t>(rs.rows.size()));
+  for (const sql::Row& row : rs.rows) {
+    store_le32(out, static_cast<uint32_t>(row.size()));
+    for (const sql::Value& v : row) v.wire_encode(out);
+  }
+  store_le64(out, rs.rows_affected);
+  store_le64(out, rs.index_probes);
+  store_le64(out, rs.heap_fetches);
+  out.push_back(rs.used_index ? 1 : 0);
+  return out;
+}
+
+/// Byte-identity check between the row-path and columnar-path results of
+/// one query. The columnar store must be invisible in the output — any
+/// divergence is a correctness bug, so the bench aborts loudly.
+void require_identical(const std::string& what, const sql::ResultSet& row,
+                       const sql::ResultSet& col) {
+  if (row.columns == col.columns && row.rows == col.rows) return;
+  std::fprintf(stderr,
+               "FATAL: %s: columnar result diverges from row path "
+               "(%zu vs %zu rows)\n",
+               what.c_str(), row.rows.size(), col.rows.size());
+  std::exit(1);
+}
+
 int run_scan_bench(const bench::Args& args) {
   const int64_t records = args.get_int("records", 20000);
   const int64_t payload = args.get_int("payload-bytes", 64);
@@ -362,11 +397,127 @@ int run_scan_bench(const bench::Args& args) {
   const std::string q_index_fetch =
       "SELECT * FROM main WHERE " + in_list_sql("name_tag", ds.name_tags, 32);
 
-  run_scan_pass(report, "scan/select_star/row", db, q_star, star_iters);
-  run_scan_pass(report, "scan/predicate_eq/row", db, q_eq, scan_iters);
-  run_scan_pass(report, "scan/predicate_in/row", db, q_in, scan_iters);
-  run_scan_pass(report, "scan/index_fetch/row", db, q_index_fetch,
-                scan_iters);
+  auto star_row =
+      run_scan_pass(report, "scan/select_star/row", db, q_star, star_iters);
+  auto eq_row =
+      run_scan_pass(report, "scan/predicate_eq/row", db, q_eq, scan_iters);
+  auto in_row =
+      run_scan_pass(report, "scan/predicate_in/row", db, q_in, scan_iters);
+  auto fetch_row = run_scan_pass(report, "scan/index_fetch/row", db,
+                                 q_index_fetch, scan_iters);
+
+  // Same queries against the column store. The first columnar execution
+  // builds the segment (a cost the qps numbers amortize away after warmup,
+  // exactly like the buffer pool on the row side); every result must be
+  // byte-identical to the row path.
+  db.set_columnar_enabled(true);
+  auto star_col = run_scan_pass(report, "scan/select_star/columnar", db,
+                                q_star, star_iters);
+  auto eq_col =
+      run_scan_pass(report, "scan/predicate_eq/columnar", db, q_eq, scan_iters);
+  auto in_col =
+      run_scan_pass(report, "scan/predicate_in/columnar", db, q_in, scan_iters);
+  auto fetch_col = run_scan_pass(report, "scan/index_fetch/columnar", db,
+                                 q_index_fetch, scan_iters);
+
+  require_identical("select_star", star_row, star_col);
+  require_identical("predicate_eq", eq_row, eq_col);
+  require_identical("predicate_in", in_row, in_col);
+  require_identical("index_fetch", fetch_row, fetch_col);
+  if (!star_col.used_columnar || !eq_col.used_columnar ||
+      !in_col.used_columnar || !fetch_col.used_columnar) {
+    std::fprintf(stderr, "FATAL: a columnar pass fell back to the row path\n");
+    return 1;
+  }
+  std::printf("cross-path check: all 4 query shapes byte-identical\n");
+
+  // The remote serving shape: what a wre_server spends per select_star
+  // response. Row path = execute + encode every Value; columnar wire path
+  // = execute_select_wire, which encodes straight from the packed columns
+  // (late materialization — no Value is ever built). This is the headline
+  // select_star number: the same response bytes, produced server-side.
+  {
+    db.set_columnar_enabled(false);
+    sql::ResultSet rs;
+    auto row_pass = [&] { rs = db.execute(q_star); return wire_encode_result(rs); };
+    Bytes row_bytes = row_pass();
+    std::vector<double> ms;
+    Timer timer;
+    for (int64_t i = 0; i < star_iters; ++i) {
+      Timer one;
+      Bytes b = row_pass();
+      ms.push_back(one.elapsed_millis());
+      if (b.size() != row_bytes.size()) return 1;
+    }
+    double secs = timer.elapsed_seconds();
+    double qps = secs > 0 ? static_cast<double>(star_iters) / secs : 0;
+    auto lat = bench::LatencySummary::of(std::move(ms));
+    std::printf("%-34s %9.0f qps  p50 %7.3f ms  p99 %7.3f ms\n",
+                "scan/select_star/row_wire", qps, lat.p50, lat.p99);
+    std::vector<std::pair<std::string, double>> metrics{
+        {"qps", qps},
+        {"response_bytes", static_cast<double>(row_bytes.size())},
+        {"seconds", secs}};
+    lat.append_metrics("latency_ms_", &metrics);
+    report.add("scan/select_star/row_wire", std::move(metrics));
+
+    db.set_columnar_enabled(true);
+    sql::SelectStmt star_stmt;
+    star_stmt.star = true;
+    star_stmt.table = "main";
+    Bytes col_bytes;
+    if (!db.execute_select_wire(star_stmt, &col_bytes)) {
+      std::fprintf(stderr, "FATAL: wire fast path did not engage\n");
+      return 1;
+    }
+    // Identity is over the logical result; the executor-counter trailer
+    // legitimately differs by plan (the heap scan reports heap_fetches,
+    // the columnar scan reports none). Zero the counters on the row-path
+    // reference before comparing.
+    rs.heap_fetches = 0;
+    rs.index_probes = 0;
+    rs.used_index = false;
+    row_bytes = wire_encode_result(rs);
+    if (col_bytes != row_bytes) {
+      std::fprintf(stderr,
+                   "FATAL: columnar wire encoding diverges from the row "
+                   "path (%zu vs %zu bytes)\n",
+                   col_bytes.size(), row_bytes.size());
+      return 1;
+    }
+    ms.clear();
+    Bytes reuse;  // execute_select_wire appends: a serving loop reuses its
+                  // response buffer, so the bench does too
+    Timer col_timer;
+    for (int64_t i = 0; i < star_iters; ++i) {
+      Timer one;
+      reuse.clear();
+      db.execute_select_wire(star_stmt, &reuse);
+      ms.push_back(one.elapsed_millis());
+      if (reuse.size() != row_bytes.size()) return 1;
+    }
+    secs = col_timer.elapsed_seconds();
+    qps = secs > 0 ? static_cast<double>(star_iters) / secs : 0;
+    lat = bench::LatencySummary::of(std::move(ms));
+    std::printf("%-34s %9.0f qps  p50 %7.3f ms  p99 %7.3f ms\n",
+                "scan/select_star/columnar_wire", qps, lat.p50, lat.p99);
+    std::vector<std::pair<std::string, double>> col_metrics{
+        {"qps", qps},
+        {"response_bytes", static_cast<double>(col_bytes.size())},
+        {"seconds", secs}};
+    lat.append_metrics("latency_ms_", &col_metrics);
+    report.add("scan/select_star/columnar_wire", std::move(col_metrics));
+    std::printf("wire cross-path check: responses byte-identical\n");
+  }
+
+  if (auto* store = db.column_store()) {
+    auto stats = store->stats();
+    report.add("scan/column_store",
+               {{"segments", static_cast<double>(stats.segments)},
+                {"bytes", static_cast<double>(stats.bytes)},
+                {"builds", static_cast<double>(stats.builds)},
+                {"snapshot_hits", static_cast<double>(stats.hits)}});
+  }
 
   report.write();
   return 0;

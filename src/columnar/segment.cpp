@@ -1,0 +1,381 @@
+#include "src/columnar/segment.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace wre::columnar {
+
+namespace {
+
+/// Merge-intersects two ascending selections.
+Selection intersect(const Selection& a, const Selection& b) {
+  Selection out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Merge-unions two ascending selections.
+Selection unite(const Selection& a, const Selection& b) {
+  Selection out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const TableSegment> TableSegment::build(
+    const sql::Table& t, uint64_t version, const SegmentOptions& opt) {
+  auto seg = std::shared_ptr<TableSegment>(new TableSegment());
+  seg->version_ = version;
+  seg->schema_ = t.schema();
+  const sql::Schema& schema = seg->schema_;
+  seg->hidden_pk_ = !schema.primary_key_index().has_value();
+
+  const size_t cols = schema.column_count();
+  const size_t rows_hint = static_cast<size_t>(t.row_count());
+  seg->columns_.reserve(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    if (schema.column(c).type == sql::ValueType::kInt64) {
+      seg->columns_.emplace_back(std::in_place_type<Int64Column>);
+      std::get<Int64Column>(seg->columns_.back()).reserve(rows_hint);
+    } else {
+      seg->columns_.emplace_back(std::in_place_type<BytesColumn>,
+                                 schema.column(c).type);
+    }
+  }
+  if (!seg->hidden_pk_) seg->pks_.reserve(rows_hint);
+
+  t.scan([&](int64_t pk, const sql::Row& row) {
+    if (!seg->hidden_pk_) seg->pks_.push_back(pk);
+    for (size_t c = 0; c < cols; ++c) {
+      const sql::Value& v = row[c];
+      std::visit(
+          [&](auto& col) {
+            using C = std::decay_t<decltype(col)>;
+            if (v.is_null()) {
+              col.append_null();
+            } else if constexpr (std::is_same_v<C, Int64Column>) {
+              col.append(v.as_int64());
+            } else {
+              if (col.value_type() == sql::ValueType::kText) {
+                col.append(v.as_text());
+              } else {
+                const Bytes& b = v.as_blob();
+                col.append(std::string_view(
+                    reinterpret_cast<const char*>(b.data()), b.size()));
+              }
+            }
+          },
+          seg->columns_[c]);
+    }
+    ++seg->row_count_;
+  });
+
+  for (auto& col : seg->columns_) {
+    std::visit([&](auto& c) { c.seal(opt.dict_max); }, col);
+  }
+  if (!seg->hidden_pk_) {
+    seg->pk_sorted_.reserve(seg->pks_.size());
+    for (uint32_t i = 0; i < seg->pks_.size(); ++i) {
+      seg->pk_sorted_.emplace_back(seg->pks_[i], i);
+    }
+    std::sort(seg->pk_sorted_.begin(), seg->pk_sorted_.end());
+  }
+  return seg;
+}
+
+Selection TableSegment::select_all() const {
+  Selection out(row_count_);
+  for (uint32_t i = 0; i < row_count_; ++i) out[i] = i;
+  return out;
+}
+
+Selection TableSegment::select(const sql::Expr& expr) const {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kEquals:
+    case sql::Expr::Kind::kIn: {
+      auto idx = schema_.index_of(expr.column);
+      if (!idx) throw SqlError("unknown column " + expr.column);
+      Selection out;
+      std::visit(
+          [&](const auto& col) {
+            using C = std::decay_t<decltype(col)>;
+            if constexpr (std::is_same_v<C, Int64Column>) {
+              // Only INTEGER probes can match an INTEGER column
+              // (sql_equals is false across types and for NULL).
+              std::vector<int64_t> probes;
+              probes.reserve(expr.values.size());
+              for (const sql::Value& v : expr.values) {
+                if (v.type() == sql::ValueType::kInt64) {
+                  probes.push_back(v.as_int64());
+                }
+              }
+              col.scan_in(probes.data(), probes.size(), &out);
+            } else {
+              std::vector<std::string_view> probes;
+              probes.reserve(expr.values.size());
+              for (const sql::Value& v : expr.values) {
+                if (v.type() != col.value_type()) continue;
+                if (v.type() == sql::ValueType::kText) {
+                  probes.push_back(v.as_text());
+                } else {
+                  const Bytes& b = v.as_blob();
+                  probes.push_back(std::string_view(
+                      reinterpret_cast<const char*>(b.data()), b.size()));
+                }
+              }
+              col.scan_in(probes.data(), probes.size(), &out);
+            }
+          },
+          columns_[*idx]);
+      return out;
+    }
+    case sql::Expr::Kind::kAnd: {
+      Selection out = select(expr.children.front());
+      for (size_t i = 1; i < expr.children.size() && !out.empty(); ++i) {
+        out = intersect(out, select(expr.children[i]));
+      }
+      return out;
+    }
+    case sql::Expr::Kind::kOr: {
+      Selection out;
+      for (const sql::Expr& child : expr.children) {
+        out = unite(out, select(child));
+      }
+      return out;
+    }
+  }
+  throw SqlError("columnar select: corrupt expression");
+}
+
+bool TableSegment::row_matches(const sql::Expr& expr, uint32_t row) const {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kEquals:
+    case sql::Expr::Kind::kIn: {
+      auto idx = schema_.index_of(expr.column);
+      if (!idx) throw SqlError("unknown column " + expr.column);
+      return std::visit(
+          [&](const auto& col) {
+            using C = std::decay_t<decltype(col)>;
+            if constexpr (std::is_same_v<C, Int64Column>) {
+              for (const sql::Value& v : expr.values) {
+                if (v.type() != sql::ValueType::kInt64) continue;
+                int64_t p = v.as_int64();
+                if (col.matches(row, &p, 1)) return true;
+              }
+              return false;
+            } else {
+              for (const sql::Value& v : expr.values) {
+                if (v.type() != col.value_type()) continue;
+                std::string_view p;
+                if (v.type() == sql::ValueType::kText) {
+                  p = v.as_text();
+                } else {
+                  const Bytes& b = v.as_blob();
+                  p = std::string_view(
+                      reinterpret_cast<const char*>(b.data()), b.size());
+                }
+                if (col.matches(row, &p, 1)) return true;
+              }
+              return false;
+            }
+          },
+          columns_[*idx]);
+    }
+    case sql::Expr::Kind::kAnd:
+      return std::all_of(
+          expr.children.begin(), expr.children.end(),
+          [&](const sql::Expr& c) { return row_matches(c, row); });
+    case sql::Expr::Kind::kOr:
+      return std::any_of(
+          expr.children.begin(), expr.children.end(),
+          [&](const sql::Expr& c) { return row_matches(c, row); });
+  }
+  throw SqlError("columnar row_matches: corrupt expression");
+}
+
+sql::Value TableSegment::value_at(size_t col, uint32_t row) const {
+  return std::visit(
+      [&](const auto& c) -> sql::Value {
+        using C = std::decay_t<decltype(c)>;
+        if (c.is_null(row)) return sql::Value::null();
+        if constexpr (std::is_same_v<C, Int64Column>) {
+          return sql::Value::int64(c.at(row));
+        } else {
+          std::string_view v = c.at(row);
+          if (c.value_type() == sql::ValueType::kText) {
+            return sql::Value::text(std::string(v));
+          }
+          const uint8_t* p = reinterpret_cast<const uint8_t*>(v.data());
+          return sql::Value::blob(Bytes(p, p + v.size()));
+        }
+      },
+      columns_[col]);
+}
+
+sql::Row TableSegment::materialize(
+    uint32_t row, const std::vector<size_t>& projection) const {
+  sql::Row out;
+  out.reserve(projection.size());
+  for (size_t col : projection) out.push_back(value_at(col, row));
+  return out;
+}
+
+void TableSegment::materialize_rows(const Selection& sel,
+                                    const std::vector<size_t>& projection,
+                                    std::vector<sql::Row>* out) const {
+  const size_t base = out->size();
+  const size_t nproj = projection.size();
+  out->resize(base + sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) (*out)[base + i].resize(nproj);
+
+  for (size_t c = 0; c < nproj; ++c) {
+    std::visit(
+        [&](const auto& col) {
+          using C = std::decay_t<decltype(col)>;
+          for (size_t i = 0; i < sel.size(); ++i) {
+            const uint32_t row = sel[i];
+            if (col.has_nulls() && col.is_null(row)) continue;  // stays NULL
+            sql::Value& cell = (*out)[base + i][c];
+            if constexpr (std::is_same_v<C, Int64Column>) {
+              cell = sql::Value::int64(col.at(row));
+            } else {
+              std::string_view v = col.at(row);
+              if (col.value_type() == sql::ValueType::kText) {
+                cell = sql::Value::text(std::string(v));
+              } else {
+                const uint8_t* p = reinterpret_cast<const uint8_t*>(v.data());
+                cell = sql::Value::blob(Bytes(p, p + v.size()));
+              }
+            }
+          }
+        },
+        columns_[projection[c]]);
+  }
+}
+
+void TableSegment::wire_encode_rows(const Selection& sel,
+                                    const std::vector<size_t>& projection,
+                                    Bytes* out) const {
+  // Resolve each projected column's encoder once; both passes below are
+  // then flat runs over dense arrays with no dispatch.
+  struct Cell {
+    const Int64Column* i64 = nullptr;
+    const BytesColumn* bytes = nullptr;
+    uint8_t type = 0;
+    bool nulls = false;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(projection.size());
+  for (size_t col : projection) {
+    Cell cell;
+    if (const auto* i = std::get_if<Int64Column>(&columns_[col])) {
+      cell.i64 = i;
+      cell.type = static_cast<uint8_t>(sql::ValueType::kInt64);
+      cell.nulls = i->has_nulls();
+    } else {
+      cell.bytes = &std::get<BytesColumn>(columns_[col]);
+      cell.type = static_cast<uint8_t>(cell.bytes->value_type());
+      cell.nulls = cell.bytes->has_nulls();
+    }
+    cells.push_back(cell);
+  }
+
+  // Pass 1: exact response size, so pass 2 writes through a raw pointer
+  // into a single resize — no per-byte append, no reallocation.
+  size_t total = sel.size() * (4 + cells.size());  // u32 arity + type bytes
+  for (const Cell& cell : cells) {
+    if (cell.i64 != nullptr) {
+      if (!cell.nulls) {
+        total += sel.size() * 8;
+      } else {
+        for (uint32_t row : sel) {
+          if (!cell.i64->is_null(row)) total += 8;
+        }
+      }
+    } else {
+      for (uint32_t row : sel) {
+        if (cell.nulls && cell.bytes->is_null(row)) continue;
+        total += 4 + cell.bytes->at(row).size();
+      }
+    }
+  }
+
+  const size_t base = out->size();
+  out->resize(base + total);
+  uint8_t* p = out->data() + base;
+
+  const uint32_t arity = static_cast<uint32_t>(cells.size());
+  for (uint32_t row : sel) {
+    store_le32(p, arity);
+    p += 4;
+    for (const Cell& cell : cells) {
+      if (cell.i64 != nullptr) {
+        if (cell.nulls && cell.i64->is_null(row)) {
+          *p++ = static_cast<uint8_t>(sql::ValueType::kNull);
+          continue;
+        }
+        *p++ = cell.type;
+        store_le64(p, static_cast<uint64_t>(cell.i64->at(row)));
+        p += 8;
+      } else {
+        if (cell.nulls && cell.bytes->is_null(row)) {
+          *p++ = static_cast<uint8_t>(sql::ValueType::kNull);
+          continue;
+        }
+        *p++ = cell.type;
+        std::string_view v = cell.bytes->at(row);
+        store_le32(p, static_cast<uint32_t>(v.size()));
+        p += 4;
+        std::memcpy(p, v.data(), v.size());
+        p += v.size();
+      }
+    }
+  }
+}
+
+int64_t TableSegment::pk_at(uint32_t row) const {
+  return hidden_pk_ ? static_cast<int64_t>(row) : pks_[row];
+}
+
+std::optional<uint32_t> TableSegment::row_of_pk(int64_t pk) const {
+  if (hidden_pk_) {
+    if (pk < 0 || static_cast<uint64_t>(pk) >= row_count_) {
+      return std::nullopt;
+    }
+    return static_cast<uint32_t>(pk);
+  }
+  auto it = std::lower_bound(
+      pk_sorted_.begin(), pk_sorted_.end(), pk,
+      [](const std::pair<int64_t, uint32_t>& e, int64_t key) {
+        return e.first < key;
+      });
+  if (it == pk_sorted_.end() || it->first != pk) return std::nullopt;
+  return it->second;
+}
+
+size_t TableSegment::bytes() const {
+  size_t total = pks_.capacity() * sizeof(int64_t) +
+                 pk_sorted_.capacity() * sizeof(std::pair<int64_t, uint32_t>);
+  for (const auto& col : columns_) {
+    total += std::visit([](const auto& c) { return c.bytes(); }, col);
+  }
+  return total;
+}
+
+ColumnLayout TableSegment::column_layout(size_t col) const {
+  return std::visit([](const auto& c) { return c.layout(); }, columns_[col]);
+}
+
+size_t TableSegment::column_dictionary_size(size_t col) const {
+  return std::visit([](const auto& c) { return c.dictionary_size(); },
+                    columns_[col]);
+}
+
+}  // namespace wre::columnar

@@ -1,0 +1,107 @@
+// An immutable columnar snapshot of one table (DESIGN.md §5.9).
+//
+// A TableSegment is built from a single heap scan under the engine's
+// shared latch (writers excluded by the engine's single-writer rule) and
+// is immutable afterwards: queries hold it through a shared_ptr, so a
+// rebuild triggered by a later mutation never invalidates a scan already
+// in flight — readers drain on their own snapshot while new queries see
+// the fresh one.
+//
+// Row positions are heap order, the order Table::scan emits and the row
+// path's sequential scan preserves — so a columnar scan's selection
+// vector, materialized in order, is byte-identical to the row path's
+// result. For index-probe plans the segment also serves the record-fetch
+// phase: row_of_pk() replaces the pk-index descent + heap read + record
+// decode with a binary search and a column gather (late materialization:
+// only selected rows ever touch the packed payload bytes).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/columnar/column.h"
+#include "src/sql/ast.h"
+#include "src/sql/table.h"
+
+namespace wre::columnar {
+
+struct SegmentOptions {
+  /// Per-column dictionary cardinality cap; above it a column falls back
+  /// to the plain dense layout.
+  size_t dict_max = size_t{1} << 16;
+};
+
+class TableSegment {
+ public:
+  /// Scans `t` and freezes the result. `version` is the table's mutation
+  /// version at build time (captured by the caller before the scan; the
+  /// engine excludes writers for the duration).
+  static std::shared_ptr<const TableSegment> build(const sql::Table& t,
+                                                   uint64_t version,
+                                                   const SegmentOptions& opt);
+
+  uint64_t build_version() const { return version_; }
+  uint32_t row_count() const { return row_count_; }
+  const sql::Schema& schema() const { return schema_; }
+
+  /// Evaluates a predicate over every row: ascending selection of the
+  /// matching positions. Column types mirror sql_equals — a probe value
+  /// whose type differs from the column's declared type (or NULL) never
+  /// matches.
+  Selection select(const sql::Expr& expr) const;
+
+  /// Every row (the unfiltered select_star selection).
+  Selection select_all() const;
+
+  /// Point predicate recheck at one row, without materializing values.
+  bool row_matches(const sql::Expr& expr, uint32_t row) const;
+
+  /// Materializes the projected columns of one row.
+  sql::Row materialize(uint32_t row,
+                       const std::vector<size_t>& projection) const;
+
+  /// Bulk variant: appends one Row per selection entry to `out`,
+  /// column-at-a-time so the type dispatch happens once per column rather
+  /// than once per cell. Identical output to calling materialize() per row.
+  void materialize_rows(const Selection& sel,
+                        const std::vector<size_t>& projection,
+                        std::vector<sql::Row>* out) const;
+
+  /// Late materialization straight to the network: appends the wire
+  /// encoding of every selected row (u32 value count, then each projected
+  /// cell in sql::Value::wire_encode layout) directly from the packed
+  /// columns — no sql::Value or Row is ever built. Byte-identical to
+  /// wire-encoding the rows materialize_rows() would produce.
+  void wire_encode_rows(const Selection& sel,
+                        const std::vector<size_t>& projection,
+                        Bytes* out) const;
+
+  int64_t pk_at(uint32_t row) const;
+  /// Position of the row with primary key `pk`, if present.
+  std::optional<uint32_t> row_of_pk(int64_t pk) const;
+
+  /// Resident size (memory accounting / stats).
+  size_t bytes() const;
+  ColumnLayout column_layout(size_t col) const;
+  size_t column_dictionary_size(size_t col) const;
+
+ private:
+  TableSegment() = default;
+
+  sql::Value value_at(size_t col, uint32_t row) const;
+
+  uint64_t version_ = 0;
+  uint32_t row_count_ = 0;
+  sql::Schema schema_;
+  std::vector<std::variant<Int64Column, BytesColumn>> columns_;
+  // Primary keys in heap order, plus a pk-sorted lookup table for the
+  // record-fetch phase. Tables with a hidden pk use position == pk and
+  // keep both empty.
+  std::vector<int64_t> pks_;
+  std::vector<std::pair<int64_t, uint32_t>> pk_sorted_;
+  bool hidden_pk_ = false;
+};
+
+}  // namespace wre::columnar

@@ -1,0 +1,66 @@
+#include "src/columnar/store_manager.h"
+
+namespace wre::columnar {
+
+std::shared_ptr<const TableSegment> ColumnStoreManager::snapshot(
+    const sql::Table& t) {
+  if (t.row_count() < options_.min_rows) return nullptr;
+
+  // The version is captured before the build scan. Writers are excluded by
+  // the caller's latch, so the table cannot advance mid-build; a version
+  // captured after the scan could miss a mutation that raced an
+  // (incorrectly unlatched) build and mask it forever.
+  const uint64_t version = t.mutation_version();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(t.name());
+  if (it != segments_.end() && it->second->build_version() == version) {
+    ++hits_;
+    return it->second;
+  }
+  SegmentOptions opt;
+  opt.dict_max = options_.dict_max;
+  auto seg = TableSegment::build(t, version, opt);
+  ++builds_;
+  if (it != segments_.end()) {
+    ++rebuilds_;
+    it->second = seg;  // old segment stays alive for in-flight readers
+  } else {
+    segments_.emplace(t.name(), seg);
+  }
+  return seg;
+}
+
+std::shared_ptr<const TableSegment> ColumnStoreManager::cached(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(table);
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+void ColumnStoreManager::drop_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_.clear();
+}
+
+void ColumnStoreManager::prune(const std::string& table,
+                               uint64_t current_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(table);
+  if (it != segments_.end() && it->second->build_version() != current_version) {
+    segments_.erase(it);
+  }
+}
+
+ColumnStoreManager::Stats ColumnStoreManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.builds = builds_;
+  s.hits = hits_;
+  s.rebuilds = rebuilds_;
+  s.segments = segments_.size();
+  for (const auto& [name, seg] : segments_) s.bytes += seg->bytes();
+  return s;
+}
+
+}  // namespace wre::columnar

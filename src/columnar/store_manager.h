@@ -1,0 +1,80 @@
+// ColumnStoreManager: epoch-versioned columnar snapshots of hot tables
+// (DESIGN.md §5.9).
+//
+// The manager caches at most one TableSegment per table. snapshot()
+// compares the cached segment's build version against the table's current
+// mutation version (sql::Table::mutation_version, bumped by every insert /
+// batch / index change): a match is a hit, a mismatch triggers a rebuild,
+// and the old segment is only unreferenced — queries already scanning it
+// keep their shared_ptr, so readers never observe a segment mutate and
+// never block behind a rebuild triggered elsewhere.
+//
+// Synchronization contract: snapshot() may be called concurrently from
+// any number of readers (they serialize on an internal mutex only for the
+// cache lookup / the build itself); callers must hold the engine's shared
+// latch so writers are excluded for the duration of a build, exactly as a
+// sequential scan requires. drop_all() / prune() are writer-side calls.
+//
+// Staleness across the durability path is handled by construction:
+// crash-recovery replay (storage::Wal::recover) runs in the Database
+// constructor before any manager exists, so a post-recovery instance
+// starts with no segments, and checkpoint() prunes any segment whose
+// build version no longer matches its table.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/columnar/segment.h"
+
+namespace wre::columnar {
+
+struct ColumnStoreOptions {
+  /// Per-column dictionary cardinality cap (see SegmentOptions).
+  size_t dict_max = size_t{1} << 16;
+  /// Tables with fewer rows are not worth a segment; snapshot() returns
+  /// null and the planner stays on the row path.
+  uint64_t min_rows = 0;
+};
+
+class ColumnStoreManager {
+ public:
+  explicit ColumnStoreManager(ColumnStoreOptions options = {})
+      : options_(options) {}
+
+  /// A fresh snapshot of `t`: the cached segment when its build version
+  /// matches the table's mutation version, a newly built one otherwise.
+  /// Returns null when the table is below min_rows.
+  std::shared_ptr<const TableSegment> snapshot(const sql::Table& t);
+
+  /// The cached segment, fresh or not — no build. Null when absent.
+  std::shared_ptr<const TableSegment> cached(const std::string& table) const;
+
+  /// Drops every cached segment (cold-cache reproduction; clear_cache).
+  void drop_all();
+
+  /// Drops `table`'s segment if its build version differs from
+  /// `current_version` (checkpoint-time staleness sweep).
+  void prune(const std::string& table, uint64_t current_version);
+
+  struct Stats {
+    uint64_t builds = 0;    // segments built (epoch counter)
+    uint64_t hits = 0;      // snapshot() served from cache
+    uint64_t rebuilds = 0;  // builds that replaced a stale segment
+    size_t segments = 0;    // currently cached
+    size_t bytes = 0;       // resident bytes across cached segments
+  };
+  Stats stats() const;
+
+ private:
+  ColumnStoreOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const TableSegment>> segments_;
+  uint64_t builds_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace wre::columnar

@@ -841,6 +841,14 @@ Frame Server::handle_request(Opcode op, ByteView payload,
       sql::ResultSet rs;
       if (is_read_sql(sql)) {
         auto lock = lock_shared(deadline_ms);
+        // Columnar late materialization: a scan-planned SELECT encodes its
+        // response straight from the column segment — the rows never exist
+        // as sql::Value objects on the server. Falls through to the
+        // ResultSet path for every other plan.
+        Bytes payload;
+        if (db_.execute_sql_wire(sql, &payload)) {
+          return Frame{Opcode::kOkResult, std::move(payload)};
+        }
         rs = db_.execute(sql);
       } else {
         storage::CommitHandle commit;
@@ -971,6 +979,15 @@ Frame Server::handle_request(Opcode op, ByteView payload,
       std::string table = r.string();
       r.expect_end();
       auto lock = lock_shared(deadline_ms);
+      // A table scan is SELECT * with no predicate — the columnar wire
+      // fast path applies whenever a segment is available.
+      sql::SelectStmt star_stmt;
+      star_stmt.star = true;
+      star_stmt.table = sql::to_lower(table);
+      Bytes payload;
+      if (db_.execute_select_wire(star_stmt, &payload)) {
+        return Frame{Opcode::kOkResult, std::move(payload)};
+      }
       sql::Table& t = db_.table(table);
       sql::ResultSet rs;
       for (const sql::Column& c : t.schema().columns()) {

@@ -10,7 +10,7 @@
 //              [--query-threads=1] [--wal=1] [--checkpoint-interval-ms=60000]
 //              [--max-connections=0] [--request-deadline-ms=0]
 //              [--batch-window-ms=0] [--batch-max=64]
-//              [--shard-index=0] [--shard-count=1]
+//              [--shard-index=0] [--shard-count=1] [--columnar=0]
 //
 // Sharding: a fleet of wre_servers can split the tag space horizontally.
 // Each process declares its position with --shard-index/--shard-count and
@@ -84,6 +84,7 @@ struct Flags {
   long batch_max = 64;
   long shard_index = 0;
   long shard_count = 1;
+  long columnar = 0;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -95,7 +96,8 @@ struct Flags {
                "                  [--wal=0|1] [--checkpoint-interval-ms=N]\n"
                "                  [--max-connections=N] [--request-deadline-ms=N]\n"
                "                  [--batch-window-ms=N] [--batch-max=N]\n"
-               "                  [--shard-index=N] [--shard-count=N]\n",
+               "                  [--shard-index=N] [--shard-count=N]\n"
+               "                  [--columnar=0|1]\n",
                message.c_str());
   std::exit(2);
 }
@@ -151,6 +153,8 @@ Flags parse_flags(int argc, char** argv) {
       flags.shard_index = parse_long(key, val);
     } else if (key == "--shard-count") {
       flags.shard_count = parse_long(key, val);
+    } else if (key == "--columnar") {
+      flags.columnar = parse_long(key, val);
     } else {
       usage_error("unknown flag '" + key + "'");
     }
@@ -202,6 +206,10 @@ int main(int argc, char** argv) {
     db_options.query_threads =
         static_cast<unsigned>(flags.query_threads < 0 ? 0 : flags.query_threads);
     db_options.durability = flags.wal != 0;
+    // Columnar segments live only in memory, so enabling this after crash
+    // recovery is always safe: the store starts empty and builds fresh
+    // segments from the recovered heaps on first use (DESIGN.md §5.9).
+    db_options.columnar = flags.columnar != 0;
     // Recovery (if there is a leftover WAL) runs inside this constructor —
     // strictly before the listener opens, so a client can never observe
     // pre-recovery state.

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/columnar/store_manager.h"
 #include "src/sql/parser.h"
 #include "src/util/error.h"
 
@@ -151,6 +152,9 @@ Database::Database(std::string dir, DatabaseOptions options)
   }
   load_catalog();
   if (options.query_threads != 1) set_query_threads(options.query_threads);
+  columnar_dict_max_ = options.columnar_dict_max;
+  columnar_min_rows_ = options.columnar_min_rows;
+  if (options.columnar) set_columnar_enabled(true);
 }
 
 Database::~Database() {
@@ -160,6 +164,16 @@ Database::~Database() {
     } catch (const Error&) {
       // Unflushed committed state stays in the WAL; the next open replays.
     }
+  }
+}
+
+void Database::set_columnar_enabled(bool on) {
+  columnar_enabled_ = on;
+  if (on && columnar_mgr_ == nullptr) {
+    columnar::ColumnStoreOptions opt;
+    opt.dict_max = columnar_dict_max_;
+    opt.min_rows = columnar_min_rows_;
+    columnar_mgr_ = std::make_unique<columnar::ColumnStoreManager>(opt);
   }
 }
 
@@ -256,6 +270,56 @@ void validate_expr_columns(const Expr& expr, const Schema& schema) {
   }
 }
 
+/// Resolves the SELECT list to column positions, appending the output
+/// column names to `names`. COUNT(*) yields an empty projection.
+std::vector<size_t> resolve_projection(const SelectStmt& stmt,
+                                       const Schema& schema,
+                                       std::vector<std::string>* names) {
+  std::vector<size_t> projection;
+  if (stmt.star) {
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      projection.push_back(i);
+      names->push_back(schema.column(i).name);
+    }
+  } else if (!stmt.count_star) {
+    for (const auto& name : stmt.columns) {
+      auto idx = schema.index_of(name);
+      if (!idx) throw SqlError("unknown column in SELECT list: " + name);
+      projection.push_back(*idx);
+      names->push_back(schema.column(*idx).name);
+    }
+  } else {
+    names->push_back("count(*)");
+  }
+  return projection;
+}
+
+/// The planner's probe choice, shared by execute_select and the wire fast
+/// path so both agree on when a multi-probe index plan wins:
+///  1. the whole WHERE is a single-column disjunction -> probe it (the
+///     caller still checks the column is indexed);
+///  2. WHERE is a conjunction with at least one indexed such child ->
+///     probe the child with the fewest values and recheck the full
+///     predicate (`*whole_predicate` = false);
+///  3. otherwise no probe -> scan.
+std::optional<std::pair<std::string, std::vector<Value>>> choose_probe(
+    const SelectStmt& stmt, const Table& t, bool* whole_predicate) {
+  *whole_predicate = true;
+  if (!stmt.where) return std::nullopt;
+  auto probe = extract_single_column_disjunction(*stmt.where);
+  if (!probe && stmt.where->kind == Expr::Kind::kAnd) {
+    for (const Expr& child : stmt.where->children) {
+      auto candidate = extract_single_column_disjunction(child);
+      if (!candidate || !t.has_index(candidate->first)) continue;
+      if (!probe || candidate->second.size() < probe->second.size()) {
+        probe = std::move(candidate);
+      }
+    }
+    *whole_predicate = false;
+  }
+  return probe;
+}
+
 }  // namespace
 
 ResultSet Database::execute_select(const SelectStmt& stmt) {
@@ -264,23 +328,8 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
   if (stmt.where) validate_expr_columns(*stmt.where, schema);
   ResultSet rs;
 
-  // Resolve the projection.
-  std::vector<size_t> projection;
-  if (stmt.star) {
-    for (size_t i = 0; i < schema.column_count(); ++i) {
-      projection.push_back(i);
-      rs.columns.push_back(schema.column(i).name);
-    }
-  } else if (!stmt.count_star) {
-    for (const auto& name : stmt.columns) {
-      auto idx = schema.index_of(name);
-      if (!idx) throw SqlError("unknown column in SELECT list: " + name);
-      projection.push_back(*idx);
-      rs.columns.push_back(schema.column(*idx).name);
-    }
-  } else {
-    rs.columns.push_back("count(*)");
-  }
+  std::vector<size_t> projection =
+      resolve_projection(stmt, schema, &rs.columns);
 
   uint64_t limit = stmt.limit.value_or(UINT64_MAX);
   uint64_t count = 0;
@@ -304,28 +353,24 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
     return count < limit;
   };
 
-  // Plan selection:
-  //  1. whole WHERE is a single-column disjunction on an indexed column ->
-  //     multi-probe index scan (index-only when the projection allows);
-  //  2. WHERE is a conjunction with at least one such child -> probe the
-  //     child with the fewest values, fetch rows, recheck the full
-  //     predicate;
-  //  3. otherwise sequential scan.
-  std::optional<std::pair<std::string, std::vector<Value>>> probe;
+  // Plan selection (see choose_probe): multi-probe index scan when the
+  // predicate offers an indexed probe set, sequential/columnar scan
+  // otherwise.
   bool probe_is_whole_predicate = true;
-  if (stmt.where) {
-    probe = extract_single_column_disjunction(*stmt.where);
-    if (!probe && stmt.where->kind == Expr::Kind::kAnd) {
-      for (const Expr& child : stmt.where->children) {
-        auto candidate = extract_single_column_disjunction(child);
-        if (!candidate || !t.has_index(candidate->first)) continue;
-        if (!probe || candidate->second.size() < probe->second.size()) {
-          probe = std::move(candidate);
-        }
-      }
-      probe_is_whole_predicate = false;
-    }
-  }
+  std::optional<std::pair<std::string, std::vector<Value>>> probe =
+      choose_probe(stmt, t, &probe_is_whole_predicate);
+
+  // Columnar routing (DESIGN.md §5.9): with the store enabled and the
+  // table above the size floor, a segment serves (a) the scan path
+  // outright — vectorized predicate kernels + late materialization — and
+  // (b) the record-fetch phase of index-probe plans, replacing the
+  // pk-index descent + heap read + record decode per selected row.
+  // Results are byte-identical to the row path in both uses: the scan
+  // emits heap order like the sequential scan, the fetch emits sorted-pk
+  // order like the serial fetch loop.
+  const bool columnar_route =
+      columnar_enabled_ && columnar_mgr_ != nullptr &&
+      t.row_count() >= columnar_min_rows_;
 
   if (stmt.explain) {
     rs.columns = {"plan"};
@@ -343,6 +388,10 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
              " probe(s)";
       if (idx_only) plan += ", index-only";
       if (!probe_is_whole_predicate) plan += ", recheck residual predicate";
+      if (!idx_only && columnar_route) plan += ", columnar materialization";
+    } else if (columnar_route) {
+      plan = "columnar scan on " + stmt.table;
+      if (stmt.where) plan += ", filter";
     } else {
       plan = "sequential scan on " + stmt.table;
       if (stmt.where) plan += ", filter";
@@ -418,6 +467,32 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
       for (int64_t pk : pks) {
         if (!emit_row(pk, nullptr)) break;
       }
+    } else if (std::shared_ptr<const columnar::TableSegment> seg =
+                   columnar_route ? columnar_mgr_->snapshot(t) : nullptr) {
+      // Record-fetch phase from the column segment: binary-search the pk,
+      // recheck the predicate directly on the compressed columns, and
+      // materialize only the projected cells of surviving rows. Same
+      // sorted-pk emission order and limit semantics as the loops below.
+      rs.used_columnar = true;
+      for (int64_t pk : pks) {
+        if (count >= limit) break;
+        auto row_pos = seg->row_of_pk(pk);
+        if (!row_pos) {
+          // Defensive only: a fresh segment contains every indexed pk.
+          auto row = t.find_by_pk(pk);
+          if (!row) continue;
+          ++rs.heap_fetches;
+          if (!eval_expr(*stmt.where, schema, *row)) continue;
+          if (!emit_row(pk, &*row)) break;
+          continue;
+        }
+        if (!seg->row_matches(*stmt.where, *row_pos)) continue;  // recheck
+        ++count;
+        if (!stmt.count_star) {
+          ++rs.columnar_rows;
+          rs.rows.push_back(seg->materialize(*row_pos, projection));
+        }
+      }
     } else if (query_pool_ && limit == UINT64_MAX &&
                pks.size() >= 2 * kMinItemsPerTask) {
       // Record-fetch phase, parallel variant: materialize all rows first
@@ -445,6 +520,25 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
         if (!emit_row(pk, &*row)) break;
       }
     }
+  } else if (std::shared_ptr<const columnar::TableSegment> seg =
+                 columnar_route ? columnar_mgr_->snapshot(t) : nullptr) {
+    // Columnar scan: one vectorized predicate pass over the compressed
+    // columns yields the selection vector (ascending row positions = heap
+    // order, the sequential scan's emission order); only selected rows are
+    // materialized, and COUNT(*) materializes none at all.
+    rs.used_columnar = true;
+    if (stmt.count_star && !stmt.where) {
+      count = std::min<uint64_t>(seg->row_count(), limit);
+    } else {
+      columnar::Selection sel =
+          stmt.where ? seg->select(*stmt.where) : seg->select_all();
+      if (sel.size() > limit) sel.resize(limit);
+      count = sel.size();
+      if (!stmt.count_star) {
+        rs.columnar_rows = sel.size();
+        seg->materialize_rows(sel, projection, &rs.rows);
+      }
+    }
   } else {
     // Sequential scan. Table::scan has no early-exit channel; a LIMIT that
     // is hit simply stops emitting.
@@ -462,6 +556,56 @@ ResultSet Database::execute_select(const SelectStmt& stmt) {
   return rs;
 }
 
+bool Database::execute_select_wire(const SelectStmt& stmt, Bytes* out) {
+  if (stmt.explain || stmt.count_star) return false;
+  if (!columnar_enabled_ || columnar_mgr_ == nullptr) return false;
+  Table& t = table(stmt.table);
+  const Schema& schema = t.schema();
+  if (t.row_count() < columnar_min_rows_) return false;
+  if (stmt.where) validate_expr_columns(*stmt.where, schema);
+
+  // Only when the planner would scan: an indexed probe set means the
+  // multi-probe index plan wins and the caller takes the ResultSet path.
+  bool whole_predicate = true;
+  auto probe = choose_probe(stmt, t, &whole_predicate);
+  if (probe && t.has_index(probe->first)) return false;
+
+  std::shared_ptr<const columnar::TableSegment> seg =
+      columnar_mgr_->snapshot(t);
+  if (seg == nullptr) return false;
+
+  std::vector<std::string> names;
+  std::vector<size_t> projection = resolve_projection(stmt, schema, &names);
+  columnar::Selection sel =
+      stmt.where ? seg->select(*stmt.where) : seg->select_all();
+  uint64_t limit = stmt.limit.value_or(UINT64_MAX);
+  if (sel.size() > limit) sel.resize(limit);
+
+  // The result-set envelope, byte-for-byte what net::encode_result_set
+  // emits for this plan: column names, rows, then the executor counters a
+  // columnar scan reports (no probes, no heap fetches, no index).
+  store_le32(*out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    store_le32(*out, static_cast<uint32_t>(name.size()));
+    out->insert(out->end(), name.begin(), name.end());
+  }
+  store_le32(*out, static_cast<uint32_t>(sel.size()));
+  seg->wire_encode_rows(sel, projection, out);
+  store_le64(*out, 0);  // rows_affected
+  store_le64(*out, 0);  // index_probes
+  store_le64(*out, 0);  // heap_fetches
+  out->push_back(0);    // used_index
+  return true;
+}
+
+bool Database::execute_sql_wire(std::string_view sql, Bytes* out) {
+  if (!columnar_enabled_ || columnar_mgr_ == nullptr) return false;
+  Statement stmt = parse_statement(sql);
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) return false;
+  return execute_select_wire(*select, out);
+}
+
 void Database::clear_cache() {
   // Under WAL, clear_cache's flush would push unlogged mutations into the
   // data files; commit first so log-before-data holds. The barrier also
@@ -473,6 +617,9 @@ void Database::clear_cache() {
     wal_->sync();
   }
   pool_->clear_cache();
+  // Cold means cold: the next columnar scan rebuilds its segment from the
+  // (now uncached) heap, mirroring the paper's drop_caches procedure.
+  if (columnar_mgr_ != nullptr) columnar_mgr_->drop_all();
 }
 
 storage::CommitHandle Database::commit_async() {
@@ -525,6 +672,15 @@ storage::CommitHandle Database::commit_async() {
 void Database::commit() { commit_async().wait(); }
 
 void Database::checkpoint() {
+  // Staleness sweep: a checkpoint is the durability path's natural segment
+  // boundary, so drop any column segment whose build version no longer
+  // matches its table (fresh ones stay — the server checkpoints on a
+  // timer, and dropping valid segments would cold-start every scan).
+  if (columnar_mgr_ != nullptr) {
+    for (const auto& [name, t] : tables_) {
+      columnar_mgr_->prune(name, t->mutation_version());
+    }
+  }
   if (wal_ == nullptr) {
     pool_->flush_all();
     return;

@@ -15,6 +15,10 @@
 #include "src/storage/wal.h"
 #include "src/util/thread_pool.h"
 
+namespace wre::columnar {
+class ColumnStoreManager;
+}
+
 namespace wre::sql {
 
 /// Result of a SELECT (other statements return an empty set with
@@ -28,6 +32,10 @@ struct ResultSet {
   uint64_t index_probes = 0;   // B+-tree equality probes issued
   uint64_t heap_fetches = 0;   // full rows materialized from the heap
   bool used_index = false;     // false = sequential scan
+  /// Columnar-path counters (local only; not wire-encoded — the network
+  /// protocol's ResultSet layout is unchanged).
+  bool used_columnar = false;   // scan/fetch served from the column store
+  uint64_t columnar_rows = 0;   // rows materialized from a column segment
 };
 
 /// Tuning and simulation knobs for a Database.
@@ -55,6 +63,17 @@ struct DatabaseOptions {
   /// fdatasync each commit group. Tests may disable to isolate logic from
   /// I/O latency; production durability requires true.
   bool wal_fsync = true;
+  /// In-memory columnar ciphertext store (DESIGN.md §5.9). When true, full
+  /// scans and non-indexed predicates run against dictionary-compressed
+  /// column segments, and index-probe plans materialize selected rows from
+  /// them instead of chasing the heap. Results stay byte-identical to the
+  /// row path; segments rebuild lazily after mutations. Off by default.
+  bool columnar = false;
+  /// Per-column dictionary cardinality cap for column segments; columns
+  /// with more distinct values fall back to the plain dense layout.
+  size_t columnar_dict_max = size_t{1} << 16;
+  /// Tables with fewer rows never get a segment (row path instead).
+  uint64_t columnar_min_rows = 0;
 };
 
 /// An embedded relational database rooted at a directory.
@@ -95,6 +114,19 @@ class Database {
   /// Executes a parsed SELECT (lets clients pre-build ASTs).
   ResultSet execute_select(const SelectStmt& stmt);
 
+  /// Wire-protocol fast path (late materialization to the network): when
+  /// `stmt` would plan as a columnar scan, appends the result set's wire
+  /// encoding — byte-identical to net::encode_result_set applied to
+  /// execute_select(stmt) — straight from the packed column segment to
+  /// `*out` and returns true. No sql::Value or Row is materialized. Returns
+  /// false, leaving `*out` untouched, whenever the columnar store is off,
+  /// an index plan wins, or the statement is EXPLAIN/COUNT(*) — callers
+  /// fall back to execute_select(). Same locking rules as execute_select.
+  bool execute_select_wire(const SelectStmt& stmt, Bytes* out);
+
+  /// execute_select_wire over SQL text; non-SELECT statements return false.
+  bool execute_sql_wire(std::string_view sql, Bytes* out);
+
   /// Drops every cached page: the next query runs cold. Reproduces the
   /// paper's drop_caches + server-restart procedure.
   void clear_cache();
@@ -105,6 +137,16 @@ class Database {
   /// identical order — the merge is deterministic.
   void set_query_threads(unsigned n);
   unsigned query_threads() const { return query_threads_; }
+
+  /// Toggles the columnar scan path at runtime (requires write exclusion,
+  /// like set_query_threads). Enabling creates the store manager on first
+  /// use; disabling keeps built segments cached but stops routing to them.
+  void set_columnar_enabled(bool on);
+  bool columnar_enabled() const { return columnar_enabled_; }
+
+  /// The column store manager, or null when columnar was never enabled.
+  /// Exposed for stats and tests.
+  columnar::ColumnStoreManager* column_store() { return columnar_mgr_.get(); }
 
   /// Durability boundary (no-op unless opened with durability=true).
   /// Collects every page dirtied since the previous commit, enqueues one
@@ -160,6 +202,10 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   unsigned query_threads_ = 1;
   std::unique_ptr<util::ThreadPool> query_pool_;  // null when serial
+  std::unique_ptr<columnar::ColumnStoreManager> columnar_mgr_;
+  bool columnar_enabled_ = false;
+  size_t columnar_dict_max_ = size_t{1} << 16;
+  uint64_t columnar_min_rows_ = 0;
 };
 
 /// Evaluates a predicate against a row. Unknown columns raise SqlError.

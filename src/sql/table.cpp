@@ -67,6 +67,7 @@ int64_t Table::insert(const Row& row) {
     if (row[idx].is_null()) continue;
     tree->insert(index_key_for(row[idx]), static_cast<uint64_t>(pk));
   }
+  bump_version();
   return pk;
 }
 
@@ -119,6 +120,7 @@ std::vector<int64_t> Table::insert_batch(const std::vector<Row>& rows) {
     std::sort(entries.begin(), entries.end());
     for (const auto& [key, pk] : entries) tree->insert(key, pk);
   }
+  if (!rows.empty()) bump_version();
   return pks;
 }
 
@@ -154,6 +156,7 @@ void Table::create_index(const std::string& column_name) {
   });
 
   indexes_.emplace(col, std::move(tree));
+  bump_version();
 }
 
 void Table::attach_index(const std::string& column_name) {

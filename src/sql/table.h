@@ -15,6 +15,7 @@
 // fetches the full row anyway.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -87,7 +88,17 @@ class Table {
   /// Names of columns with secondary indexes.
   std::vector<std::string> indexed_columns() const;
 
+  /// Monotonic mutation counter: bumped by every insert, batch insert and
+  /// index build. The columnar store compares it against a segment's build
+  /// version to decide freshness (DESIGN.md §5.9); it does not persist —
+  /// a reopened table restarts at 0 with no segments in existence.
+  uint64_t mutation_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
+  void bump_version() { version_.fetch_add(1, std::memory_order_release); }
+
   std::string index_path(const std::string& column_name) const;
   const storage::BPlusTree& index_for(const std::string& column_name) const;
   storage::BPlusTree& index_for(const std::string& column_name);
@@ -100,6 +111,7 @@ class Table {
   std::unique_ptr<storage::BPlusTree> pk_index_;  // pk -> packed RecordId
   std::map<std::string, std::unique_ptr<storage::BPlusTree>> indexes_;
   int64_t next_hidden_pk_ = 0;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace wre::sql

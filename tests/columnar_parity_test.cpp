@@ -1,0 +1,340 @@
+// Randomized columnar/row parity suites (DESIGN.md §5.9): every query
+// class the engine accepts — equality, IN, AND/OR trees, bucketized
+// ranges, select_star — executed on both the row path and the columnar
+// path with identical results required, over plain SQL tables, encrypted
+// WRE tables, and multi-tenant shared tables from core::TenantPool.
+//
+// The last suite (ExternalColumnar) targets a `wre_server --columnar`
+// process started by the harness (scripts/columnar_smoke.sh): it
+// activates only when WRE_SERVER_PORT is set and is skipped otherwise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/encrypted_client.h"
+#include "src/core/tenant.h"
+#include "src/core/transport.h"
+#include "src/net/remote_connection.h"
+#include "src/sql/database.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace wre {
+namespace {
+
+using sql::Value;
+using wre::testing::TempDir;
+
+Bytes fixed_master() { return Bytes(32, 0x42); }
+
+// --------------------------------------------------------------------------
+// Randomized plain-SQL parity: no indexes, so every predicate plans as a
+// columnar scan when the store is on and a sequential scan when it is off.
+
+class RandomSqlParity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSqlParity, EveryGeneratedQueryMatchesRowPath) {
+  Xoshiro256 rng(GetParam());
+  TempDir dir("wre_colparity");
+  sql::DatabaseOptions opt;
+  opt.columnar = true;
+  sql::Database db(dir.str(), opt);
+  db.execute(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, a TEXT, b INTEGER, c TEXT, "
+      "d INTEGER)");
+
+  // a/b: low-cardinality (dictionary layout), c: unique-ish (plain
+  // layout), d: low-cardinality with NULLs.
+  const char* a_vals[] = {"rome", "oslo", "kiev", "lima", "bonn"};
+  std::vector<sql::Row> rows;
+  const int64_t n_rows = 200 + static_cast<int64_t>(rng.next_below(100));
+  for (int64_t i = 0; i < n_rows; ++i) {
+    rows.push_back(
+        {Value::int64(i), Value::text(a_vals[rng.next_below(5)]),
+         Value::int64(static_cast<int64_t>(rng.next_below(8))),
+         Value::text("u" + std::to_string(rng.next_below(1u << 30))),
+         rng.next_below(10) == 0
+             ? Value::null()
+             : Value::int64(static_cast<int64_t>(rng.next_below(6)))});
+  }
+  db.insert_batch("t", rows);
+  // Half the seeds get an index on `a`, covering the indexed plan with
+  // columnar record-fetch; the rest stay pure columnar scans.
+  if (GetParam() % 2 == 0) db.execute("CREATE INDEX i_a ON t (a)");
+
+  auto random_leaf = [&]() -> std::string {
+    switch (rng.next_below(4)) {
+      case 0:
+        return "a = '" + std::string(a_vals[rng.next_below(5)]) + "'";
+      case 1:
+        return "b = " + std::to_string(rng.next_below(10));
+      case 2: {
+        std::string in = "a IN (";
+        size_t k = 1 + rng.next_below(3);
+        for (size_t j = 0; j < k; ++j) {
+          if (j) in += ", ";
+          in += "'" + std::string(a_vals[rng.next_below(5)]) + "'";
+        }
+        return in + ")";
+      }
+      default:
+        return "d = " + std::to_string(rng.next_below(7));
+    }
+  };
+
+  for (int q = 0; q < 60; ++q) {
+    std::string sql = rng.next_below(4) == 0 ? "SELECT a, id FROM t"
+                                             : "SELECT * FROM t";
+    switch (rng.next_below(4)) {
+      case 0:
+        break;  // unfiltered select_star
+      case 1:
+        sql += " WHERE " + random_leaf();
+        break;
+      case 2:
+        sql += " WHERE " + random_leaf() + " AND " + random_leaf();
+        break;
+      default:
+        sql += " WHERE " + random_leaf() + " OR " + random_leaf();
+        break;
+    }
+    if (rng.next_below(3) == 0) {
+      sql += " LIMIT " + std::to_string(rng.next_below(50));
+    }
+    db.set_columnar_enabled(false);
+    sql::ResultSet row_rs = db.execute(sql);
+    db.set_columnar_enabled(true);
+    sql::ResultSet col_rs = db.execute(sql);
+    ASSERT_EQ(row_rs.columns, col_rs.columns) << sql;
+    ASSERT_EQ(row_rs.rows, col_rs.rows) << sql;
+    ASSERT_EQ(row_rs.rows_affected, col_rs.rows_affected) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSqlParity,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// --------------------------------------------------------------------------
+// WRE query classes through an EncryptedConnection: equality, IN,
+// multi-column AND, bucketized ranges, select_star — the decrypted results
+// must be independent of the server's scan path.
+
+TEST(WreColumnarParity, AllQueryClassesMatchRowPath) {
+  TempDir dir("wre_colwre");
+  sql::DatabaseOptions opt;
+  opt.columnar = true;
+  sql::Database db(dir.str(), opt);
+  core::LocalTransport transport(db);
+  core::EncryptedConnection conn(transport, fixed_master());
+
+  sql::Schema logical({sql::Column{"id", sql::ValueType::kInt64, true},
+                       sql::Column{"city", sql::ValueType::kText},
+                       sql::Column{"team", sql::ValueType::kText},
+                       sql::Column{"salary", sql::ValueType::kInt64}});
+  std::vector<core::EncryptedColumnSpec> specs{
+      {"city", core::SaltMethod::kPoisson, 32},
+      {"team", core::SaltMethod::kPoisson, 32}};
+  std::map<std::string, core::PlaintextDistribution> dists;
+  dists.emplace("city", core::PlaintextDistribution::from_probabilities(
+                            {{"rome", 0.4}, {"oslo", 0.35}, {"kiev", 0.25}}));
+  dists.emplace("team", core::PlaintextDistribution::from_probabilities(
+                            {{"red", 0.5}, {"blue", 0.5}}));
+  std::vector<core::RangeColumnSpec> range_specs{
+      core::RangeColumnSpec{"salary", 0, 100000, 16}};
+  conn.create_table("people", logical, specs, dists, range_specs);
+
+  Xoshiro256 rng(99);
+  const char* cities[] = {"rome", "oslo", "kiev"};
+  const char* teams[] = {"red", "blue"};
+  std::vector<sql::Row> rows;
+  for (int64_t i = 0; i < 150; ++i) {
+    rows.push_back({Value::int64(i), Value::text(cities[rng.next_below(3)]),
+                    Value::text(teams[rng.next_below(2)]),
+                    Value::int64(static_cast<int64_t>(rng.next_below(100000)))});
+  }
+  conn.insert_bulk("people", rows);
+
+  auto sorted_ids = [](std::vector<int64_t> ids) {
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  auto sorted_rows = [](std::vector<sql::Row> rs) {
+    std::sort(rs.begin(), rs.end(),
+              [](const sql::Row& x, const sql::Row& y) {
+                return x[0].as_int64() < y[0].as_int64();
+              });
+    return rs;
+  };
+
+  // One probe per query class; each runs on the row path first, then on
+  // the columnar path, and must decrypt to the same logical result.
+  auto run_all = [&](bool columnar) {
+    db.set_columnar_enabled(columnar);
+    struct Results {
+      std::vector<int64_t> eq_ids, in_ids;
+      std::vector<sql::Row> star, conj, range;
+    } r;
+    r.eq_ids = sorted_ids(conn.select_ids("people", "city", "rome").ids);
+    r.in_ids = sorted_ids(
+        conn.select_ids_in("people", "city", {"oslo", "kiev"}).ids);
+    r.star = sorted_rows(conn.select_star("people", "team", "red").rows);
+    r.conj = sorted_rows(
+        conn.select_star_and("people", {{"city", Value::text("rome")},
+                                        {"team", Value::text("blue")}})
+            .rows);
+    r.range = sorted_rows(
+        conn.select_star_range("people", "salary", 20000, 60000).rows);
+    return r;
+  };
+  auto row_r = run_all(false);
+  auto col_r = run_all(true);
+  EXPECT_EQ(row_r.eq_ids, col_r.eq_ids);
+  EXPECT_EQ(row_r.in_ids, col_r.in_ids);
+  EXPECT_EQ(row_r.star, col_r.star);
+  EXPECT_EQ(row_r.conj, col_r.conj);
+  EXPECT_EQ(row_r.range, col_r.range);
+
+  // And against ground truth: the plaintext rows we inserted.
+  std::vector<int64_t> expect_eq;
+  for (const auto& row : rows) {
+    if (row[1].as_text() == "rome") expect_eq.push_back(row[0].as_int64());
+  }
+  EXPECT_EQ(col_r.eq_ids, expect_eq);
+  for (const auto& row : col_r.range) {
+    EXPECT_GE(row[3].as_int64(), 20000);
+    EXPECT_LE(row[3].as_int64(), 60000);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Multi-tenant: per-tenant views of one shared physical table must stay
+// isolated and identical across scan paths.
+
+TEST(WreColumnarParity, TenantPoolMatchesRowPathAndStaysIsolated) {
+  TempDir dir("wre_coltenant");
+  sql::DatabaseOptions opt;
+  opt.columnar = true;
+  sql::Database db(dir.str(), opt);
+  core::LocalTransport transport(db);
+
+  core::TenantTableConfig cfg;
+  cfg.table = "shared";
+  cfg.logical = sql::Schema({sql::Column{"id", sql::ValueType::kInt64, true},
+                             sql::Column{"city", sql::ValueType::kText}});
+  cfg.specs.push_back(
+      core::EncryptedColumnSpec{"city", core::SaltMethod::kPoisson, 8});
+  cfg.distributions.emplace(
+      "city", core::PlaintextDistribution::from_probabilities(
+                  {{"rome", 0.5}, {"oslo", 0.3}, {"lima", 0.2}}));
+  core::TenantPool pool(transport, fixed_master(), cfg);
+
+  const std::vector<std::string> values = {"rome", "oslo", "lima"};
+  for (uint64_t t = 0; t < 3; ++t) {
+    auto& conn = pool.connection(t);
+    for (int64_t i = 0; i < 12; ++i) {
+      conn.insert("shared",
+                  {Value::int64(static_cast<int64_t>(t) * 100 + i),
+                   Value::text(values[static_cast<size_t>(i) % 3])});
+    }
+  }
+
+  for (uint64_t t = 0; t < 3; ++t) {
+    auto& conn = pool.connection(t);
+    for (const auto& v : values) {
+      db.set_columnar_enabled(false);
+      auto row_ids = conn.select_ids("shared", "city", v).ids;
+      auto row_star = conn.select_star("shared", "city", v).rows;
+      db.set_columnar_enabled(true);
+      EXPECT_EQ(conn.select_ids("shared", "city", v).ids, row_ids)
+          << "tenant " << t << " value " << v;
+      EXPECT_EQ(conn.select_star("shared", "city", v).rows, row_star);
+      // Isolation survives the columnar path: only this tenant's ids.
+      for (int64_t id : row_ids) {
+        EXPECT_GE(id, static_cast<int64_t>(t) * 100);
+        EXPECT_LT(id, static_cast<int64_t>(t) * 100 + 12);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// External-server mode: drives a `wre_server --columnar` process on
+// 127.0.0.1:$WRE_SERVER_PORT (the columnar-smoke CI job). The gate is
+// remote-vs-local parity: everything the columnar server returns must
+// decrypt to exactly the plaintext this test inserted.
+
+class ExternalColumnarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* port = std::getenv("WRE_SERVER_PORT");
+    if (port == nullptr) {
+      GTEST_SKIP() << "WRE_SERVER_PORT not set; columnar smoke mode only";
+    }
+    port_ = static_cast<uint16_t>(std::stoi(port));
+  }
+
+  uint16_t port_ = 0;
+};
+
+TEST_F(ExternalColumnarTest, ColumnarServerMatchesLocalRowPath) {
+  net::RemoteConnection remote("127.0.0.1", port_);
+  remote.ping();
+  core::EncryptedConnection conn(remote, fixed_master());
+
+  sql::Schema logical({sql::Column{"id", sql::ValueType::kInt64, true},
+                       sql::Column{"city", sql::ValueType::kText}});
+  std::vector<core::EncryptedColumnSpec> specs{
+      {"city", core::SaltMethod::kPoisson, 16}};
+  std::map<std::string, core::PlaintextDistribution> dists;
+  dists.emplace("city", core::PlaintextDistribution::from_probabilities(
+                            {{"rome", 0.4}, {"oslo", 0.35}, {"kiev", 0.25}}));
+  conn.create_table("colsmoke", logical, specs, dists);
+
+  const char* cities[] = {"rome", "oslo", "kiev"};
+  std::vector<sql::Row> rows;
+  for (int64_t i = 0; i < 120; ++i) {
+    rows.push_back({Value::int64(i), Value::text(cities[i % 3])});
+  }
+  conn.insert_bulk("colsmoke", rows);
+
+  // Local row-path replay: an independent database ingesting the same
+  // plaintext under the same secret. Every remote answer (served by the
+  // columnar store) must equal the local row-path answer.
+  TempDir dir("wre_colsmoke_local");
+  sql::Database local_db(dir.str());  // columnar off: pure row path
+  core::LocalTransport local_transport(local_db);
+  core::EncryptedConnection local(local_transport, fixed_master());
+  local.create_table("colsmoke", logical, specs, dists);
+  local.insert_bulk("colsmoke", rows);
+
+  auto sorted_ids = [](std::vector<int64_t> ids) {
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  for (const char* c : cities) {
+    EXPECT_EQ(sorted_ids(conn.select_ids("colsmoke", "city", c).ids),
+              sorted_ids(local.select_ids("colsmoke", "city", c).ids))
+        << c;
+    auto star = conn.select_star("colsmoke", "city", c);
+    EXPECT_EQ(star.rows.size(), 40u) << c;
+    for (const auto& row : star.rows) EXPECT_EQ(row[1].as_text(), c);
+  }
+
+  // Full-table scans hit the server's wire fast path; two runs (cold
+  // segment build, then cached) must agree with each other and with the
+  // local row count.
+  sql::ResultSet first = remote.execute("SELECT * FROM colsmoke");
+  sql::ResultSet second = remote.execute("SELECT * FROM colsmoke");
+  EXPECT_EQ(first.columns, second.columns);
+  EXPECT_EQ(first.rows, second.rows);
+  EXPECT_EQ(first.rows.size(),
+            local_db.execute("SELECT * FROM colsmoke").rows.size());
+}
+
+}  // namespace
+}  // namespace wre

@@ -1,0 +1,476 @@
+// Unit tests for the in-memory columnar ciphertext store (DESIGN.md §5.9):
+// column layouts and scan kernels, segment build/select/materialization,
+// the ColumnStoreManager's snapshot/staleness machinery, and the planner
+// integration including the wire-protocol fast path — every columnar
+// answer checked against the row path it must be indistinguishable from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/columnar/column.h"
+#include "src/columnar/segment.h"
+#include "src/columnar/store_manager.h"
+#include "src/crypto/prf.h"
+#include "src/net/wire.h"
+#include "src/sql/database.h"
+#include "src/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace wre::columnar {
+namespace {
+
+using sql::Value;
+using wre::testing::TempDir;
+
+// ------------------------------------------------------------ Int64Column
+
+TEST(Int64Column, DictionaryLayoutScansByCode) {
+  Int64Column col;
+  // 12 rows over 3 distinct values: dictionary clearly pays.
+  for (int64_t v : {5, 7, 5, 9, 7, 5, 9, 9, 5, 7, 5, 9}) col.append(v);
+  col.seal(/*dict_max=*/1 << 16);
+  EXPECT_EQ(col.layout(), ColumnLayout::kDictionary);
+  EXPECT_EQ(col.dictionary_size(), 3u);
+
+  int64_t probes[] = {9, 42};
+  Selection sel;
+  col.scan_in(probes, 2, &sel);
+  EXPECT_EQ(sel, (Selection{3, 6, 7, 11}));
+  EXPECT_TRUE(col.matches(3, probes, 2));
+  EXPECT_FALSE(col.matches(0, probes, 2));
+  EXPECT_EQ(col.at(1), 7);
+}
+
+TEST(Int64Column, PlainFallbackWhenDictionaryCannotPay) {
+  // 8 distinct over 10 rows: under dict_max but compression would not pay
+  // (each value must repeat twice on average), so the column stays plain.
+  Int64Column col;
+  for (int64_t v : {1, 2, 3, 4, 5, 6, 7, 8, 1, 2}) col.append(v);
+  col.seal(/*dict_max=*/1 << 16);
+  EXPECT_EQ(col.layout(), ColumnLayout::kPlain);
+
+  int64_t probes[] = {2};
+  Selection sel;
+  col.scan_in(probes, 1, &sel);
+  EXPECT_EQ(sel, (Selection{1, 9}));
+}
+
+TEST(Int64Column, PlainFallbackAboveDictMax) {
+  Int64Column col;
+  for (int64_t v : {1, 1, 1, 2, 2, 2, 3, 3, 3}) col.append(v);
+  col.seal(/*dict_max=*/2);  // 3 distinct > cap
+  EXPECT_EQ(col.layout(), ColumnLayout::kPlain);
+  int64_t probes[] = {3, 1};
+  Selection sel;
+  col.scan_in(probes, 2, &sel);
+  EXPECT_EQ(sel, (Selection{0, 1, 2, 6, 7, 8}));
+}
+
+TEST(Int64Column, NullsNeverMatchInEitherLayout) {
+  for (size_t dict_max : {size_t{1} << 16, size_t{0}}) {
+    Int64Column col;
+    col.append(4);
+    col.append_null();
+    col.append(4);
+    col.append(4);
+    col.append_null();
+    col.append(4);
+    col.seal(dict_max);
+    EXPECT_TRUE(col.has_nulls());
+    EXPECT_TRUE(col.is_null(1));
+    EXPECT_FALSE(col.is_null(2));
+    int64_t probes[] = {4, 0};  // 0 is the internal NULL placeholder value
+    Selection sel;
+    col.scan_in(probes, 2, &sel);
+    EXPECT_EQ(sel, (Selection{0, 2, 3, 5})) << "dict_max=" << dict_max;
+    EXPECT_FALSE(col.matches(1, probes, 2));
+  }
+}
+
+TEST(Int64Column, LargeProbeSetUsesBitmapPath) {
+  Int64Column col;
+  for (int64_t i = 0; i < 200; ++i) col.append(i % 20);
+  col.seal(1 << 16);
+  ASSERT_EQ(col.layout(), ColumnLayout::kDictionary);
+  // 8 probes (> the 4-wide OR-tree) forces the bitmap kernel.
+  std::vector<int64_t> probes = {0, 3, 5, 7, 11, 13, 17, 19};
+  Selection sel;
+  col.scan_in(probes.data(), probes.size(), &sel);
+  Selection expect;
+  for (uint32_t i = 0; i < 200; ++i) {
+    int64_t v = i % 20;
+    if (std::find(probes.begin(), probes.end(), v) != probes.end()) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(sel, expect);
+}
+
+TEST(Int64Column, WreTagProbes) {
+  // Search tags are 64-bit PRF outputs bitcast through Value::tag; the
+  // column must round-trip them and scan on the same bitcast probes.
+  crypto::TagPrf prf(Bytes(32, 0x5a));
+  std::vector<uint64_t> tags;
+  for (int i = 0; i < 6; ++i) {
+    tags.push_back(prf.tag(0, to_bytes("value" + std::to_string(i % 2))));
+  }
+  Int64Column col;
+  for (uint64_t t : tags) col.append(Value::tag(t).as_int64());
+  col.seal(1 << 16);
+  int64_t probe = Value::tag(tags[0]).as_int64();
+  Selection sel;
+  col.scan_in(&probe, 1, &sel);
+  EXPECT_EQ(sel, (Selection{0, 2, 4}));
+}
+
+// ------------------------------------------------------------ BytesColumn
+
+TEST(BytesColumn, DictionaryAndPlainScansAgree) {
+  std::vector<std::string> values = {"rome", "oslo", "rome", "kiev",
+                                     "oslo", "rome", "kiev", "rome"};
+  for (size_t dict_max : {size_t{1} << 16, size_t{0}}) {
+    BytesColumn col(sql::ValueType::kText);
+    for (const auto& v : values) col.append(v);
+    col.append_null();
+    col.seal(dict_max);
+    EXPECT_EQ(col.layout(), dict_max ? ColumnLayout::kDictionary
+                                     : ColumnLayout::kPlain);
+    std::string_view probes[] = {"rome", "kiev", "paris"};
+    Selection sel;
+    col.scan_in(probes, 3, &sel);
+    EXPECT_EQ(sel, (Selection{0, 2, 3, 5, 6, 7})) << "dict_max=" << dict_max;
+    EXPECT_TRUE(col.is_null(8));
+    EXPECT_FALSE(col.matches(8, probes, 3));
+    EXPECT_EQ(col.at(1), "oslo");
+  }
+}
+
+TEST(BytesColumn, UniqueCiphertextsStayPlain) {
+  // Unique-ish values (every AES-CTR ciphertext is distinct) must keep the
+  // packed heap-ordered layout even under a generous dictionary cap.
+  BytesColumn col(sql::ValueType::kBlob);
+  for (int i = 0; i < 64; ++i) {
+    col.append(std::string(33, static_cast<char>(i)));
+  }
+  col.seal(1 << 16);
+  EXPECT_EQ(col.layout(), ColumnLayout::kPlain);
+  std::string probe(33, static_cast<char>(7));
+  std::string_view pv = probe;
+  Selection sel;
+  col.scan_in(&pv, 1, &sel);
+  EXPECT_EQ(sel, (Selection{7}));
+}
+
+TEST(BytesColumn, EmptyStringIsAValueNotNull) {
+  BytesColumn col(sql::ValueType::kText);
+  col.append("");
+  col.append_null();
+  col.append("");
+  col.append("x");
+  col.seal(1 << 16);
+  std::string_view probe = "";
+  Selection sel;
+  col.scan_in(&probe, 1, &sel);
+  EXPECT_EQ(sel, (Selection{0, 2}));
+}
+
+// ------------------------------------------------------------ TableSegment
+
+sql::Expr where_of(const std::string& select_sql) {
+  auto stmt = std::get<sql::SelectStmt>(sql::parse_statement(select_sql));
+  return *stmt.where;
+}
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  SegmentTest() : dir_("wre_columnar"), db_(dir_.str()) {
+    db_.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, city TEXT, zip INTEGER, "
+        "payload BLOB)");
+    const char* cities[] = {"rome", "oslo", "kiev"};
+    for (int i = 0; i < 30; ++i) {
+      sql::Row row{Value::int64(i), Value::text(cities[i % 3]),
+                   i % 5 == 0 ? Value::null() : Value::int64(10000 + i % 4),
+                   Value::blob(Bytes(20, static_cast<uint8_t>(i)))};
+      db_.insert_batch("t", {row});
+    }
+  }
+
+  std::shared_ptr<const TableSegment> build() {
+    const sql::Table& t = db_.table("t");
+    return TableSegment::build(t, t.mutation_version(), SegmentOptions{});
+  }
+
+  TempDir dir_;
+  sql::Database db_;
+};
+
+TEST_F(SegmentTest, SelectMatchesRowPathForEveryQueryShape) {
+  auto seg = build();
+  ASSERT_EQ(seg->row_count(), 30u);
+  const char* shapes[] = {
+      "SELECT * FROM t WHERE city = 'rome'",
+      "SELECT * FROM t WHERE zip IN (10001, 10003)",
+      "SELECT * FROM t WHERE city = 'oslo' AND zip = 10001",
+      "SELECT * FROM t WHERE city = 'kiev' OR zip = 10002",
+      "SELECT * FROM t WHERE city = 'nowhere'",
+  };
+  for (const char* sql : shapes) {
+    sql::Expr e = where_of(sql);
+    Selection sel = seg->select(e);
+    // Reference: evaluate the same predicate row-by-row on the heap.
+    sql::ResultSet rs = db_.execute(sql);
+    ASSERT_EQ(sel.size(), rs.rows.size()) << sql;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      EXPECT_EQ(seg->materialize(sel[i], {0, 1, 2, 3}), rs.rows[i]) << sql;
+      EXPECT_TRUE(seg->row_matches(e, sel[i])) << sql;
+    }
+  }
+}
+
+TEST_F(SegmentTest, CrossTypeProbesNeverMatch) {
+  auto seg = build();
+  // A text probe against the INTEGER zip column: sql_equals semantics say
+  // no row matches, and the kernel must agree rather than coerce.
+  Selection sel = seg->select(sql::Expr::equals("zip", Value::text("10001")));
+  EXPECT_TRUE(sel.empty());
+  sel = seg->select(sql::Expr::equals("city", Value::int64(0)));
+  EXPECT_TRUE(sel.empty());
+  sel = seg->select(sql::Expr::equals("city", Value::null()));
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST_F(SegmentTest, MaterializeRowsMatchesPerRowMaterialize) {
+  auto seg = build();
+  Selection sel = seg->select(where_of("SELECT * FROM t WHERE city = 'rome'"));
+  std::vector<size_t> projection{1, 3, 2};
+  std::vector<sql::Row> bulk;
+  seg->materialize_rows(sel, projection, &bulk);
+  ASSERT_EQ(bulk.size(), sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    EXPECT_EQ(bulk[i], seg->materialize(sel[i], projection));
+  }
+}
+
+TEST_F(SegmentTest, WireEncodeRowsIsByteIdenticalToValueEncoding) {
+  auto seg = build();
+  Selection sel = seg->select_all();
+  std::vector<size_t> projection{0, 1, 2, 3};
+  Bytes fast;
+  seg->wire_encode_rows(sel, projection, &fast);
+
+  net::WireWriter w;
+  for (uint32_t row : sel) {
+    w.row(seg->materialize(row, projection));
+  }
+  EXPECT_EQ(fast, w.bytes());
+}
+
+TEST_F(SegmentTest, PkLookup) {
+  auto seg = build();
+  for (int64_t pk : {0, 7, 29}) {
+    auto row = seg->row_of_pk(pk);
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ(seg->pk_at(*row), pk);
+  }
+  EXPECT_FALSE(seg->row_of_pk(1234).has_value());
+}
+
+TEST_F(SegmentTest, EmptyTableSegment) {
+  db_.execute("CREATE TABLE empty (id INTEGER PRIMARY KEY, v TEXT)");
+  const sql::Table& t = db_.table("empty");
+  auto seg = TableSegment::build(t, t.mutation_version(), SegmentOptions{});
+  EXPECT_EQ(seg->row_count(), 0u);
+  EXPECT_TRUE(seg->select_all().empty());
+  EXPECT_TRUE(seg->select(sql::Expr::equals("v", Value::text("x"))).empty());
+}
+
+// ----------------------------------------------------- ColumnStoreManager
+
+TEST(ColumnStoreManager, SnapshotCachesUntilMutation) {
+  TempDir dir("wre_colmgr");
+  sql::Database db(dir.str());
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  db.insert_batch("t", {{Value::int64(1), Value::int64(10)},
+                        {Value::int64(2), Value::int64(20)}});
+
+  ColumnStoreManager mgr;
+  auto s1 = mgr.snapshot(db.table("t"));
+  auto s2 = mgr.snapshot(db.table("t"));
+  EXPECT_EQ(s1.get(), s2.get());
+  auto st = mgr.stats();
+  EXPECT_EQ(st.builds, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.segments, 1u);
+  EXPECT_GT(st.bytes, 0u);
+
+  db.insert_batch("t", {{Value::int64(3), Value::int64(30)}});
+  auto s3 = mgr.snapshot(db.table("t"));
+  EXPECT_NE(s1.get(), s3.get());
+  EXPECT_EQ(s3->row_count(), 3u);
+  // The old snapshot is still readable: in-flight scans drain on it.
+  EXPECT_EQ(s1->row_count(), 2u);
+  st = mgr.stats();
+  EXPECT_EQ(st.builds, 2u);
+  EXPECT_EQ(st.rebuilds, 1u);
+
+  mgr.prune("t", db.table("t").mutation_version());
+  EXPECT_NE(mgr.cached("t"), nullptr);  // fresh: prune keeps it
+  mgr.prune("t", db.table("t").mutation_version() + 1);
+  EXPECT_EQ(mgr.cached("t"), nullptr);  // stale: dropped
+
+  mgr.snapshot(db.table("t"));
+  mgr.drop_all();
+  EXPECT_EQ(mgr.stats().segments, 0u);
+}
+
+TEST(ColumnStoreManager, MinRowsGate) {
+  TempDir dir("wre_colmgr");
+  sql::Database db(dir.str());
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  db.insert_batch("t", {{Value::int64(1), Value::int64(10)}});
+  ColumnStoreOptions opt;
+  opt.min_rows = 100;
+  ColumnStoreManager mgr(opt);
+  EXPECT_EQ(mgr.snapshot(db.table("t")), nullptr);
+}
+
+// --------------------------------------------------- Database integration
+
+class ColumnarDbTest : public ::testing::Test {
+ protected:
+  ColumnarDbTest() : dir_("wre_coldb") {
+    sql::DatabaseOptions opt;
+    opt.columnar = true;
+    db_ = std::make_unique<sql::Database>(dir_.str(), opt);
+    db_->execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, city TEXT, zip INTEGER)");
+    const char* cities[] = {"rome", "oslo", "kiev", "lima"};
+    std::vector<sql::Row> rows;
+    for (int i = 0; i < 40; ++i) {
+      rows.push_back({Value::int64(i), Value::text(cities[i % 4]),
+                      Value::int64(10000 + i % 3)});
+    }
+    db_->insert_batch("t", rows);
+  }
+
+  // Runs `sql` on both paths and requires identical results (and that the
+  // columnar path actually engaged when `expect_columnar`).
+  void check_both_paths(const std::string& sql, bool expect_columnar = true) {
+    db_->set_columnar_enabled(false);
+    sql::ResultSet row = db_->execute(sql);
+    db_->set_columnar_enabled(true);
+    sql::ResultSet col = db_->execute(sql);
+    EXPECT_EQ(col.used_columnar, expect_columnar) << sql;
+    EXPECT_EQ(row.columns, col.columns) << sql;
+    EXPECT_EQ(row.rows, col.rows) << sql;
+    EXPECT_EQ(row.rows_affected, col.rows_affected) << sql;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<sql::Database> db_;
+};
+
+TEST_F(ColumnarDbTest, ScanShapesMatchRowPath) {
+  check_both_paths("SELECT * FROM t");
+  check_both_paths("SELECT city FROM t WHERE zip = 10001");
+  check_both_paths("SELECT id, zip FROM t WHERE city IN ('rome', 'lima')");
+  check_both_paths("SELECT * FROM t WHERE city = 'oslo' AND zip = 10002");
+  check_both_paths("SELECT * FROM t WHERE city = 'kiev' OR zip = 10000");
+  check_both_paths("SELECT * FROM t WHERE city = 'nowhere'");
+  check_both_paths("SELECT * FROM t LIMIT 7");
+  check_both_paths("SELECT COUNT(*) FROM t WHERE city = 'rome'");
+}
+
+TEST_F(ColumnarDbTest, IndexedPlanStillWinsAndUsesColumnarFetch) {
+  db_->execute("CREATE INDEX i_city ON t (city)");
+  sql::ResultSet rs = db_->execute("SELECT * FROM t WHERE city = 'rome'");
+  EXPECT_TRUE(rs.used_index);
+  EXPECT_TRUE(rs.used_columnar);  // record fetch from the segment
+  EXPECT_EQ(rs.heap_fetches, 0u);
+  check_both_paths("SELECT * FROM t WHERE city = 'rome'", true);
+}
+
+TEST_F(ColumnarDbTest, ExplainNamesTheColumnarPlan) {
+  sql::ResultSet rs = db_->execute("EXPLAIN SELECT * FROM t WHERE zip = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_NE(rs.rows[0][0].as_text().find("columnar scan on t"),
+            std::string::npos);
+  db_->execute("CREATE INDEX i_city ON t (city)");
+  rs = db_->execute("EXPLAIN SELECT * FROM t WHERE city = 'rome'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_NE(rs.rows[0][0].as_text().find(", columnar materialization"),
+            std::string::npos);
+}
+
+TEST_F(ColumnarDbTest, MutationInvalidatesSegment) {
+  db_->execute("SELECT * FROM t");  // builds the segment
+  auto before = db_->column_store()->stats();
+  db_->execute("INSERT INTO t VALUES (100, 'rome', 10000)");
+  sql::ResultSet rs = db_->execute("SELECT * FROM t WHERE id = 100");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][1].as_text(), "rome");
+  auto after = db_->column_store()->stats();
+  EXPECT_GT(after.rebuilds, before.rebuilds);
+}
+
+TEST_F(ColumnarDbTest, ClearCacheDropsSegments) {
+  db_->execute("SELECT * FROM t");
+  EXPECT_GT(db_->column_store()->stats().segments, 0u);
+  db_->clear_cache();
+  EXPECT_EQ(db_->column_store()->stats().segments, 0u);
+  check_both_paths("SELECT * FROM t");  // rebuilds cold and still matches
+}
+
+TEST_F(ColumnarDbTest, MinRowsKeepsSmallTablesOnRowPath) {
+  sql::DatabaseOptions opt;
+  opt.columnar = true;
+  opt.columnar_min_rows = 1000;
+  TempDir dir("wre_coldb_min");
+  sql::Database db(dir.str(), opt);
+  db.execute("CREATE TABLE s (id INTEGER PRIMARY KEY, v TEXT)");
+  db.insert_batch("s", {{Value::int64(1), Value::text("a")}});
+  sql::ResultSet rs = db.execute("SELECT * FROM s");
+  EXPECT_FALSE(rs.used_columnar);
+  ASSERT_EQ(rs.rows.size(), 1u);
+}
+
+// ------------------------------------------------------ Wire-path fast path
+
+TEST_F(ColumnarDbTest, WireFastPathIsByteIdenticalToEncodedResultSet) {
+  const char* shapes[] = {
+      "SELECT * FROM t",
+      "SELECT city, id FROM t WHERE zip IN (10000, 10002)",
+      "SELECT * FROM t LIMIT 5",
+  };
+  for (const char* sql : shapes) {
+    Bytes fast;
+    ASSERT_TRUE(db_->execute_sql_wire(sql, &fast)) << sql;
+    net::WireWriter w;
+    net::encode_result_set(db_->execute(sql), w);
+    EXPECT_EQ(fast, w.bytes()) << sql;
+  }
+}
+
+TEST_F(ColumnarDbTest, WireFastPathDeclinesWhatItCannotServe) {
+  Bytes out;
+  // Non-SELECT, EXPLAIN and COUNT(*) fall back to the general executor.
+  EXPECT_FALSE(db_->execute_sql_wire("INSERT INTO t VALUES (200, 'x', 1)",
+                                     &out));
+  EXPECT_FALSE(db_->execute_sql_wire("EXPLAIN SELECT * FROM t", &out));
+  EXPECT_FALSE(db_->execute_sql_wire("SELECT COUNT(*) FROM t", &out));
+  // An indexed probe plan wins over the columnar scan.
+  db_->execute("CREATE INDEX i_city ON t (city)");
+  EXPECT_FALSE(db_->execute_sql_wire(
+      "SELECT * FROM t WHERE city = 'rome'", &out));
+  // Columnar off: never engages.
+  db_->set_columnar_enabled(false);
+  EXPECT_FALSE(db_->execute_sql_wire("SELECT * FROM t", &out));
+  db_->set_columnar_enabled(true);
+  EXPECT_TRUE(out.empty());  // every decline left the buffer untouched
+}
+
+}  // namespace
+}  // namespace wre::columnar
